@@ -1,0 +1,223 @@
+package mtp
+
+// The root benchmarks regenerate every table and figure of the paper's
+// evaluation at full length and report the headline numbers as benchmark
+// metrics, so `go test -bench=. -benchmem` reproduces the whole evaluation.
+// Shapes vs the paper are recorded in EXPERIMENTS.md.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/exp"
+)
+
+// BenchmarkTable1 runs the full feature-matrix probe suite.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunTable1()
+		pass := 0
+		for _, row := range r.Rows {
+			for _, c := range row.Cells {
+				if c.Pass {
+					pass++
+				}
+			}
+		}
+		b.ReportMetric(float64(pass), "features-pass")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the quantified Figure 1 scenario (cache + L7 LB
+// ablation under Zipf load).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig1(exp.Fig1Config{})
+		b.ReportMetric(r.Rows[0].P99us, "single-p99us")
+		b.ReportMetric(r.Rows[2].P99us, "cache+lb-p99us")
+		b.ReportMetric(r.Rows[2].HitRate*100, "hit-%")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the termination-proxy trade-off.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig2(exp.Fig2Config{Duration: 5 * time.Millisecond})
+		b.ReportMetric(float64(r.Rows[0].PeakOccupancy)/1e6, "unlimited-peak-MB")
+		b.ReportMetric(r.Rows[1].ClientGbps, "limited-client-Gbps")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the one-message-per-flow comparison.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig3(exp.Fig3Config{Duration: 10 * time.Millisecond, Outstanding: 1})
+		b.ReportMetric(r.Rows[0].MeanGbps, "tcp-Gbps")
+		b.ReportMetric(r.Rows[1].MeanGbps, "mtp-Gbps")
+		b.ReportMetric(r.Rows[0].CoV, "tcp-CoV")
+		b.ReportMetric(r.Rows[1].CoV, "mtp-CoV")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the multipath congestion-control comparison
+// (the paper's headline: MTP converges instantly after each path flip).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig5(exp.Fig5Config{Duration: 20 * time.Millisecond})
+		b.ReportMetric(r.DCTCP.MeanGbps, "dctcp-Gbps")
+		b.ReportMetric(r.MTP.MeanGbps, "mtp-Gbps")
+		b.ReportMetric(r.Improvement*100, "improvement-%")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFig5AblationSinglePathlet runs MTP with the whole network as one
+// pathlet — DESIGN.md ablation 1: the advantage must disappear.
+func BenchmarkFig5AblationSinglePathlet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := exp.RunFig5(exp.Fig5Config{Duration: 10 * time.Millisecond})
+		abl := exp.RunFig5(exp.Fig5Config{Duration: 10 * time.Millisecond, SinglePathlet: true})
+		b.ReportMetric(full.MTP.MeanGbps, "per-pathlet-Gbps")
+		b.ReportMetric(abl.MTP.MeanGbps, "single-pathlet-Gbps")
+	}
+}
+
+// BenchmarkFig5CCSweep runs the Figure 5 scenario with each congestion
+// control algorithm on MTP's pathlets — the multi-algorithm property means
+// the transport does not care which controller a pathlet runs.
+func BenchmarkFig5CCSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []cc.Kind{cc.KindDCTCP, cc.KindAIMD, cc.KindSwift, cc.KindDCQCN} {
+			r := exp.RunFig5(exp.Fig5Config{Duration: 10 * time.Millisecond, MTPCC: kind, LineRate: 100e9})
+			b.ReportMetric(r.MTP.MeanGbps, string(kind)+"-Gbps")
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the load-balancer comparison.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig6(exp.Fig6Config{Messages: 400, MaxMsgSize: 32 << 20})
+		for _, row := range r.Rows {
+			b.ReportMetric(row.P99us, row.Policy+"-p99us")
+		}
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the per-entity isolation comparison.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RunFig7(exp.Fig7Config{Duration: 20 * time.Millisecond})
+		b.ReportMetric(r.Rows[0].Ratio(), "shared-ratio")
+		b.ReportMetric(r.Rows[1].Ratio(), "separate-ratio")
+		b.ReportMetric(r.Rows[2].Ratio(), "mtp-ratio")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
+// BenchmarkExtensions runs the Section 4 design-point probes: pathlet
+// exclusion, multi-algorithm CC, priority scheduling, and NDP-style
+// trimming.
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		excl := exp.RunExclusion(10 * time.Millisecond)
+		multi := exp.RunMultiAlgo(10 * time.Millisecond)
+		prio := exp.RunPriority(10 * time.Millisecond)
+		trim := exp.RunTrim()
+		b.ReportMetric(excl.WithGbps, "exclusion-Gbps")
+		b.ReportMetric(multi.GoodputGbps, "multialgo-Gbps")
+		b.ReportMetric(prio.PriorityP99us, "prio-p99us")
+		b.ReportMetric(trim.TrimFCTus, "trim-fct-us")
+		if i == 0 {
+			b.Log("\n" + excl.String() + multi.String() + prio.String() + trim.String())
+		}
+	}
+}
+
+// BenchmarkNodeThroughputMem measures the real (non-simulated) node pushing
+// messages through the in-memory network: protocol engine + wire codec cost.
+func BenchmarkNodeThroughputMem(b *testing.B) {
+	mn := NewMemNetwork(1)
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	na, err := NewNode(pa, Config{Port: 1, MSS: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := NewNode(pb, Config{Port: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nb.Close()
+
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(payload)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := na.Send("b", 2, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-out.Done():
+		case <-time.After(30 * time.Second):
+			b.Fatal("message stuck")
+		}
+	}
+}
+
+// BenchmarkNodeSmallMessagesMem measures small-message rate through the full
+// stack.
+func BenchmarkNodeSmallMessagesMem(b *testing.B) {
+	mn := NewMemNetwork(1)
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	na, err := NewNode(pa, Config{Port: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := NewNode(pb, Config{Port: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nb.Close()
+
+	payload := []byte("a small rpc request payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := na.Send("b", 2, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-out.Done():
+		case <-time.After(30 * time.Second):
+			b.Fatal("message stuck")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package mtp
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNodeBlobRoundTrip(t *testing.T) {
+	mn := NewMemNetwork(11)
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	var mu sync.Mutex
+	var blobs []Blob
+	na, err := NewNode(pa, Config{Port: 1, MSS: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := NewNode(pb, Config{Port: 2, BlobPort: 50, OnBlob: func(b Blob) {
+		mu.Lock()
+		blobs = append(blobs, b)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+
+	data := make([]byte, 40<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	out, err := na.SendBlob("b", 50, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Chunks < 2 {
+		t.Fatalf("chunks = %d", out.Chunks)
+	}
+	select {
+	case <-out.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("blob never fully acknowledged")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(blobs)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(blobs) != 1 {
+		t.Fatalf("blobs delivered: %d", len(blobs))
+	}
+	if blobs[0].ID != out.ID || !bytes.Equal(blobs[0].Data, data) {
+		t.Fatal("blob corrupt")
+	}
+	if blobs[0].From.String() != "a" {
+		t.Fatalf("from = %v", blobs[0].From)
+	}
+}
+
+func TestNodeBlobWithLoss(t *testing.T) {
+	mn := NewMemNetwork(12)
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	mn.Loss = 0.05
+	var mu sync.Mutex
+	var blobs []Blob
+	na, err := NewNode(pa, Config{Port: 1, MSS: 600, RTO: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := NewNode(pb, Config{Port: 2, BlobPort: 50, OnBlob: func(b Blob) {
+		mu.Lock()
+		blobs = append(blobs, b)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+
+	data := make([]byte, 20<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	out, err := na.SendBlob("b", 50, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-out.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("blob stuck under loss")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(blobs)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(blobs) != 1 || !bytes.Equal(blobs[0].Data, data) {
+		t.Fatalf("blob delivery under loss failed (%d blobs)", len(blobs))
+	}
+}
+
+func TestNodeBlobValidation(t *testing.T) {
+	mn := NewMemNetwork(13)
+	pc, _ := mn.Listen("x")
+	n, err := NewNode(pc, Config{Port: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SendBlob("y", 50, nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	n.Close()
+	if _, err := n.SendBlob("y", 50, []byte("x")); err == nil {
+		t.Fatal("blob on closed node accepted")
+	}
+}
+
+func TestNodeBlobAndMessagesCoexist(t *testing.T) {
+	mn := NewMemNetwork(14)
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	var mu sync.Mutex
+	var blobs []Blob
+	var msgs []Message
+	na, _ := NewNode(pa, Config{Port: 1})
+	defer na.Close()
+	nb, err := NewNode(pb, Config{
+		Port: 2, BlobPort: 50,
+		OnBlob:    func(b Blob) { mu.Lock(); blobs = append(blobs, b); mu.Unlock() },
+		OnMessage: func(m Message) { mu.Lock(); msgs = append(msgs, m); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+
+	data := make([]byte, 10<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	ob, err := na.SendBlob("b", 50, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := na.Send("b", 2, []byte("plain message"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, om, 5*time.Second)
+	select {
+	case <-ob.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("blob stuck")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		okB, okM := len(blobs) == 1, len(msgs) == 1
+		mu.Unlock()
+		if okB && okM {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(blobs) != 1 || len(msgs) != 1 {
+		t.Fatalf("blobs=%d msgs=%d", len(blobs), len(msgs))
+	}
+	if string(msgs[0].Data) != "plain message" || !bytes.Equal(blobs[0].Data, data) {
+		t.Fatal("content mixed up between ports")
+	}
+}

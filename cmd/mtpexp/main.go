@@ -1,0 +1,104 @@
+// Command mtpexp regenerates the paper's evaluation tables and figures on
+// the built-in simulator.
+//
+// Usage:
+//
+//	mtpexp -exp all            # run everything
+//	mtpexp -exp fig5 -samples  # one figure, with the raw 32µs series
+//	mtpexp -exp table1 -v      # the feature matrix with per-cell evidence
+//
+// Each experiment prints the rows/series the paper reports; EXPERIMENTS.md
+// records how the shapes compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtp/internal/exp"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, table1, ext, fig5sweep, fig6sweep")
+		duration = flag.Duration("duration", 0, "override simulated duration (fig2/3/5/7)")
+		messages = flag.Int("messages", 0, "override message count (fig6)")
+		maxSize  = flag.Int("maxsize", 0, "override max message size in bytes (fig6)")
+		samples  = flag.Bool("samples", false, "dump raw throughput series (fig5)")
+		wl       = flag.String("workload", "", "fig6 workload: papermix (default) or websearch")
+		verbose  = flag.Bool("v", false, "verbose output (table1 evidence)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	run := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if run("table1") {
+		ran = true
+		r := exp.RunTable1()
+		if *verbose {
+			fmt.Println(r.Verbose())
+		} else {
+			fmt.Println(r.String())
+		}
+	}
+	if run("fig1") {
+		ran = true
+		r := exp.RunFig1(exp.Fig1Config{Seed: *seed})
+		fmt.Println(r.String())
+	}
+	if run("fig2") {
+		ran = true
+		r := exp.RunFig2(exp.Fig2Config{Duration: *duration, Seed: *seed})
+		fmt.Println(r.String())
+	}
+	if run("fig3") {
+		ran = true
+		r := exp.RunFig3(exp.Fig3Config{Duration: *duration, Outstanding: 1, Seed: *seed})
+		fmt.Println(r.String())
+	}
+	if run("fig5") {
+		ran = true
+		r := exp.RunFig5(exp.Fig5Config{Duration: *duration, Seed: *seed})
+		fmt.Println(r.String())
+		if *samples {
+			fmt.Println(r.Samples())
+		}
+	}
+	if *which == "fig5sweep" {
+		ran = true
+		fmt.Println(exp.SweepString(exp.RunFig5PeriodSweep(nil, *duration)))
+	}
+	if run("fig6") {
+		ran = true
+		d := exp.Fig6Config{Messages: *messages, MaxMsgSize: *maxSize, Seed: *seed, Workload: *wl}
+		if *duration > 0 {
+			d.Timeout = *duration
+		}
+		r := exp.RunFig6(d)
+		fmt.Println(r.String())
+	}
+	if *which == "fig6sweep" {
+		ran = true
+		fmt.Println(exp.LoadSweepString(exp.RunFig6LoadSweep(nil, *messages, *maxSize)))
+	}
+	if run("fig7") {
+		ran = true
+		r := exp.RunFig7(exp.Fig7Config{Duration: *duration, Seed: *seed})
+		fmt.Println(r.String())
+	}
+	if run("ext") {
+		ran = true
+		fmt.Println("Extensions (Section 4 design points, measured):")
+		fmt.Println(exp.ExtensionsSummary())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		flag.Usage()
+		os.Exit(2)
+	}
+	_ = time.Second
+}

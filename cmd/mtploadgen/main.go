@@ -1,0 +1,141 @@
+// Command mtploadgen drives an MTP sink with a configurable message
+// workload over UDP (or an in-process pair with -local) and reports message
+// completion latency percentiles and goodput — a minimal load-testing rig
+// for the transport.
+//
+//	mtploadgen -local -count 2000 -size 16384 -concurrency 16
+//	mtploadgen -sink 127.0.0.1:9999            # run the sink
+//	mtploadgen -target 127.0.0.1:9999 -count 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"time"
+
+	"mtp"
+)
+
+func main() {
+	var (
+		sink        = flag.String("sink", "", "run a sink on this UDP address")
+		target      = flag.String("target", "", "send load to this sink address")
+		local       = flag.Bool("local", false, "run sink and generator in-process over loopback UDP")
+		count       = flag.Int("count", 1000, "messages to send")
+		size        = flag.Int("size", 16384, "message size in bytes")
+		concurrency = flag.Int("concurrency", 8, "concurrent outstanding messages")
+		port        = flag.Uint("port", 7, "MTP service port")
+	)
+	flag.Parse()
+
+	switch {
+	case *sink != "":
+		runSink(*sink, uint16(*port))
+	case *local:
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("listen: %v", err)
+		}
+		node, err := mtp.NewNode(pc, mtp.Config{Port: uint16(*port)})
+		if err != nil {
+			log.Fatalf("sink: %v", err)
+		}
+		defer node.Close()
+		runLoad(node.Addr().String(), uint16(*port), *count, *size, *concurrency)
+	case *target != "":
+		runLoad(*target, uint16(*port), *count, *size, *concurrency)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runSink(addr string, port uint16) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	var received, bytes uint64
+	var mu sync.Mutex
+	node, err := mtp.NewNode(pc, mtp.Config{Port: port, OnMessage: func(m mtp.Message) {
+		mu.Lock()
+		received++
+		bytes += uint64(len(m.Data))
+		mu.Unlock()
+	}})
+	if err != nil {
+		log.Fatalf("node: %v", err)
+	}
+	defer node.Close()
+	log.Printf("mtp sink on %s", node.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	mu.Lock()
+	log.Printf("received %d messages, %d bytes", received, bytes)
+	mu.Unlock()
+}
+
+func runLoad(target string, port uint16, count, size, concurrency int) {
+	pc, err := net.ListenPacket("udp", "0.0.0.0:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	node, err := mtp.NewNode(pc, mtp.Config{Port: 100})
+	if err != nil {
+		log.Fatalf("node: %v", err)
+	}
+	defer node.Close()
+
+	payload := make([]byte, size)
+	lat := make([]time.Duration, 0, count)
+	var mu sync.Mutex
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			out, err := node.Send(target, port, payload)
+			if err != nil {
+				log.Printf("send: %v", err)
+				return
+			}
+			select {
+			case <-out.Done():
+				mu.Lock()
+				lat = append(lat, time.Since(t0))
+				mu.Unlock()
+			case <-time.After(30 * time.Second):
+				log.Printf("message %d timed out", out.ID)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(lat) == 0 {
+		log.Fatal("no messages completed")
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p / 100 * float64(len(lat)-1))
+		return lat[idx]
+	}
+	totalBytes := float64(len(lat)) * float64(size)
+	fmt.Printf("completed %d/%d messages of %d bytes in %v\n", len(lat), count, size, elapsed)
+	fmt.Printf("goodput: %.2f Gbit/s\n", totalBytes*8/elapsed.Seconds()/1e9)
+	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n", pct(50), pct(90), pct(99), lat[len(lat)-1])
+	fmt.Printf("stats: %+v\n", node.Stats())
+}

@@ -1,0 +1,143 @@
+// Command mtpping is an MTP echo server and client over UDP: the smallest
+// possible real-network deployment of the message transport.
+//
+// Server:  mtpping -listen 127.0.0.1:9999
+// Client:  mtpping -connect 127.0.0.1:9999 -count 5 -size 32768
+//
+// The client sends messages of the given size and reports per-message
+// round-trip times measured at message (not packet) granularity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"mtp"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "run an echo server on this UDP address")
+		connect = flag.String("connect", "", "send pings to this server address")
+		count   = flag.Int("count", 5, "number of messages to send")
+		size    = flag.Int("size", 1024, "message size in bytes")
+		port    = flag.Uint("port", 7, "MTP service port")
+		ccAlgo  = flag.String("cc", "dctcp", "congestion control: dctcp, aimd, rcp, swift, dcqcn")
+		doTrace = flag.Bool("trace", false, "dump the protocol event trace at exit (client)")
+	)
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runServer(*listen, uint16(*port), *ccAlgo)
+	case *connect != "":
+		runClient(*connect, uint16(*port), *ccAlgo, *count, *size, *doTrace)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runServer(addr string, port uint16, ccAlgo string) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	var node *mtp.Node
+	node, err = mtp.NewNode(pc, mtp.Config{
+		Port: port,
+		CC:   ccAlgo,
+		OnMessage: func(m mtp.Message) {
+			// Echo the message back at the same priority.
+			if _, err := node.SendPriority(m.From.String(), m.SrcPort, m.Data, m.Priority); err != nil {
+				log.Printf("echo to %s: %v", m.From, err)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("node: %v", err)
+	}
+	defer node.Close()
+	log.Printf("mtp echo server on %s (port %d)", node.Addr(), port)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("stats: %+v", node.Stats())
+}
+
+func runClient(addr string, port uint16, ccAlgo string, count, size int, doTrace bool) {
+	pc, err := net.ListenPacket("udp", "0.0.0.0:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	traceEvents := 0
+	if doTrace {
+		traceEvents = 256
+	}
+	var mu sync.Mutex
+	echoAt := make(map[int]time.Time) // payload tag -> echo time
+	echoed := make(chan int, count)
+	node, err := mtp.NewNode(pc, mtp.Config{
+		Port:        99,
+		CC:          ccAlgo,
+		TraceEvents: traceEvents,
+		OnMessage: func(m mtp.Message) {
+			if len(m.Data) < 4 {
+				return
+			}
+			tag := int(m.Data[0])<<8 | int(m.Data[1])
+			mu.Lock()
+			echoAt[tag] = time.Now()
+			mu.Unlock()
+			echoed <- tag
+		},
+	})
+	if err != nil {
+		log.Fatalf("node: %v", err)
+	}
+	defer node.Close()
+
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(time.Now().UnixNano())).Read(payload)
+	var rtts []time.Duration
+	for i := 0; i < count; i++ {
+		payload[0], payload[1] = byte(i>>8), byte(i)
+		t0 := time.Now()
+		out, err := node.Send(addr, port, payload)
+		if err != nil {
+			log.Fatalf("send: %v", err)
+		}
+		select {
+		case <-out.Done():
+		case <-time.After(10 * time.Second):
+			log.Fatalf("message %d not acknowledged", i)
+		}
+		select {
+		case <-echoed:
+		case <-time.After(10 * time.Second):
+			log.Fatalf("message %d not echoed", i)
+		}
+		mu.Lock()
+		rtt := echoAt[i].Sub(t0)
+		mu.Unlock()
+		rtts = append(rtts, rtt)
+		fmt.Printf("msg %d: %d bytes echoed in %v\n", i, size, rtt)
+	}
+	var total time.Duration
+	for _, r := range rtts {
+		total += r
+	}
+	fmt.Printf("avg message RTT: %v over %d messages\n", total/time.Duration(len(rtts)), len(rtts))
+	fmt.Printf("client stats: %+v\n", node.Stats())
+	if doTrace {
+		fmt.Print(node.TraceDump())
+	}
+}

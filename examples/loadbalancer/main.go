@@ -1,0 +1,32 @@
+// Load balancer comparison: the Figure 6 scenario. One sender streams a
+// skewed mix of message sizes to a receiver over two parallel 100 Gbps
+// paths; the experiment compares ECMP hashing, per-packet spraying, and the
+// MTP message-aware balancer on tail flow completion time.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mtp/internal/exp"
+)
+
+func main() {
+	messages := flag.Int("messages", 300, "number of messages")
+	maxSize := flag.Int("maxsize", 16<<20, "largest message size in bytes")
+	flag.Parse()
+
+	fmt.Println("Running the Figure 6 load-balancing comparison...")
+	r := exp.RunFig6(exp.Fig6Config{Messages: *messages, MaxMsgSize: *maxSize})
+	fmt.Print(r.String())
+	fmt.Println(`
+Reading the table:
+  - ECMP hashes each message onto one path: two elephants can collide while
+    the other path idles, so the tail (p99) inflates with queueing delay.
+  - Spraying balances bytes perfectly but splits messages across paths with
+    different delays; the receiver sees reordering inside a message, which
+    the transport treats as loss (retx column) and tails explode.
+  - The MTP-aware balancer sees each message's size in every packet header
+    and assigns whole messages to the path that finishes them soonest:
+    near-perfect balance with zero reordering.`)
+}

@@ -1,0 +1,3 @@
+module mtp
+
+go 1.22

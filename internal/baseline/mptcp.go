@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/sim"
+	"mtp/internal/simnet"
+)
+
+// MPTCP is a simplified multipath TCP model: one byte stream striped over N
+// subflows, each an independent sequence space with its own congestion
+// window (per-subflow windows are what give MPTCP its multi-resource
+// congestion control in Table 1). Segments carry their global stream offset
+// so the receiver can merge subflows; a subflow's losses are recovered on
+// that subflow.
+//
+// The model deliberately omits LIA-style window coupling: coupling only
+// matters for bottleneck fairness between MPTCP and single-path flows,
+// which none of the probes measure. What the probes do measure — stream
+// semantics per subflow (mutation still breaks), receiver-side merge
+// buffering, per-path window sizing, and the failure mode when the network
+// (not the host) picks paths — all hold with or without coupling.
+type MPTCP struct {
+	subflows []*Sender
+	total    int64
+	next     int64 // next global offset to assign
+	closed   bool
+}
+
+// MPTCPConfig parameterizes the sender side.
+type MPTCPConfig struct {
+	// Conns are the subflow connection IDs (one subflow each). FlowID
+	// equals the conn ID, so ECMP pins each subflow to a path.
+	Conns []uint64
+	// Dst is the destination node.
+	Dst simnet.NodeID
+	// MSS, CC, CCConfig, RTO, Tenant as in SenderConfig.
+	MSS      int
+	CC       cc.Kind
+	CCConfig cc.Config
+	RTO      time.Duration
+	Tenant   int
+}
+
+// globalSegment rides in Segment.GlobalSeq (added field) — see Segment.
+
+// NewMPTCP builds a multipath sender whose subflows emit through emit.
+func NewMPTCP(eng *sim.Engine, emit func(*simnet.Packet), cfg MPTCPConfig) *MPTCP {
+	if len(cfg.Conns) == 0 {
+		panic("baseline: MPTCP needs subflows")
+	}
+	m := &MPTCP{}
+	for _, conn := range cfg.Conns {
+		s := NewSender(eng, emit, SenderConfig{
+			Conn: conn, Dst: cfg.Dst, MSS: cfg.MSS, CC: cfg.CC, CCConfig: cfg.CCConfig,
+			RTO: cfg.RTO, Tenant: cfg.Tenant, SkipHandshake: true,
+			// Re-stripe whenever a subflow's window opens.
+			OnAcked: func(time.Duration, int64) { m.pump() },
+		})
+		m.subflows = append(m.subflows, s)
+	}
+	return m
+}
+
+// Subflows exposes the per-path senders (tests inspect their windows).
+func (m *MPTCP) Subflows() []*Sender { return m.subflows }
+
+// Write appends n bytes to the stream and stripes them across subflows.
+func (m *MPTCP) Write(n int) {
+	m.total += int64(n)
+	m.pump()
+}
+
+// pump assigns unscheduled stream bytes to the subflow with the most free
+// window, in MSS chunks, recording each chunk's global offset.
+func (m *MPTCP) pump() {
+	for m.next < m.total {
+		best := -1
+		var bestFree float64
+		for i, s := range m.subflows {
+			free := s.Algo().Window() - float64(s.Outstanding()) - float64(s.total-s.sndNxt)
+			if best == -1 || free > bestFree {
+				best, bestFree = i, free
+			}
+		}
+		s := m.subflows[best]
+		chunk := int64(s.cfg.MSS)
+		if m.total-m.next < chunk {
+			chunk = m.total - m.next
+		}
+		// Record the mapping: this subflow's local offset [total, total+chunk)
+		// carries global [next, next+chunk).
+		s.noteGlobal(s.total, m.next)
+		s.Write(int(chunk))
+		m.next += chunk
+		// Stop once every subflow is saturated well past its window, so a
+		// huge stream does not pre-assign everything to the first subflow.
+		allFull := true
+		for _, sf := range m.subflows {
+			if float64(sf.total-sf.sndUna) < 2*sf.Algo().Window() {
+				allFull = false
+				break
+			}
+		}
+		if allFull {
+			break
+		}
+	}
+}
+
+// Pump re-runs striping (call from ack hooks or timers when windows open).
+func (m *MPTCP) Pump() { m.pump() }
+
+// Acked returns total stream bytes acknowledged across subflows.
+func (m *MPTCP) Acked() int64 {
+	var t int64
+	for _, s := range m.subflows {
+		t += s.Acked()
+	}
+	return t
+}
+
+// MPTCPReceiver merges the subflow streams back into the global stream and
+// tracks the contiguous prefix plus the out-of-order merge buffer (the
+// receiver-side buffering cost the paper's Table 1 charges MPTCP with).
+type MPTCPReceiver struct {
+	subflows map[uint64]*subRecv
+	// delivered global ranges pending merge, keyed by global offset.
+	pending map[int64]int64
+	// contiguous is the merged in-order prefix length.
+	contiguous int64
+	// MaxPending tracks the peak merge-buffer occupancy in bytes.
+	MaxPending int64
+
+	// OnProgress fires when the contiguous prefix advances.
+	OnProgress func(now time.Duration, contiguous int64)
+}
+
+// subRecv pairs a subflow receiver with its local→global segment map and
+// merge cursor.
+type subRecv struct {
+	r *Receiver
+	// segs maps a segment's local offset to (global offset, length) as
+	// learned from arriving headers (including out-of-order arrivals).
+	segs map[int64]mergeSeg
+	// mergedLocal is the local offset up to which segments were merged.
+	mergedLocal int64
+}
+
+type mergeSeg struct {
+	global int64
+	n      int64
+}
+
+// NewMPTCPReceiver builds the receiving half. Subflow receivers ack through
+// emit toward src.
+func NewMPTCPReceiver(eng *sim.Engine, emit func(*simnet.Packet), src simnet.NodeID, conns []uint64, tenant int) *MPTCPReceiver {
+	r := &MPTCPReceiver{subflows: make(map[uint64]*subRecv), pending: make(map[int64]int64)}
+	for _, conn := range conns {
+		sub := NewReceiver(eng, emit, ReceiverConfig{Conn: conn, Src: src, Tenant: tenant})
+		r.subflows[conn] = &subRecv{r: sub, segs: make(map[int64]mergeSeg)}
+	}
+	return r
+}
+
+// OnPacket dispatches a packet to its subflow and merges every segment the
+// subflow has delivered in order so far (including segments that arrived
+// out of order earlier and just became contiguous).
+func (r *MPTCPReceiver) OnPacket(pkt *simnet.Packet) {
+	seg, ok := pkt.Payload.(*Segment)
+	if !ok {
+		return
+	}
+	sub := r.subflows[seg.Conn]
+	if sub == nil {
+		return
+	}
+	// Learn the local→global mapping from the header before processing, so
+	// out-of-order segments can be merged once the hole fills.
+	if !seg.Ack && seg.Len > 0 && seg.GlobalSeq >= 0 {
+		sub.segs[seg.Seq] = mergeSeg{global: seg.GlobalSeq, n: int64(seg.Len)}
+	}
+	sub.r.OnPacket(pkt)
+	// Merge every mapped segment now covered by the subflow's in-order
+	// prefix.
+	for {
+		ms, ok := sub.segs[sub.mergedLocal]
+		if !ok || sub.mergedLocal+ms.n > sub.r.rcvNxt {
+			break
+		}
+		delete(sub.segs, sub.mergedLocal)
+		sub.mergedLocal += ms.n
+		r.merge(ms.global, ms.n)
+	}
+}
+
+func (r *MPTCPReceiver) merge(global, n int64) {
+	if global+n <= r.contiguous {
+		return // duplicate
+	}
+	if old, ok := r.pending[global]; !ok || n > old {
+		r.pending[global] = n
+	}
+	// Advance the contiguous prefix.
+	for {
+		n, ok := r.pending[r.contiguous]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.contiguous)
+		r.contiguous += n
+	}
+	var buf int64
+	for _, n := range r.pending {
+		buf += n
+	}
+	if buf > r.MaxPending {
+		r.MaxPending = buf
+	}
+	if r.OnProgress != nil {
+		r.OnProgress(0, r.contiguous)
+	}
+}
+
+// Contiguous returns the merged in-order stream length.
+func (r *MPTCPReceiver) Contiguous() int64 { return r.contiguous }
+
+// Subflow returns a subflow receiver by conn ID.
+func (r *MPTCPReceiver) Subflow(conn uint64) *Receiver {
+	if s := r.subflows[conn]; s != nil {
+		return s.r
+	}
+	return nil
+}

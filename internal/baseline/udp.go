@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"time"
+
+	"mtp/internal/sim"
+	"mtp/internal/simnet"
+)
+
+// Datagram is the payload of the UDP-model transport: fire-and-forget, no
+// acknowledgements, no congestion control. Used by the Table 1 probes —
+// UDP gets mutation and message independence for free, but cannot adapt to
+// any congestion signal.
+type Datagram struct {
+	Flow uint64
+	Seq  uint64
+	Len  int
+}
+
+// UDPSender blasts fixed-size datagrams at a constant rate.
+type UDPSender struct {
+	eng  *sim.Engine
+	emit func(*simnet.Packet)
+
+	Flow   uint64
+	Dst    simnet.NodeID
+	Size   int
+	Rate   float64 // bits per second of offered load
+	Tenant int
+
+	seq     uint64
+	stopped bool
+
+	Sent uint64
+}
+
+// NewUDPSender builds a constant-bit-rate datagram source.
+func NewUDPSender(eng *sim.Engine, emit func(*simnet.Packet), flow uint64, dst simnet.NodeID, size int, rateBps float64) *UDPSender {
+	if size <= 0 || rateBps <= 0 {
+		panic("baseline: invalid UDP sender parameters")
+	}
+	return &UDPSender{eng: eng, emit: emit, Flow: flow, Dst: dst, Size: size, Rate: rateBps}
+}
+
+// Start begins transmission.
+func (u *UDPSender) Start() {
+	u.stopped = false
+	u.tick()
+}
+
+// Stop halts transmission after the next pending tick.
+func (u *UDPSender) Stop() { u.stopped = true }
+
+func (u *UDPSender) tick() {
+	if u.stopped {
+		return
+	}
+	u.Sent++
+	u.emit(&simnet.Packet{
+		Dst:     u.Dst,
+		Size:    u.Size + headerBytes,
+		Payload: &Datagram{Flow: u.Flow, Seq: u.seq, Len: u.Size},
+		Tenant:  u.Tenant,
+		FlowID:  u.Flow,
+	})
+	u.seq++
+	gap := time.Duration(float64(u.Size+headerBytes) * 8 / u.Rate * float64(time.Second))
+	u.eng.Schedule(gap, u.tick)
+}
+
+// UDPReceiver counts arriving datagrams and detects sequence gaps.
+type UDPReceiver struct {
+	Flow uint64
+
+	Received uint64
+	Bytes    uint64
+	Gaps     uint64
+	nextSeq  uint64
+	OnData   func(now time.Duration, d *Datagram)
+
+	eng *sim.Engine
+}
+
+// NewUDPReceiver builds a counter for one flow.
+func NewUDPReceiver(eng *sim.Engine, flow uint64) *UDPReceiver {
+	return &UDPReceiver{Flow: flow, eng: eng}
+}
+
+// OnPacket consumes one packet (install via a host handler or Demux-like
+// dispatch).
+func (u *UDPReceiver) OnPacket(pkt *simnet.Packet) {
+	d, ok := pkt.Payload.(*Datagram)
+	if !ok || d.Flow != u.Flow {
+		return
+	}
+	u.Received++
+	u.Bytes += uint64(d.Len)
+	if d.Seq != u.nextSeq {
+		u.Gaps++
+	}
+	u.nextSeq = d.Seq + 1
+	if u.OnData != nil {
+		u.OnData(u.eng.Now(), d)
+	}
+}

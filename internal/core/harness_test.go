@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"mtp/internal/sim"
+	"mtp/internal/wire"
+)
+
+// testWorld wires endpoints together through an in-memory network with
+// per-direction delay and programmable loss/mutation, driven by the
+// discrete-event engine. It is the unit-test substitute for simnet.
+type testWorld struct {
+	eng   *sim.Engine
+	peers map[string]*testEnv
+}
+
+type testEnv struct {
+	world *testWorld
+	name  string
+	ep    *Endpoint
+
+	delay time.Duration
+	timer *sim.Timer
+
+	// drop decides whether an outgoing packet is lost; nil keeps all.
+	drop func(pkt *Outbound) bool
+	// trim decides whether an outgoing data packet loses its payload in the
+	// network (NDP-style) instead of being dropped.
+	trim func(pkt *Outbound) bool
+	// mutate can rewrite an outgoing packet in flight (offload model).
+	mutate func(pkt *Outbound)
+	// stampECN, when non-nil, appends pathlet ECN feedback with the given
+	// mark decision to outgoing data packets.
+	stampECN func(pkt *Outbound) (wire.PathTC, bool, bool)
+
+	sent uint64
+}
+
+func newWorld(seed int64) *testWorld {
+	return &testWorld{eng: sim.NewEngine(seed), peers: make(map[string]*testEnv)}
+}
+
+func (w *testWorld) env(name string, delay time.Duration) *testEnv {
+	te := &testEnv{world: w, name: name, delay: delay}
+	w.peers[name] = te
+	return te
+}
+
+// Now implements Env.
+func (te *testEnv) Now() time.Duration { return te.world.eng.Now() }
+
+// Output implements Env.
+func (te *testEnv) Output(pkt *Outbound) {
+	te.sent++
+	if te.drop != nil && te.drop(pkt) {
+		return
+	}
+	if te.mutate != nil {
+		te.mutate(pkt)
+	}
+	if te.stampECN != nil && pkt.Hdr.Type == wire.TypeData {
+		if p, marked, ok := te.stampECN(pkt); ok {
+			pkt.Hdr.AddPathFeedback(wire.ECNFeedback(p, marked))
+		}
+	}
+	dst := pkt.Dst.(string)
+	peer := te.world.peers[dst]
+	if peer == nil {
+		return
+	}
+	in := &Inbound{From: te.name, Hdr: pkt.Hdr.Clone(), Data: append([]byte(nil), pkt.Data...)}
+	if pkt.Data == nil {
+		in.Data = nil
+	}
+	if te.trim != nil && pkt.Hdr.Type == wire.TypeData && te.trim(pkt) {
+		in.Data = nil
+		in.Trimmed = true
+	}
+	te.world.eng.Schedule(te.delay, func() {
+		if peer.ep != nil {
+			peer.ep.OnPacket(in)
+		}
+	})
+}
+
+// SetTimer implements Env.
+func (te *testEnv) SetTimer(at time.Duration) {
+	if te.timer != nil {
+		te.timer.Stop()
+	}
+	if at <= 0 {
+		return
+	}
+	d := at - te.world.eng.Now()
+	te.timer = te.world.eng.Schedule(d, func() {
+		if te.ep != nil {
+			te.ep.OnTimer(te.world.eng.Now())
+		}
+	})
+}
+
+// pair builds a connected endpoint pair (a at "a", b at "b").
+func pair(seed int64, delay time.Duration, cfgA, cfgB Config) (*testWorld, *Endpoint, *Endpoint, *testEnv, *testEnv) {
+	w := newWorld(seed)
+	ea := w.env("a", delay)
+	eb := w.env("b", delay)
+	a := NewEndpoint(ea, cfgA)
+	b := NewEndpoint(eb, cfgB)
+	ea.ep = a
+	eb.ep = b
+	return w, a, b, ea, eb
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"time"
+
+	"mtp/internal/trace"
+	"mtp/internal/wire"
+)
+
+// OnPacket feeds one arriving packet into the endpoint.
+func (e *Endpoint) OnPacket(in *Inbound) {
+	if in == nil || in.Hdr == nil {
+		return
+	}
+	switch in.Hdr.Type {
+	case wire.TypeData:
+		e.onDataPacket(in)
+	case wire.TypeAck, wire.TypeNack:
+		e.onAckPacket(in)
+	case wire.TypeControl:
+		// Control packets carry only feedback lists.
+		e.onAckPacket(in)
+	}
+}
+
+// onDataPacket runs the receiver side: reassembly, SACK/NACK generation,
+// feedback echo, delivery.
+func (e *Endpoint) onDataPacket(in *Inbound) {
+	now := e.env.Now()
+	hdr := in.Hdr
+	e.Stats.PktsReceived++
+	key := inKey{from: in.From, srcPort: hdr.SrcPort, msgID: hdr.MsgID}
+	batch := e.batchFor(in.From, hdr)
+
+	if _, done := e.doneSet[key]; done {
+		// Retransmission of an already-delivered message: re-ack so the
+		// sender can finish, but do not deliver twice.
+		e.Stats.PktsDuplicate++
+		batch.sack = append(batch.sack, wire.PacketRef{MsgID: hdr.MsgID, PktNum: hdr.PktNum})
+		e.mergeFeedback(batch, hdr.PathFeedback)
+		e.maybeFlush(in.From, batch)
+		return
+	}
+
+	if in.Trimmed {
+		// NDP-style trimmed packet: the header survived, the payload did
+		// not. NACK immediately for fast retransmission.
+		if !e.cfg.DisableNack {
+			batch.nack = append(batch.nack, wire.PacketRef{MsgID: hdr.MsgID, PktNum: hdr.PktNum})
+			e.Stats.NacksSent++
+		}
+		e.mergeFeedback(batch, hdr.PathFeedback)
+		e.flush(in.From, batch)
+		return
+	}
+
+	f := e.inflows[key]
+	if f == nil {
+		npkts := int(hdr.MsgPkts)
+		if npkts <= 0 {
+			npkts = 1
+		}
+		f = &inMsg{
+			key:      key,
+			got:      make([]bool, npkts),
+			nacked:   make(map[uint32]time.Duration),
+			gapSince: make(map[uint32]time.Duration),
+		}
+		e.inflows[key] = f
+	}
+	f.hdr = *hdr
+	f.lastSeen = now
+
+	// Mutation tolerance: an in-network device may rewrite the message
+	// length (compression, serialization). Headers within one message are
+	// rewritten consistently because devices process messages atomically,
+	// but a resize can still be observed mid-reassembly if the first packets
+	// predate the mutation; grow the bitmap as needed.
+	if int(hdr.MsgPkts) > len(f.got) {
+		grown := make([]bool, hdr.MsgPkts)
+		copy(grown, f.got)
+		f.got = grown
+	}
+
+	pn := int(hdr.PktNum)
+	if pn >= len(f.got) {
+		// Malformed or stale-header packet; ignore beyond acking.
+		batch.sack = append(batch.sack, wire.PacketRef{MsgID: hdr.MsgID, PktNum: hdr.PktNum})
+		e.mergeFeedback(batch, hdr.PathFeedback)
+		e.maybeFlush(in.From, batch)
+		return
+	}
+
+	if f.got[pn] {
+		e.Stats.PktsDuplicate++
+		e.trace(trace.KindDupData, hdr.MsgID, hdr.PktNum, uint64(hdr.PktLen), 0)
+	} else {
+		e.trace(trace.KindRecvData, hdr.MsgID, hdr.PktNum, uint64(hdr.PktLen), 0)
+		f.got[pn] = true
+		delete(f.gapSince, uint32(pn))
+		f.gotPkts++
+		f.bytes += int(hdr.PktLen)
+		e.Stats.PayloadBytes += uint64(hdr.PktLen)
+		if in.Data != nil {
+			need := int(hdr.MsgBytes)
+			if len(f.data) < need {
+				grown := make([]byte, need)
+				copy(grown, f.data)
+				f.data = grown
+			}
+			copy(f.data[hdr.PktOffset:], in.Data)
+		} else {
+			f.synthtic = true
+		}
+	}
+
+	batch.sack = append(batch.sack, wire.PacketRef{MsgID: hdr.MsgID, PktNum: hdr.PktNum})
+	e.mergeFeedback(batch, hdr.PathFeedback)
+
+	// Gap NACKs: the network forwards each message atomically (no
+	// intra-message reordering), so a hole below the highest received
+	// packet number means loss on the message's path. Under policies that
+	// violate atomicity (packet spraying) this generates spurious
+	// retransmissions — the reordering penalty the paper describes.
+	if !e.cfg.DisableNack {
+		for i := 0; i < pn; i++ {
+			if !f.got[i] {
+				if _, seen := f.gapSince[uint32(i)]; !seen {
+					f.gapSince[uint32(i)] = now
+				}
+			}
+		}
+		e.collectNacks(now, f, batch)
+	}
+
+	// Delivery on completion.
+	if f.gotPkts == len(f.got) {
+		delete(e.inflows, key)
+		e.rememberDone(key)
+		e.Stats.MsgsDelivered++
+		e.trace(trace.KindDeliver, hdr.MsgID, 0, uint64(f.bytes), 0)
+		msg := &InMessage{
+			From:     in.From,
+			SrcPort:  hdr.SrcPort,
+			DstPort:  hdr.DstPort,
+			MsgID:    hdr.MsgID,
+			Pri:      hdr.MsgPri,
+			TC:       hdr.TC,
+			Size:     f.bytes,
+			Complete: now,
+		}
+		if !f.synthtic {
+			msg.Data = f.data[:f.bytes]
+		}
+		if e.cfg.OnMessage != nil {
+			e.cfg.OnMessage(msg)
+		}
+		// Completion always flushes so the sender learns promptly.
+		e.flush(in.From, batch)
+		return
+	}
+	e.maybeFlush(in.From, batch)
+}
+
+// collectNacks emits NACKs for holes that have stayed open past NackDelay
+// and arms a timer for holes that are not ripe yet.
+func (e *Endpoint) collectNacks(now time.Duration, f *inMsg, batch *ackBatch) {
+	for pkt, first := range f.gapSince {
+		if int(pkt) < len(f.got) && f.got[pkt] {
+			delete(f.gapSince, pkt)
+			continue
+		}
+		if now-first < e.cfg.NackDelay {
+			e.setTimer(first + e.cfg.NackDelay)
+			continue
+		}
+		if t, ok := f.nacked[pkt]; ok && now-t < e.cfg.RTO/2 {
+			continue
+		}
+		f.nacked[pkt] = now
+		batch.nack = append(batch.nack, wire.PacketRef{MsgID: f.key.msgID, PktNum: pkt})
+		e.Stats.NacksSent++
+		e.trace(trace.KindNackOut, f.key.msgID, pkt, 0, 0)
+	}
+}
+
+// batchFor returns the pending ack batch toward a peer, creating it with the
+// port pair derived from the data packet.
+func (e *Endpoint) batchFor(from Addr, hdr *wire.Header) *ackBatch {
+	b := e.pendingAcks[from]
+	if b == nil {
+		b = &ackBatch{srcPort: hdr.SrcPort, dstPort: hdr.DstPort}
+		e.pendingAcks[from] = b
+	}
+	return b
+}
+
+// mergeFeedback folds the data packet's forward feedback into the batch,
+// newest value winning per (pathlet, TC, type). When a feedback budget is
+// configured, the oldest entries are evicted so the echoed list stays small
+// (selective feedback return, Section 4).
+func (e *Endpoint) mergeFeedback(b *ackBatch, fb []wire.Feedback) {
+	for _, f := range fb {
+		replaced := false
+		for i, old := range b.feedback {
+			if old.Path == f.Path && old.Type == f.Type {
+				// Move to the back: freshest entries survive eviction.
+				copy(b.feedback[i:], b.feedback[i+1:])
+				b.feedback[len(b.feedback)-1] = f
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			b.feedback = append(b.feedback, f)
+		}
+	}
+	if e.cfg.FeedbackBudget > 0 && len(b.feedback) > e.cfg.FeedbackBudget {
+		drop := len(b.feedback) - e.cfg.FeedbackBudget
+		b.feedback = append(b.feedback[:0], b.feedback[drop:]...)
+	}
+}
+
+// maybeFlush sends the batch once it covers AckEvery data packets; otherwise
+// it arms a short delayed-ack timer.
+func (e *Endpoint) maybeFlush(to Addr, b *ackBatch) {
+	if len(b.sack)+len(b.nack) >= e.cfg.AckEvery || len(b.nack) > 0 {
+		e.flush(to, b)
+		return
+	}
+	if len(b.sack) > 0 {
+		e.setTimer(e.env.Now() + e.cfg.RTO/4)
+	}
+}
+
+// flush emits one ACK packet carrying the batch.
+func (e *Endpoint) flush(to Addr, b *ackBatch) {
+	if len(b.sack) == 0 && len(b.nack) == 0 && len(b.feedback) == 0 {
+		return
+	}
+	hdr := &wire.Header{
+		Type:            wire.TypeAck,
+		SrcPort:         b.dstPort,
+		DstPort:         b.srcPort,
+		AckPathFeedback: b.feedback,
+		SACK:            b.sack,
+		NACK:            b.nack,
+	}
+	e.Stats.AcksSent++
+	e.trace(trace.KindSendAck, 0, 0, uint64(len(b.sack)), uint64(len(b.nack)))
+	e.env.Output(&Outbound{
+		Dst:  to,
+		Hdr:  hdr,
+		Size: hdr.EncodedLen() + e.cfg.HeaderOverhead,
+	})
+	delete(e.pendingAcks, to)
+}
+
+// flushAllAcks drains every pending batch (delayed-ack timer path).
+func (e *Endpoint) flushAllAcks() {
+	for to, b := range e.pendingAcks {
+		e.flush(to, b)
+	}
+}

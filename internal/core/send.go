@@ -1,0 +1,292 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"mtp/internal/trace"
+	"mtp/internal/wire"
+)
+
+// trySend transmits as many packets as the current pathlet's window and
+// pacing allow, preferring retransmissions, then higher-priority messages,
+// then arrival order.
+func (e *Endpoint) trySend() {
+	now := e.env.Now()
+	for {
+		m, idx, isRtx := e.nextPacket()
+		if m == nil {
+			return
+		}
+		st := e.table.Current()
+		length := int(m.pkts[idx].length)
+		// Retransmissions bypass window admission: their bytes are already
+		// attributed in flight (the lost copies), so blocking them on the
+		// window they themselves occupy would deadlock recovery.
+		if !isRtx && !st.CanSend(length) {
+			// Window-limited on the current pathlet. Progress resumes when
+			// acks arrive; arm the RTO backstop below.
+			break
+		}
+		// Rate pacing when the current pathlet's algorithm is rate-based.
+		if bps, ok := st.Algo.Rate(); ok && bps > 0 {
+			if now < e.nextSendAt {
+				e.setTimer(e.nextSendAt)
+				return
+			}
+			interval := time.Duration(float64(length+e.cfg.HeaderOverhead) * 8 / bps * float64(time.Second))
+			if e.nextSendAt < now {
+				e.nextSendAt = now
+			}
+			e.nextSendAt += interval
+		}
+		e.transmit(m, idx, isRtx, st.Path)
+	}
+	// Blocked with work outstanding: make sure some timer is armed so the
+	// endpoint cannot deadlock if every in-flight packet is lost.
+	if e.timerAt == 0 || e.timerAt <= now {
+		e.setTimer(now + e.cfg.RTO)
+	}
+}
+
+// nextPacket picks the next packet to send: any pending retransmission
+// first (oldest message first), otherwise the first unsent packet of the
+// best (priority, arrival) message.
+func (e *Endpoint) nextPacket() (*OutMessage, int, bool) {
+	var best *OutMessage
+	for _, m := range e.active {
+		// Drop retransmission entries that were acknowledged after being
+		// queued — resending them would leak in-flight accounting.
+		for len(m.rtxQueue) > 0 && m.pkts[m.rtxQueue[0]].acked {
+			m.pkts[m.rtxQueue[0]].inRtx = false
+			m.rtxQueue = m.rtxQueue[1:]
+		}
+		if len(m.rtxQueue) > 0 {
+			return m, m.rtxQueue[0], true
+		}
+		if m.nextNew < len(m.pkts) {
+			if best == nil || m.Pri > best.Pri {
+				best = m
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	return best, best.nextNew, false
+}
+
+// transmit emits one data packet and updates send state.
+func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC) {
+	p := &m.pkts[idx]
+	hdr := &wire.Header{
+		Type:        wire.TypeData,
+		SrcPort:     e.cfg.LocalPort,
+		DstPort:     m.DstPort,
+		MsgID:       m.ID,
+		MsgPri:      m.Pri,
+		TC:          m.TC,
+		MsgBytes:    uint32(m.Size),
+		MsgPkts:     uint32(len(m.pkts)),
+		PktNum:      uint32(idx),
+		PktOffset:   p.offset,
+		PktLen:      p.length,
+		PathExclude: e.table.ExcludeList(),
+	}
+	var data []byte
+	if m.data != nil {
+		data = m.data[p.offset : int(p.offset)+int(p.length)]
+	}
+	now := e.env.Now()
+	if isRtx {
+		m.rtxQueue = m.rtxQueue[1:]
+		p.inRtx = false
+		p.retxPkt = true
+		p.rtxs++
+		e.Stats.PktsRetx++
+	} else {
+		m.nextNew = idx + 1
+	}
+	if p.sent && !p.acked {
+		// Re-transmission of a packet still counted in flight: release the
+		// old attribution before re-attributing.
+		e.table.RemoveInflight(p.path, int(p.length))
+	}
+	p.sent = true
+	p.sentAt = now
+	p.path = path
+	e.table.AddInflight(path, int(p.length))
+	e.Stats.PktsSent++
+	if isRtx {
+		e.trace(trace.KindRetransmit, m.ID, uint32(idx), uint64(p.length), uint64(path.PathID))
+	} else {
+		e.trace(trace.KindSendData, m.ID, uint32(idx), uint64(p.length), uint64(path.PathID))
+	}
+
+	e.env.Output(&Outbound{
+		Dst:  m.Dst,
+		Hdr:  hdr,
+		Data: data,
+		Size: hdr.EncodedLen() + e.cfg.HeaderOverhead + int(p.length),
+	})
+	e.setTimer(now + e.cfg.RTO)
+}
+
+// onAckPacket processes an arriving ACK/NACK packet at the sender.
+func (e *Endpoint) onAckPacket(in *Inbound) {
+	now := e.env.Now()
+	hdr := in.Hdr
+	e.Stats.AcksReceived++
+	e.Stats.NacksReceived += uint64(len(hdr.NACK))
+	e.trace(trace.KindRecvAck, 0, 0, uint64(len(hdr.SACK)), uint64(len(hdr.NACK)))
+
+	ackedBytes := 0
+	var rttSample time.Duration
+	var completed []*OutMessage
+
+	for _, ref := range hdr.SACK {
+		m := e.byID[ref.MsgID]
+		if m == nil || int(ref.PktNum) >= len(m.pkts) {
+			continue
+		}
+		p := &m.pkts[ref.PktNum]
+		if p.acked || !p.sent {
+			continue
+		}
+		p.acked = true
+		m.ackedPkts++
+		ackedBytes += int(p.length)
+		e.table.RemoveInflight(p.path, int(p.length))
+		if !p.retxPkt {
+			s := now - p.sentAt
+			if s > rttSample {
+				rttSample = s
+			}
+		}
+		if m.ackedPkts == len(m.pkts) {
+			m.done = true
+			completed = append(completed, m)
+		}
+	}
+
+	// Feed pathlet congestion control with the echoed network feedback.
+	if ackedBytes > 0 || len(hdr.AckPathFeedback) > 0 {
+		e.table.OnAck(now, hdr.AckPathFeedback, ackedBytes, rttSample)
+	}
+	if e.excluder != nil {
+		e.excluder.observe(e, now, hdr.AckPathFeedback)
+	}
+
+	// NACKed packets are retransmitted immediately and count as congestion
+	// on the pathlet they were sent over.
+	lossPaths := make(map[wire.PathTC]bool)
+	for _, ref := range hdr.NACK {
+		m := e.byID[ref.MsgID]
+		if m == nil || int(ref.PktNum) >= len(m.pkts) {
+			continue
+		}
+		p := &m.pkts[ref.PktNum]
+		if p.acked || !p.sent || p.inRtx {
+			continue
+		}
+		p.inRtx = true
+		m.rtxQueue = append(m.rtxQueue, int(ref.PktNum))
+		if !lossPaths[p.path] {
+			lossPaths[p.path] = true
+			e.table.OnLoss(now, p.path)
+		}
+	}
+
+	if len(completed) > 0 {
+		e.removeCompleted()
+		for _, m := range completed {
+			e.Stats.MsgsCompleted++
+			e.trace(trace.KindComplete, m.ID, 0, uint64(m.Size), 0)
+			if e.cfg.OnMessageSent != nil {
+				e.cfg.OnMessageSent(m)
+			}
+		}
+	}
+	e.trySend()
+}
+
+func (e *Endpoint) removeCompleted() {
+	kept := e.active[:0]
+	for _, m := range e.active {
+		if !m.done {
+			kept = append(kept, m)
+		} else {
+			delete(e.byID, m.ID)
+		}
+	}
+	// Clear the tail so completed messages can be collected.
+	for i := len(kept); i < len(e.active); i++ {
+		e.active[i] = nil
+	}
+	e.active = kept
+}
+
+// OnTimer drives time-based work: retransmission timeouts, delayed-ack
+// flushes, receive-side garbage collection, and paced sends.
+func (e *Endpoint) OnTimer(now time.Duration) {
+	e.timerAt = 0
+
+	// Retransmission timeouts.
+	var next time.Duration
+	lossPaths := make(map[wire.PathTC]bool)
+	for _, m := range e.active {
+		for i := range m.pkts {
+			p := &m.pkts[i]
+			if !p.sent || p.acked || p.inRtx {
+				continue
+			}
+			deadline := p.sentAt + e.cfg.RTO
+			if deadline <= now {
+				p.inRtx = true
+				m.rtxQueue = append(m.rtxQueue, i)
+				e.Stats.Timeouts++
+				e.trace(trace.KindTimeout, m.ID, uint32(i), 0, 0)
+				if !lossPaths[p.path] {
+					lossPaths[p.path] = true
+					e.table.OnLoss(now, p.path)
+				}
+			} else if next == 0 || deadline < next {
+				next = deadline
+			}
+		}
+		// Keep retransmissions in packet order for cache-friendly receive.
+		if len(m.rtxQueue) > 1 {
+			sort.Ints(m.rtxQueue)
+		}
+	}
+
+	// Emit NACKs whose reordering-tolerance delay has expired.
+	if !e.cfg.DisableNack {
+		for _, f := range e.inflows {
+			if len(f.gapSince) == 0 {
+				continue
+			}
+			b := e.pendingAcks[f.key.from]
+			if b == nil {
+				b = &ackBatch{srcPort: f.hdr.SrcPort, dstPort: f.hdr.DstPort}
+				e.pendingAcks[f.key.from] = b
+			}
+			e.collectNacks(now, f, b)
+		}
+	}
+
+	// Flush any batched acks that waited past the delayed-ack horizon.
+	e.flushAllAcks()
+
+	// Receive-side GC of stale partial messages.
+	for k, f := range e.inflows {
+		if now-f.lastSeen > e.cfg.ReceiveTimeout {
+			delete(e.inflows, k)
+		}
+	}
+
+	e.trySend()
+	if next != 0 {
+		e.setTimer(next)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mtp/internal/trace"
+	"mtp/internal/wire"
+)
+
+// TestTraceRecordsProtocolEvents: a lossy transfer produces the full event
+// vocabulary — sends, receives, acks, NACKs, retransmissions, delivery and
+// completion.
+func TestTraceRecordsProtocolEvents(t *testing.T) {
+	sndRing := trace.NewRing(4096)
+	rcvRing := trace.NewRing(4096)
+	var got []*InMessage
+	w, a, _, ea, _ := pair(51, us(5),
+		Config{LocalPort: 1, MSS: 1000, RTO: time.Millisecond, Trace: sndRing},
+		Config{LocalPort: 2, Trace: rcvRing, OnMessage: func(m *InMessage) { got = append(got, m) }},
+	)
+	n := 0
+	ea.drop = func(pkt *Outbound) bool {
+		if pkt.Hdr.Type != wire.TypeData {
+			return false
+		}
+		n++
+		return n%9 == 4 && pkt.Hdr.PktNum != pkt.Hdr.MsgPkts-1
+	}
+	a.SendSynthetic("b", 2, 30*1000, SendOptions{})
+	w.eng.Run(100 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+
+	sc := sndRing.Counts()
+	if sc[trace.KindSendData] == 0 || sc[trace.KindRetransmit] == 0 ||
+		sc[trace.KindRecvAck] == 0 || sc[trace.KindComplete] != 1 {
+		t.Fatalf("sender counts = %v", sc)
+	}
+	rc := rcvRing.Counts()
+	if rc[trace.KindRecvData] == 0 || rc[trace.KindSendAck] == 0 ||
+		rc[trace.KindNackOut] == 0 || rc[trace.KindDeliver] != 1 {
+		t.Fatalf("receiver counts = %v", rc)
+	}
+	// Events are timestamped monotonically.
+	var last time.Duration
+	for _, e := range sndRing.Events() {
+		if e.At < last {
+			t.Fatal("trace timestamps regressed")
+		}
+		last = e.At
+	}
+	if sndRing.Dump() == "" {
+		t.Fatal("empty dump")
+	}
+}
+
+// TestTraceDisabledIsFree: without a ring, tracing calls are no-ops.
+func TestTraceDisabledIsFree(t *testing.T) {
+	var got []*InMessage
+	w, a, _, _, _ := pair(52, us(5),
+		Config{LocalPort: 1},
+		Config{LocalPort: 2, OnMessage: func(m *InMessage) { got = append(got, m) }},
+	)
+	a.Send("b", 2, []byte("no trace"), SendOptions{})
+	w.eng.Run(10 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatal("delivery failed without trace")
+	}
+}

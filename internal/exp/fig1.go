@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mtp/internal/core"
+	"mtp/internal/offload"
+	"mtp/internal/sim"
+	"mtp/internal/simhost"
+	"mtp/internal/simnet"
+	"mtp/internal/stats"
+	"mtp/internal/workload"
+)
+
+// Fig1Config parameterizes the quantified version of the paper's motivating
+// Figure 1: clients issue Zipf-distributed KVS GETs toward a service; the
+// experiment ablates the in-network cache and the L7 load balancer and
+// measures request latency and backend load.
+type Fig1Config struct {
+	Clients  int           // default 4
+	Replicas int           // default 3
+	Keys     int           // default 1000
+	ZipfS    float64       // default 1.25
+	Requests int           // per client, default 300
+	Gap      time.Duration // per-client request gap, default 20 µs
+	// ReplicaDelay models backend service time per request. Default 20 µs.
+	ReplicaDelay time.Duration
+	CacheSize    int // hot-key capacity, default 64
+	Seed         int64
+}
+
+func (c Fig1Config) withDefaults() Fig1Config {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Keys == 0 {
+		c.Keys = 1000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.25
+	}
+	if c.Requests == 0 {
+		c.Requests = 300
+	}
+	if c.Gap == 0 {
+		c.Gap = 20 * time.Microsecond
+	}
+	if c.ReplicaDelay == 0 {
+		c.ReplicaDelay = 10 * time.Microsecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig1Row is one system configuration's measurements.
+type Fig1Row struct {
+	System      string
+	Completed   int
+	P50us       float64
+	P99us       float64
+	BackendGets uint64
+	CacheHits   uint64
+	HitRate     float64
+}
+
+// Fig1Result holds the ablation rows.
+type Fig1Result struct {
+	Config Fig1Config
+	Rows   []Fig1Row
+}
+
+// RunFig1 measures three systems: single backend (no offloads), +L7 load
+// balancer, and +in-network cache.
+func RunFig1(cfg Fig1Config) Fig1Result {
+	cfg = cfg.withDefaults()
+	return Fig1Result{Config: cfg, Rows: []Fig1Row{
+		runFig1(cfg, false, false),
+		runFig1(cfg, true, false),
+		runFig1(cfg, true, true),
+	}}
+}
+
+func runFig1(cfg Fig1Config, lb, cache bool) Fig1Row {
+	eng := sim.NewEngine(cfg.Seed)
+	net := simnet.NewNetwork(eng)
+	cacheSw := simnet.NewSwitch(net, nil)
+	lbSw := simnet.NewSwitch(net, nil)
+
+	lc := simnet.LinkConfig{Rate: 25e9, Delay: 2 * time.Microsecond, QueueCap: 1024, ECNThreshold: 128}
+
+	// Clients hang off the cache switch.
+	clients := make([]*simnet.Host, cfg.Clients)
+	for i := range clients {
+		h := simnet.NewHost(net)
+		h.SetUplink(net.Connect(cacheSw, lc, "c-up"))
+		cacheSw.AddRoute(h.ID(), net.Connect(h, lc, "c-down"))
+		clients[i] = h
+	}
+	// Replicas hang off the LB switch.
+	nRep := cfg.Replicas
+	if !lb {
+		nRep = 1
+	}
+	replicas := make([]*simnet.Host, nRep)
+	toLB := net.Connect(lbSw, lc, "cache->lb")
+	lbToCache := net.Connect(cacheSw, lc, "lb->cache")
+	for _, c := range clients {
+		lbSw.AddRoute(c.ID(), lbToCache)
+	}
+	repDown := make([]*simnet.Link, nRep)
+	for i := range replicas {
+		h := simnet.NewHost(net)
+		h.SetUplink(net.Connect(lbSw, lc, "r-up"))
+		repDown[i] = net.Connect(h, lc, "r-down")
+		lbSw.AddRoute(h.ID(), repDown[i])
+		cacheSw.AddRoute(h.ID(), toLB)
+		replicas[i] = h
+	}
+
+	// Service address.
+	vip := net.AllocID()
+	cacheSw.AddRoute(vip, toLB)
+	if lb {
+		ids := make([]simnet.NodeID, len(replicas))
+		for i, r := range replicas {
+			ids[i] = r.ID()
+		}
+		offload.NewL7LB(lbSw, vip, ids)
+	} else {
+		lbSw.AddRoute(vip, repDown[0])
+	}
+	var cacheDev *offload.Cache
+	if cache {
+		cacheDev = offload.NewCache(cacheSw, cfg.CacheSize)
+	}
+
+	// Replica apps: a single-server queue per replica — requests are served
+	// one at a time, each taking ReplicaDelay (so an overloaded backend
+	// builds real queueing delay, which is what the LB relieves).
+	var backendGets uint64
+	for i, rh := range replicas {
+		var busyUntil time.Duration
+		var mh *simhost.MTPHost
+		mh = simhost.AttachMTP(net, rh, core.Config{LocalPort: 7, OnMessage: func(m *core.InMessage) {
+			op, key, _, ok := offload.DecodeKV(m.Data)
+			if !ok || op != 1 {
+				return
+			}
+			backendGets++
+			from, port := m.From, m.SrcPort
+			start := eng.Now()
+			if busyUntil > start {
+				start = busyUntil
+			}
+			busyUntil = start + cfg.ReplicaDelay
+			eng.ScheduleAt(busyUntil, func() {
+				mh.EP.Send(from, port, offload.EncodeResponse(key, []byte("v")), core.SendOptions{})
+			})
+		}})
+		_ = i
+	}
+
+	// Clients: closed-ish loop with a fixed gap; latency measured per
+	// request via a tag in the key (key index + sequence).
+	var lats []float64
+	completed := 0
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := workload.NewZipf(r, cfg.ZipfS, cfg.Keys)
+	type pending struct{ at time.Duration }
+	for ci, ch := range clients {
+		ci := ci
+		outstanding := make(map[string]pending)
+		var mh *simhost.MTPHost
+		mh = simhost.AttachMTP(net, ch, core.Config{LocalPort: uint16(50 + ci), OnMessage: func(m *core.InMessage) {
+			op, key, _, ok := offload.DecodeKV(m.Data)
+			if !ok || op != 3 {
+				return
+			}
+			completed++
+			// Latency is sampled only for uniquely-matched keys: a key with
+			// two requests in flight is ambiguous since responses carry the
+			// key, not a request ID.
+			if p, ok := outstanding[key]; ok {
+				delete(outstanding, key)
+				lats = append(lats, float64((eng.Now() - p.at).Microseconds()))
+			}
+		}})
+		for q := 0; q < cfg.Requests; q++ {
+			key := fmt.Sprintf("key-%d", zipf.Next())
+			at := time.Duration(q) * cfg.Gap
+			eng.Schedule(at, func() {
+				// A repeated in-flight key re-arms the timestamp; slight
+				// undercount of latency for duplicates is acceptable.
+				outstanding[key] = pending{at: eng.Now()}
+				mh.EP.Send(vip, 7, offload.EncodeGet(key), core.SendOptions{})
+			})
+		}
+	}
+	eng.Run(200 * time.Millisecond)
+
+	row := Fig1Row{
+		Completed:   completed,
+		P50us:       stats.Percentile(lats, 50),
+		P99us:       stats.Percentile(lats, 99),
+		BackendGets: backendGets,
+	}
+	switch {
+	case cache && lb:
+		row.System = "cache + L7 LB"
+	case lb:
+		row.System = "L7 LB only"
+	default:
+		row.System = "single backend"
+	}
+	if cacheDev != nil {
+		row.CacheHits = cacheDev.Hits
+		total := cacheDev.Hits + cacheDev.Misses
+		if total > 0 {
+			row.HitRate = float64(cacheDev.Hits) / float64(total)
+		}
+	}
+	return row
+}
+
+// String renders the ablation.
+func (r Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 (quantified): %d clients, Zipf(%.2f) over %d keys, %d reqs/client\n",
+		r.Config.Clients, r.Config.ZipfS, r.Config.Keys, r.Config.Requests)
+	fmt.Fprintf(&b, "  %-16s %10s %10s %10s %12s %10s\n", "system", "completed", "p50(us)", "p99(us)", "backend gets", "hit rate")
+	for _, row := range r.Rows {
+		hit := "-"
+		if row.CacheHits > 0 {
+			hit = fmt.Sprintf("%.0f%%", row.HitRate*100)
+		}
+		fmt.Fprintf(&b, "  %-16s %10d %10.0f %10.0f %12d %10s\n",
+			row.System, row.Completed, row.P50us, row.P99us, row.BackendGets, hit)
+	}
+	return b.String()
+}

@@ -1,0 +1,294 @@
+// Package exp implements one harness per table/figure of the paper's
+// evaluation (Section 2.3's Figures 2-3 and Section 5's Figures 5-7, plus
+// the Table 1 feature matrix). Each harness builds the paper's topology on
+// the discrete-event simulator, runs the paper's workload for each system,
+// and returns the same rows/series the paper plots.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mtp/internal/baseline"
+	"mtp/internal/cc"
+	"mtp/internal/core"
+	"mtp/internal/sim"
+	"mtp/internal/simhost"
+	"mtp/internal/simnet"
+	"mtp/internal/stats"
+)
+
+// Fig5Config parameterizes the multipath congestion-control experiment:
+// a fast and a slow path between one sender and one receiver, with the
+// first-hop switch alternating between them on a fixed period (an optical
+// switch). Defaults are the paper's numbers.
+type Fig5Config struct {
+	FastRate, SlowRate float64       // 100 / 10 Gbps
+	LinkDelay          time.Duration // 1 µs
+	QueueCap           int           // 128 packets
+	ECNThreshold       int           // 20 packets
+	SwitchPeriod       time.Duration // 384 µs
+	SampleInterval     time.Duration // 32 µs
+	Duration           time.Duration // 20 ms
+	Seed               int64
+	// MaxWindow models the socket-buffer cap both transports get (bytes).
+	// Default 256 KiB (~2× the fast path's bandwidth-delay product).
+	MaxWindow float64
+	// SinglePathlet runs the MTP ablation where the whole network is one
+	// pathlet (mimicking TCP): both links stamp the same pathlet ID.
+	SinglePathlet bool
+	// MTPCC selects the per-pathlet algorithm for the MTP run (default
+	// DCTCP). Any cc.Kind works — the multi-algorithm property.
+	MTPCC cc.Kind
+	// LineRate informs rate-based algorithms of the NIC speed (bits/s);
+	// zero uses the fast path's rate.
+	LineRate float64
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if c.FastRate == 0 {
+		c.FastRate = 100e9
+	}
+	if c.SlowRate == 0 {
+		c.SlowRate = 10e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 128
+	}
+	if c.ECNThreshold == 0 {
+		c.ECNThreshold = 20
+	}
+	if c.SwitchPeriod == 0 {
+		c.SwitchPeriod = 384 * time.Microsecond
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 32 * time.Microsecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 20 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 256 << 10
+	}
+	return c
+}
+
+// Fig5Series is one system's measured throughput trace.
+type Fig5Series struct {
+	Name     string
+	Gbps     []float64
+	MeanGbps float64
+}
+
+// Fig5Result holds both traces and the headline comparison.
+type Fig5Result struct {
+	Config      Fig5Config
+	MTP         Fig5Series
+	DCTCP       Fig5Series
+	Improvement float64 // MTP mean / DCTCP mean - 1
+}
+
+// fig5Topo builds the two-path topology; returns engine, sender/receiver
+// hosts and the two forward links (for metering).
+func fig5Topo(cfg Fig5Config, pathlets bool) (*sim.Engine, *simnet.Network, *simnet.Host, *simnet.Host, *simnet.Link, *simnet.Link) {
+	eng := sim.NewEngine(cfg.Seed)
+	net := simnet.NewNetwork(eng)
+	snd := simnet.NewHost(net)
+	rcv := simnet.NewHost(net)
+	sw := simnet.NewSwitch(net, simnet.Alternator{Period: cfg.SwitchPeriod})
+
+	snd.SetUplink(net.Connect(sw, simnet.LinkConfig{
+		Rate: cfg.FastRate, Delay: cfg.LinkDelay, QueueCap: 4096,
+	}, "snd->sw"))
+
+	fastID, slowID := uint32(1), uint32(2)
+	if cfg.SinglePathlet {
+		slowID = fastID
+	}
+	mk := func(rate float64, id *uint32, name string) *simnet.Link {
+		lc := simnet.LinkConfig{
+			Rate: rate, Delay: cfg.LinkDelay,
+			QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNThreshold,
+		}
+		if pathlets {
+			lc.Pathlet = id
+			lc.StampECN = true
+		}
+		return net.Connect(rcv, lc, name)
+	}
+	fast := mk(cfg.FastRate, &fastID, "fast")
+	slow := mk(cfg.SlowRate, &slowID, "slow")
+	sw.AddRoute(rcv.ID(), fast)
+	sw.AddRoute(rcv.ID(), slow)
+
+	// Reverse path for ACKs: direct, uncongested.
+	rcv.SetUplink(net.Connect(snd, simnet.LinkConfig{
+		Rate: cfg.FastRate, Delay: cfg.LinkDelay, QueueCap: 4096,
+	}, "rcv->snd"))
+	return eng, net, snd, rcv, fast, slow
+}
+
+// meterFn samples a monotone byte counter every interval and records the
+// derived throughput in Gbit/s — the paper's "measure the flow throughput
+// every 32 µs" methodology, applied to receiver goodput.
+func meterFn(eng *sim.Engine, interval, duration time.Duration, read func() uint64) *[]float64 {
+	series := &[]float64{}
+	var last uint64
+	var tick func()
+	tick = func() {
+		total := read()
+		gbps := float64(total-last) * 8 / interval.Seconds() / 1e9
+		last = total
+		*series = append(*series, gbps)
+		if eng.Now()+interval <= duration {
+			eng.Schedule(interval, tick)
+		}
+	}
+	eng.Schedule(interval, tick)
+	return series
+}
+
+// RunFig5 executes the experiment for both systems.
+func RunFig5(cfg Fig5Config) Fig5Result {
+	cfg = cfg.withDefaults()
+	res := Fig5Result{Config: cfg}
+
+	// --- MTP run: per-pathlet congestion control ---
+	{
+		eng, net, snd, rcv, _, _ := fig5Topo(cfg, true)
+		var sender *simhost.MTPHost
+		refill := func(m *core.OutMessage) {
+			sender.EP.SendSynthetic(rcv.ID(), 2, 1<<20, core.SendOptions{})
+		}
+		lineRate := cfg.LineRate
+		if lineRate == 0 {
+			lineRate = cfg.FastRate
+		}
+		sender = simhost.AttachMTP(net, snd, core.Config{
+			LocalPort: 1, OnMessageSent: refill, RTO: 2 * time.Millisecond,
+			CC:       cfg.MTPCC,
+			CCConfig: cc.Config{MaxWindow: cfg.MaxWindow, LineRate: lineRate},
+		})
+		receiver := simhost.AttachMTP(net, rcv, core.Config{LocalPort: 2})
+		series := meterFn(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
+			return receiver.EP.Stats.PayloadBytes
+		})
+		// A long-lasting flow: keep 8 MB outstanding.
+		for i := 0; i < 8; i++ {
+			sender.EP.SendSynthetic(rcv.ID(), 2, 1<<20, core.SendOptions{})
+		}
+		eng.Run(cfg.Duration)
+		res.MTP = summarizeFig5("MTP", *series)
+	}
+
+	// --- DCTCP run: one window for the whole network ---
+	{
+		eng, _, snd, rcv, _, _ := fig5Topo(cfg, false)
+		sender := baseline.NewSender(eng, snd.Send, baseline.SenderConfig{
+			Conn: 1, Dst: rcv.ID(), SkipHandshake: true,
+			RTO:      2 * time.Millisecond,
+			CCConfig: cc.Config{MaxWindow: cfg.MaxWindow},
+		})
+		receiver := baseline.NewReceiver(eng, rcv.Send, baseline.ReceiverConfig{
+			Conn: 1, Src: snd.ID(),
+		})
+		series := meterFn(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
+			return uint64(receiver.Delivered())
+		})
+		snd.SetHandler(sender.OnPacket)
+		rcv.SetHandler(receiver.OnPacket)
+		sender.Write(1 << 32) // effectively infinite stream
+		eng.Run(cfg.Duration)
+		res.DCTCP = summarizeFig5("DCTCP", *series)
+	}
+
+	if res.DCTCP.MeanGbps > 0 {
+		res.Improvement = res.MTP.MeanGbps/res.DCTCP.MeanGbps - 1
+	}
+	return res
+}
+
+func summarizeFig5(name string, series []float64) Fig5Series {
+	// Skip the first switch period as warmup.
+	s := stats.Summarize(series)
+	return Fig5Series{Name: name, Gbps: series, MeanGbps: s.Mean}
+}
+
+// Fig5SweepPoint is one period's outcome in the sweep.
+type Fig5SweepPoint struct {
+	Period      time.Duration
+	DCTCPGbps   float64
+	MTPGbps     float64
+	Improvement float64
+}
+
+// RunFig5PeriodSweep varies the path-alternation period: the faster the
+// network re-balances, the more a single-window transport loses and the
+// larger MTP's advantage — the sensitivity analysis behind Figure 5.
+func RunFig5PeriodSweep(periods []time.Duration, duration time.Duration) []Fig5SweepPoint {
+	if len(periods) == 0 {
+		periods = []time.Duration{
+			48 * time.Microsecond, 96 * time.Microsecond, 192 * time.Microsecond,
+			384 * time.Microsecond, 768 * time.Microsecond, 1536 * time.Microsecond,
+		}
+	}
+	out := make([]Fig5SweepPoint, 0, len(periods))
+	for _, p := range periods {
+		r := RunFig5(Fig5Config{SwitchPeriod: p, Duration: duration})
+		out = append(out, Fig5SweepPoint{
+			Period:      p,
+			DCTCPGbps:   r.DCTCP.MeanGbps,
+			MTPGbps:     r.MTP.MeanGbps,
+			Improvement: r.Improvement,
+		})
+	}
+	return out
+}
+
+// SweepString renders the sweep as a table.
+func SweepString(points []Fig5SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 sweep: MTP advantage vs path-alternation period\n")
+	fmt.Fprintf(&b, "  %-10s %12s %12s %12s\n", "period", "DCTCP Gbps", "MTP Gbps", "improvement")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-10v %12.1f %12.1f %+11.0f%%\n", p.Period, p.DCTCPGbps, p.MTPGbps, p.Improvement*100)
+	}
+	return b.String()
+}
+
+// String renders the figure as text: mean goodputs and the improvement.
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: multipath congestion control (paths %s/%s alternating every %v)\n",
+		gbpsStr(r.Config.FastRate), gbpsStr(r.Config.SlowRate), r.Config.SwitchPeriod)
+	fmt.Fprintf(&b, "  %-6s mean goodput %7.2f Gbps\n", r.DCTCP.Name, r.DCTCP.MeanGbps)
+	fmt.Fprintf(&b, "  %-6s mean goodput %7.2f Gbps\n", r.MTP.Name, r.MTP.MeanGbps)
+	fmt.Fprintf(&b, "  MTP improvement: %+.0f%% (paper reports ~33%%)\n", r.Improvement*100)
+	return b.String()
+}
+
+// Samples renders the two series side by side for plotting.
+func (r Fig5Result) Samples() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# t_us\tdctcp_gbps\tmtp_gbps\n")
+	n := len(r.MTP.Gbps)
+	if len(r.DCTCP.Gbps) < n {
+		n = len(r.DCTCP.Gbps)
+	}
+	step := r.Config.SampleInterval.Microseconds()
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d\t%.3f\t%.3f\n", int64(i+1)*step, r.DCTCP.Gbps[i], r.MTP.Gbps[i])
+	}
+	return b.String()
+}
+
+func gbpsStr(bps float64) string {
+	return fmt.Sprintf("%.0fG", bps/1e9)
+}

@@ -1,0 +1,227 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mtp/internal/baseline"
+	"mtp/internal/cc"
+	"mtp/internal/core"
+	"mtp/internal/sim"
+	"mtp/internal/simhost"
+	"mtp/internal/simnet"
+)
+
+// Fig7Config parameterizes the per-entity isolation experiment: two tenants
+// share one 100 Gbps / 10 µs link through a common switch; tenant 2 drives
+// 8× the number of message streams. Three systems are compared: DCTCP with
+// one shared queue, DCTCP with one queue per tenant, and MTP with a
+// fair-share policy enforced at the shared queue.
+type Fig7Config struct {
+	Rate         float64       // default 100 Gbps
+	Delay        time.Duration // default 10 µs
+	QueueCap     int           // default 512
+	ECNK         int           // default 64
+	Tenant1Flows int           // default 1
+	Tenant2Flows int           // default 8
+	Duration     time.Duration // default 20 ms
+	Seed         int64
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if c.Rate == 0 {
+		c.Rate = 100e9
+	}
+	if c.Delay == 0 {
+		c.Delay = 10 * time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 512
+	}
+	if c.ECNK == 0 {
+		c.ECNK = 64
+	}
+	if c.Tenant1Flows == 0 {
+		c.Tenant1Flows = 1
+	}
+	if c.Tenant2Flows == 0 {
+		c.Tenant2Flows = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 20 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fig7Row is one system's per-tenant throughput split.
+type Fig7Row struct {
+	System      string
+	Tenant1Gbps float64
+	Tenant2Gbps float64
+}
+
+// Ratio returns tenant2/tenant1 throughput.
+func (r Fig7Row) Ratio() float64 {
+	if r.Tenant1Gbps == 0 {
+		return 0
+	}
+	return r.Tenant2Gbps / r.Tenant1Gbps
+}
+
+// Fig7Result holds the three systems' splits.
+type Fig7Result struct {
+	Config Fig7Config
+	Rows   []Fig7Row
+}
+
+// RunFig7 runs all three systems.
+func RunFig7(cfg Fig7Config) Fig7Result {
+	cfg = cfg.withDefaults()
+	return Fig7Result{Config: cfg, Rows: []Fig7Row{
+		runFig7DCTCP(cfg, false),
+		runFig7DCTCP(cfg, true),
+		runFig7MTP(cfg),
+	}}
+}
+
+// fig7Net builds senders -> switch -> shared link -> receiver host.
+func fig7Net(cfg Fig7Config, shared simnet.LinkConfig) (*sim.Engine, *simnet.Network, []*simnet.Host, *simnet.Host, *simnet.Switch) {
+	eng := sim.NewEngine(cfg.Seed)
+	net := simnet.NewNetwork(eng)
+	sw := simnet.NewSwitch(net, nil)
+	rcv := simnet.NewHost(net)
+	down := net.Connect(rcv, shared, "shared")
+	sw.AddRoute(rcv.ID(), down)
+
+	n := cfg.Tenant1Flows + cfg.Tenant2Flows
+	hosts := make([]*simnet.Host, n)
+	for i := range hosts {
+		h := simnet.NewHost(net)
+		h.SetUplink(net.Connect(sw, simnet.LinkConfig{Rate: cfg.Rate, Delay: time.Microsecond, QueueCap: 1024}, "up"))
+		sw.AddRoute(h.ID(), net.Connect(h, simnet.LinkConfig{Rate: cfg.Rate, Delay: time.Microsecond, QueueCap: 1024}, "down"))
+		hosts[i] = h
+	}
+	// Receiver responds through the switch.
+	rcv.SetUplink(net.Connect(sw, simnet.LinkConfig{Rate: cfg.Rate, Delay: cfg.Delay, QueueCap: 1024}, "rcv->sw"))
+	return eng, net, hosts, rcv, sw
+}
+
+func (c Fig7Config) tenantOf(i int) int {
+	if i < c.Tenant1Flows {
+		return 1
+	}
+	return 2
+}
+
+// runFig7DCTCP runs the baseline with a shared queue or per-tenant queues.
+func runFig7DCTCP(cfg Fig7Config, separateQueues bool) Fig7Row {
+	shared := simnet.LinkConfig{
+		Rate: cfg.Rate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK,
+	}
+	name := "DCTCP shared queue"
+	if separateQueues {
+		name = "DCTCP separate queues"
+		shared.Queues = 2
+		shared.QueueCap = cfg.QueueCap / 2
+		shared.ECNThreshold = cfg.ECNK / 2
+		shared.Classify = func(p *simnet.Packet) int {
+			if p.Tenant == 2 {
+				return 1
+			}
+			return 0
+		}
+	}
+	eng, _, hosts, rcv, _ := fig7Net(cfg, shared)
+
+	delivered := map[int]int64{}
+	demux := baseline.NewDemux()
+	rcv.SetHandler(demux.Handle)
+	for i, h := range hosts {
+		tenant := cfg.tenantOf(i)
+		conn := uint64(i + 1)
+		snd := baseline.NewSender(eng, h.Send, baseline.SenderConfig{
+			Conn: conn, Dst: rcv.ID(), SkipHandshake: true, Tenant: tenant,
+			RTO: 2 * time.Millisecond,
+		})
+		tenantCopy := tenant
+		rcvr := baseline.NewReceiver(eng, rcv.Send, baseline.ReceiverConfig{
+			Conn: conn, Src: h.ID(), Tenant: tenant,
+			OnDeliver: func(_ time.Duration, n int) { delivered[tenantCopy] += int64(n) },
+		})
+		demux.Add(conn, rcvr.OnPacket)
+		h.SetHandler(snd.OnPacket)
+		snd.Write(1 << 32)
+	}
+	eng.Run(cfg.Duration)
+	return Fig7Row{
+		System:      name,
+		Tenant1Gbps: float64(delivered[1]) * 8 / cfg.Duration.Seconds() / 1e9,
+		Tenant2Gbps: float64(delivered[2]) * 8 / cfg.Duration.Seconds() / 1e9,
+	}
+}
+
+// runFig7MTP runs MTP senders against a shared queue with a fair-share
+// policer — per-entity enforcement without per-tenant queues.
+func runFig7MTP(cfg Fig7Config) Fig7Row {
+	pathID := uint32(1)
+	shared := simnet.LinkConfig{
+		Rate: cfg.Rate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK,
+		Pathlet: &pathID, StampECN: true,
+		Policer: &simnet.FairSharePolicer{
+			Rate:      cfg.Rate,
+			Weights:   map[int]float64{1: 1, 2: 1},
+			MarkQueue: 4,
+			DropQueue: cfg.QueueCap - 8,
+		},
+	}
+	eng, net, hosts, rcv, _ := fig7Net(cfg, shared)
+
+	delivered := map[int]int64{}
+	simhost.AttachMTP(net, rcv, core.Config{LocalPort: 2, OnMessage: func(m *core.InMessage) {
+		delivered[int(m.TC)] += int64(m.Size)
+	}})
+	for i, h := range hosts {
+		tenant := cfg.tenantOf(i)
+		var mh *simhost.MTPHost
+		refill := func(m *core.OutMessage) {
+			mh.EP.SendSynthetic(rcv.ID(), 2, 1<<20, core.SendOptions{})
+		}
+		mh = simhost.AttachMTP(net, h, core.Config{
+			LocalPort: uint16(10 + i), TC: uint8(tenant),
+			OnMessageSent: refill, RTO: 2 * time.Millisecond,
+			CCConfig: cc.Config{MaxWindow: 1 << 20},
+		})
+		for k := 0; k < 4; k++ {
+			mh.EP.SendSynthetic(rcv.ID(), 2, 1<<20, core.SendOptions{})
+		}
+	}
+	eng.Run(cfg.Duration)
+	return Fig7Row{
+		System:      "MTP shared queue + policy",
+		Tenant1Gbps: float64(delivered[1]) * 8 / cfg.Duration.Seconds() / 1e9,
+		Tenant2Gbps: float64(delivered[2]) * 8 / cfg.Duration.Seconds() / 1e9,
+	}
+}
+
+// String renders the figure as a table.
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: per-entity isolation (%s shared link, tenant2 has %dx the flows)\n",
+		gbpsStr(r.Config.Rate), r.Config.Tenant2Flows/max(1, r.Config.Tenant1Flows))
+	fmt.Fprintf(&b, "  %-28s %12s %12s %8s\n", "system", "tenant1 Gbps", "tenant2 Gbps", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-28s %12.1f %12.1f %8.1f\n", row.System, row.Tenant1Gbps, row.Tenant2Gbps, row.Ratio())
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package offload
+
+import (
+	"encoding/binary"
+
+	"mtp/internal/simnet"
+	"mtp/internal/wire"
+)
+
+// Aggregator is an ATP-style in-network gradient aggregator: workers send
+// single-packet messages carrying (round, vector) toward the parameter
+// server; the switch sums vectors per round and forwards one aggregated
+// message once every worker has contributed, consuming the rest. Worker
+// packets are acknowledged by the switch (spoofing the server) so worker
+// transports complete normally.
+type Aggregator struct {
+	sw      *simnet.Switch
+	ps      simnet.NodeID
+	workers int
+	nextID  uint64
+
+	rounds map[uint64]*aggRound
+
+	// Stats
+	Consumed uint64
+	Emitted  uint64
+	Bypassed uint64
+}
+
+type aggRound struct {
+	sum     []int64
+	n       int
+	proto   *simnet.Packet // template packet (first contribution)
+	counted map[simnet.NodeID]bool
+}
+
+// NewAggregator installs an aggregator on sw for traffic addressed to ps,
+// expecting contributions from the given number of workers per round.
+func NewAggregator(sw *simnet.Switch, ps simnet.NodeID, workers int) *Aggregator {
+	if workers <= 0 {
+		panic("offload: aggregator needs workers")
+	}
+	a := &Aggregator{
+		sw:      sw,
+		ps:      ps,
+		workers: workers,
+		nextID:  spoofMsgIDBase + (1 << 20),
+		rounds:  make(map[uint64]*aggRound),
+	}
+	sw.Interposer = a.interpose
+	return a
+}
+
+// EncodeGradient builds a worker contribution payload: round plus vector.
+func EncodeGradient(round uint64, vec []int64) []byte {
+	b := make([]byte, 8+8*len(vec))
+	binary.BigEndian.PutUint64(b, round)
+	for i, v := range vec {
+		binary.BigEndian.PutUint64(b[8+8*i:], uint64(v))
+	}
+	return b
+}
+
+// DecodeGradient parses a contribution or aggregate payload.
+func DecodeGradient(b []byte) (round uint64, vec []int64, ok bool) {
+	if len(b) < 8 || (len(b)-8)%8 != 0 {
+		return 0, nil, false
+	}
+	round = binary.BigEndian.Uint64(b)
+	vec = make([]int64, (len(b)-8)/8)
+	for i := range vec {
+		vec[i] = int64(binary.BigEndian.Uint64(b[8+8*i:]))
+	}
+	return round, vec, true
+}
+
+func (a *Aggregator) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
+	hdr := pkt.Hdr
+	if hdr == nil || hdr.Type != wire.TypeData || pkt.Dst != a.ps || pkt.Data == nil || hdr.MsgPkts != 1 {
+		a.Bypassed++
+		return true
+	}
+	round, vec, ok := DecodeGradient(pkt.Data)
+	if !ok {
+		a.Bypassed++
+		return true
+	}
+	r := a.rounds[round]
+	if r == nil {
+		r = &aggRound{sum: make([]int64, len(vec)), counted: make(map[simnet.NodeID]bool)}
+		a.rounds[round] = r
+	}
+	if len(vec) != len(r.sum) || r.counted[pkt.Src] {
+		// Inconsistent vector or duplicate contribution (retransmission):
+		// ack but do not double-count.
+		a.sw.Forward(ackPacket(pkt))
+		return false
+	}
+	r.counted[pkt.Src] = true
+	for i, v := range vec {
+		r.sum[i] += v
+	}
+	r.n++
+	if r.proto == nil {
+		r.proto = pkt
+	}
+	a.Consumed++
+	a.sw.Forward(ackPacket(pkt))
+
+	if r.n == a.workers {
+		delete(a.rounds, round)
+		payload := EncodeGradient(round, r.sum)
+		out := dataPacket(r.proto.Src, a.ps, r.proto.Hdr.SrcPort, r.proto.Hdr.DstPort,
+			a.nextID, r.proto.Hdr.TC, payload)
+		a.nextID++
+		a.Emitted++
+		a.sw.Forward(out)
+	}
+	return false
+}

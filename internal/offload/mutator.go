@@ -1,0 +1,101 @@
+package offload
+
+import (
+	"mtp/internal/simnet"
+	"mtp/internal/wire"
+)
+
+// Compressor is a data-mutating offload: it halves the payload of every
+// data packet crossing the switch (a stand-in for compression or
+// re-serialization) and rewrites the per-packet and per-message length
+// fields consistently, using only the metadata carried in the packet itself.
+//
+// The length arithmetic requires the original MSS-aligned packetization the
+// MTP sender produces: packet i < n-1 has PktLen == MSS and offset i*MSS.
+// A device can verify that invariant per packet (PktOffset == PktNum*PktLen
+// for full packets) and skip messages that violate it.
+type Compressor struct {
+	sw *simnet.Switch
+
+	// Mutated counts rewritten packets; Skipped counts packets left alone.
+	Mutated uint64
+	Skipped uint64
+}
+
+// NewCompressor installs the mutator on sw.
+func NewCompressor(sw *simnet.Switch) *Compressor {
+	c := &Compressor{sw: sw}
+	sw.Interposer = c.interpose
+	return c
+}
+
+// newLen is the compressed length of an original payload length.
+func newLen(orig int) int { return (orig + 1) / 2 }
+
+// interpose rewrites data packets in place and always forwards.
+func (c *Compressor) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
+	hdr := pkt.Hdr
+	if hdr == nil || hdr.Type != wire.TypeData || hdr.PktLen == 0 {
+		c.Skipped++
+		return true
+	}
+	n := int(hdr.MsgPkts)
+	if n == 0 {
+		c.Skipped++
+		return true
+	}
+	// Derive the sender's uniform full-packet size. For a single-packet
+	// message any length works; for multi-packet messages the full size is
+	// offset/pktnum for non-first packets, or PktLen for packet 0.
+	var full int
+	switch {
+	case n == 1:
+		full = int(hdr.PktLen)
+	case hdr.PktNum == 0:
+		full = int(hdr.PktLen)
+	default:
+		if hdr.PktOffset%hdr.PktNum != 0 {
+			c.Skipped++
+			return true
+		}
+		full = int(hdr.PktOffset / hdr.PktNum)
+	}
+	if full <= 1 {
+		c.Skipped++
+		return true
+	}
+	origTotal := int(hdr.MsgBytes)
+	lastLen := origTotal - (n-1)*full
+	if lastLen <= 0 || lastLen > full {
+		c.Skipped++
+		return true
+	}
+	// Consistent rewrite: every full packet halves to newLen(full); the
+	// last to newLen(lastLen). New offsets are PktNum*newLen(full).
+	newFull := newLen(full)
+	newTotal := (n-1)*newFull + newLen(lastLen)
+
+	origPkt := int(hdr.PktLen)
+	hdr.PktLen = uint16(newLen(origPkt))
+	hdr.PktOffset = hdr.PktNum * uint32(newFull)
+	hdr.MsgBytes = uint32(newTotal)
+	if pkt.Data != nil {
+		pkt.Data = compressBytes(pkt.Data)
+	}
+	pkt.Size -= origPkt - int(hdr.PktLen)
+	c.Mutated++
+	return true
+}
+
+// compressBytes is the stand-in transform: keep every other byte. It is
+// deterministic so tests can verify content end to end.
+func compressBytes(b []byte) []byte {
+	out := make([]byte, newLen(len(b)))
+	for i := range out {
+		out[i] = b[2*i]
+	}
+	return out
+}
+
+// CompressBytes exposes the transform for end-to-end test verification.
+func CompressBytes(b []byte) []byte { return compressBytes(b) }

@@ -1,0 +1,130 @@
+// Package offload implements the in-network computing devices that motivate
+// MTP (the paper's Figure 1): an application-aware cache that answers
+// requests from inside the network (NetCache-style), an L7 load balancer
+// that steers whole messages to replicas, a data mutator (compression-style
+// offload that changes message lengths in flight), and an ATP-style
+// aggregator that folds many worker messages into one.
+//
+// All devices are switch interposers: they see every packet crossing a
+// switch, may consume it, rewrite it, or generate new packets. They rely on
+// exactly the properties MTP's header provides — complete message metadata
+// in every packet, message-granularity independence, and length fields a
+// device may rewrite — and are therefore impossible to build this simply on
+// a TCP byte stream (Table 1).
+package offload
+
+import (
+	"encoding/binary"
+
+	"mtp/internal/simnet"
+	"mtp/internal/wire"
+)
+
+// kvOp codes for the tiny KVS protocol used by the cache and examples.
+const (
+	kvGet = byte(1)
+	kvPut = byte(2)
+	kvRsp = byte(3)
+)
+
+// EncodeGet builds a GET request payload.
+func EncodeGet(key string) []byte {
+	b := make([]byte, 3+len(key))
+	b[0] = kvGet
+	binary.BigEndian.PutUint16(b[1:], uint16(len(key)))
+	copy(b[3:], key)
+	return b
+}
+
+// EncodePut builds a PUT request payload.
+func EncodePut(key string, value []byte) []byte {
+	b := make([]byte, 3+len(key)+len(value))
+	b[0] = kvPut
+	binary.BigEndian.PutUint16(b[1:], uint16(len(key)))
+	copy(b[3:], key)
+	copy(b[3+len(key):], value)
+	return b
+}
+
+// EncodeResponse builds a response payload.
+func EncodeResponse(key string, value []byte) []byte {
+	b := make([]byte, 3+len(key)+len(value))
+	b[0] = kvRsp
+	binary.BigEndian.PutUint16(b[1:], uint16(len(key)))
+	copy(b[3:], key)
+	copy(b[3+len(key):], value)
+	return b
+}
+
+// DecodeKV parses any KVS payload into (op, key, value); ok is false for
+// non-KVS payloads.
+func DecodeKV(b []byte) (op byte, key string, value []byte, ok bool) {
+	if len(b) < 3 {
+		return 0, "", nil, false
+	}
+	op = b[0]
+	if op != kvGet && op != kvPut && op != kvRsp {
+		return 0, "", nil, false
+	}
+	kl := int(binary.BigEndian.Uint16(b[1:]))
+	if len(b) < 3+kl {
+		return 0, "", nil, false
+	}
+	return op, string(b[3 : 3+kl]), b[3+kl:], true
+}
+
+// IsResponse reports whether a KVS payload is a response.
+func IsResponse(b []byte) bool {
+	op, _, _, ok := DecodeKV(b)
+	return ok && op == kvRsp
+}
+
+// spoofMsgIDBase keeps device-generated message IDs out of any end-host's
+// ID space (end hosts allocate sequentially from 1).
+const spoofMsgIDBase = uint64(1) << 40
+
+// ackPacket builds an ACK for one data packet, sent as if from the original
+// destination (address transparency, as in-network caches do).
+func ackPacket(data *simnet.Packet) *simnet.Packet {
+	hdr := &wire.Header{
+		Type:    wire.TypeAck,
+		SrcPort: data.Hdr.DstPort,
+		DstPort: data.Hdr.SrcPort,
+		SACK:    []wire.PacketRef{{MsgID: data.Hdr.MsgID, PktNum: data.Hdr.PktNum}},
+		// Echo forward feedback so the sender's pathlet state stays fresh
+		// even when the request never reaches the far end.
+		AckPathFeedback: data.Hdr.PathFeedback,
+	}
+	return &simnet.Packet{
+		Src:        data.Dst, // spoof the original destination
+		Dst:        data.Src,
+		Size:       hdr.EncodedLen() + 40,
+		Hdr:        hdr,
+		ECNCapable: true,
+		Tenant:     data.Tenant,
+		FlowID:     data.FlowID,
+	}
+}
+
+// dataPacket builds a single-packet response message from a device.
+func dataPacket(src, dst simnet.NodeID, srcPort, dstPort uint16, msgID uint64, tc uint8, payload []byte) *simnet.Packet {
+	hdr := &wire.Header{
+		Type:     wire.TypeData,
+		SrcPort:  srcPort,
+		DstPort:  dstPort,
+		MsgID:    msgID,
+		TC:       tc,
+		MsgBytes: uint32(len(payload)),
+		MsgPkts:  1,
+		PktNum:   0,
+		PktLen:   uint16(len(payload)),
+	}
+	return &simnet.Packet{
+		Src:        src,
+		Dst:        dst,
+		Size:       hdr.EncodedLen() + 40 + len(payload),
+		Hdr:        hdr,
+		Data:       payload,
+		ECNCapable: true,
+	}
+}

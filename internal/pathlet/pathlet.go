@@ -1,0 +1,246 @@
+// Package pathlet implements the per-(pathlet, traffic class) congestion
+// state table kept by MTP senders. Pathlets are opaque resource identifiers
+// assigned by the network; the sender discovers them from the feedback lists
+// echoed in acknowledgements, keeps one congestion-control instance per
+// pathlet, predicts which pathlet its next packets will traverse, and can
+// ask the network to exclude pathlets it has observed to be congested.
+package pathlet
+
+import (
+	"sort"
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/wire"
+)
+
+// State is the sender-side congestion state for one (pathlet, TC).
+type State struct {
+	Path wire.PathTC
+	Algo cc.Algorithm
+
+	// Inflight is the number of unacknowledged bytes attributed to this
+	// pathlet by the sender.
+	Inflight int
+
+	// SRTT is the smoothed round-trip time measured via acknowledgements
+	// attributed to this pathlet.
+	SRTT time.Duration
+
+	// LastFeedback is when feedback for this pathlet last arrived.
+	LastFeedback time.Duration
+
+	// Excluded reports whether the sender is currently asking the network
+	// to avoid this pathlet.
+	Excluded bool
+}
+
+// CanSend reports whether the window admits sending n more bytes.
+func (s *State) CanSend(n int) bool {
+	return float64(s.Inflight+n) <= s.Algo.Window() || s.Inflight == 0
+}
+
+// Factory builds a congestion-control instance for a newly discovered
+// pathlet. Different pathlets may get different algorithms.
+type Factory func(p wire.PathTC) cc.Algorithm
+
+// Table is the sender's pathlet state table.
+type Table struct {
+	factory Factory
+	states  map[wire.PathTC]*State
+
+	current    wire.PathTC
+	hasCurrent bool
+}
+
+// DefaultPath is the pathlet assumed before any network feedback arrives.
+// Representing the whole network as this single pathlet makes MTP behave
+// like classic end-to-end congestion control (the paper's TCP-compatibility
+// argument).
+var DefaultPath = wire.PathTC{PathID: 0, TC: 0}
+
+// NewTable returns an empty table that builds per-pathlet algorithms with
+// factory.
+func NewTable(factory Factory) *Table {
+	if factory == nil {
+		panic("pathlet: nil factory")
+	}
+	return &Table{factory: factory, states: make(map[wire.PathTC]*State)}
+}
+
+// Get returns the state for p, creating it on first use.
+func (t *Table) Get(p wire.PathTC) *State {
+	if s, ok := t.states[p]; ok {
+		return s
+	}
+	s := &State{Path: p, Algo: t.factory(p)}
+	t.states[p] = s
+	return s
+}
+
+// Lookup returns the state for p if it exists.
+func (t *Table) Lookup(p wire.PathTC) (*State, bool) {
+	s, ok := t.states[p]
+	return s, ok
+}
+
+// Len returns the number of known pathlets.
+func (t *Table) Len() int { return len(t.states) }
+
+// Current returns the state of the pathlet the sender predicts its next
+// packets will traverse: the pathlet of the most recent feedback, or
+// DefaultPath before any feedback arrives.
+func (t *Table) Current() *State {
+	if !t.hasCurrent {
+		return t.Get(DefaultPath)
+	}
+	return t.Get(t.current)
+}
+
+// SetCurrent overrides the predicted pathlet (e.g. from an explicit network
+// path announcement).
+func (t *Table) SetCurrent(p wire.PathTC) {
+	t.current = p
+	t.hasCurrent = true
+}
+
+// Signals groups the feedback entries of one acknowledgement by pathlet and
+// converts them to congestion-control signals. ackedBytes and rtt apply to
+// every pathlet the ACK carries feedback for (the packet traversed them all).
+func Signals(entries []wire.Feedback, ackedBytes int, rtt time.Duration) map[wire.PathTC]cc.Signal {
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make(map[wire.PathTC]cc.Signal, len(entries))
+	for _, f := range entries {
+		s := out[f.Path]
+		s.AckedBytes = ackedBytes
+		s.RTT = rtt
+		switch f.Type {
+		case wire.FeedbackECN:
+			s.ECN = s.ECN || f.ECNMarked()
+		case wire.FeedbackRate:
+			s.HasRate = true
+			s.RateBps = float64(f.RateBps())
+		case wire.FeedbackDelay:
+			s.HasDelay = true
+			s.Delay = time.Duration(f.DelayNanos())
+		case wire.FeedbackQueueLen:
+			// Queue occupancy is advisory; expose as delay-free signal.
+		case wire.FeedbackTrim:
+			// Trimming indicates severe congestion: treat as a mark.
+			s.ECN = true
+		}
+		out[f.Path] = s
+	}
+	return out
+}
+
+// OnAck applies one acknowledgement's feedback to the table: it updates every
+// referenced pathlet's algorithm and RTT, marks the most recent feedback's
+// pathlet as current, and returns the set of pathlets that were updated.
+func (t *Table) OnAck(now time.Duration, entries []wire.Feedback, ackedBytes int, rtt time.Duration) []*State {
+	sigs := Signals(entries, ackedBytes, rtt)
+	if len(sigs) == 0 {
+		// ACK with no pathlet feedback: attribute to the default pathlet so
+		// single-pathlet (TCP-like) operation still evolves a window.
+		s := t.Get(DefaultPath)
+		s.Algo.OnAck(now, cc.Signal{AckedBytes: ackedBytes, RTT: rtt})
+		s.LastFeedback = now
+		s.updateRTT(rtt)
+		return []*State{s}
+	}
+	updated := make([]*State, 0, len(sigs))
+	for p, sig := range sigs {
+		s := t.Get(p)
+		s.Algo.OnAck(now, sig)
+		s.LastFeedback = now
+		s.updateRTT(rtt)
+		updated = append(updated, s)
+	}
+	// Deterministic order: sort by (PathID, TC).
+	sort.Slice(updated, func(i, j int) bool {
+		a, b := updated[i].Path, updated[j].Path
+		if a.PathID != b.PathID {
+			return a.PathID < b.PathID
+		}
+		return a.TC < b.TC
+	})
+	// The freshest feedback names the pathlet traffic is currently taking:
+	// use the last entry in the header's list (devices append in path order,
+	// so the list's entries all belong to the current path; any of them
+	// identifies it). Prefer the first entry, which is the first resource
+	// on the path and typically the load-balanced choice.
+	t.current = entries[len(entries)-1].Path
+	t.hasCurrent = true
+	return updated
+}
+
+// OnLoss reports a loss attributed to pathlet p.
+func (t *Table) OnLoss(now time.Duration, p wire.PathTC) {
+	t.Get(p).Algo.OnLoss(now)
+}
+
+// AddInflight attributes n in-flight bytes to pathlet p.
+func (t *Table) AddInflight(p wire.PathTC, n int) {
+	t.Get(p).Inflight += n
+}
+
+// RemoveInflight releases n in-flight bytes from pathlet p, clamping at 0.
+func (t *Table) RemoveInflight(p wire.PathTC, n int) {
+	s := t.Get(p)
+	s.Inflight -= n
+	if s.Inflight < 0 {
+		s.Inflight = 0
+	}
+}
+
+// SetExcluded marks or clears a pathlet exclusion request.
+func (t *Table) SetExcluded(p wire.PathTC, excluded bool) {
+	t.Get(p).Excluded = excluded
+}
+
+// ExcludeList returns the pathlets the sender wants the network to avoid,
+// in deterministic order, for inclusion in outgoing headers.
+func (t *Table) ExcludeList() []wire.PathTC {
+	var out []wire.PathTC
+	for p, s := range t.states {
+		if s.Excluded {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PathID != out[j].PathID {
+			return out[i].PathID < out[j].PathID
+		}
+		return out[i].TC < out[j].TC
+	})
+	return out
+}
+
+// States returns all pathlet states in deterministic order.
+func (t *Table) States() []*State {
+	out := make([]*State, 0, len(t.states))
+	for _, s := range t.states {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Path, out[j].Path
+		if a.PathID != b.PathID {
+			return a.PathID < b.PathID
+		}
+		return a.TC < b.TC
+	})
+	return out
+}
+
+func (s *State) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if s.SRTT == 0 {
+		s.SRTT = sample
+		return
+	}
+	s.SRTT = (7*s.SRTT + sample) / 8
+}

@@ -1,0 +1,231 @@
+package pathlet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/wire"
+)
+
+func newTable() *Table {
+	return NewTable(func(wire.PathTC) cc.Algorithm {
+		return cc.NewDCTCP(cc.Config{MSS: 1460})
+	})
+}
+
+func us(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+
+func TestGetCreatesOnce(t *testing.T) {
+	tb := newTable()
+	p := wire.PathTC{PathID: 7, TC: 1}
+	a := tb.Get(p)
+	b := tb.Get(p)
+	if a != b {
+		t.Fatal("Get created two states for one pathlet")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if _, ok := tb.Lookup(wire.PathTC{PathID: 8}); ok {
+		t.Fatal("Lookup invented a state")
+	}
+}
+
+func TestCurrentDefaultsAndFollowsFeedback(t *testing.T) {
+	tb := newTable()
+	if got := tb.Current().Path; got != DefaultPath {
+		t.Fatalf("initial current = %v", got)
+	}
+	p1 := wire.PathTC{PathID: 1}
+	p2 := wire.PathTC{PathID: 2}
+	tb.OnAck(us(10), []wire.Feedback{wire.ECNFeedback(p1, false)}, 1460, us(100))
+	if got := tb.Current().Path; got != p1 {
+		t.Fatalf("current = %v, want %v", got, p1)
+	}
+	tb.OnAck(us(20), []wire.Feedback{wire.ECNFeedback(p2, false)}, 1460, us(100))
+	if got := tb.Current().Path; got != p2 {
+		t.Fatalf("current = %v, want %v", got, p2)
+	}
+	tb.SetCurrent(p1)
+	if got := tb.Current().Path; got != p1 {
+		t.Fatalf("SetCurrent ignored: %v", got)
+	}
+}
+
+func TestOnAckSeparatesPathletState(t *testing.T) {
+	tb := newTable()
+	fast := wire.PathTC{PathID: 1}
+	slow := wire.PathTC{PathID: 2}
+	now := us(0)
+	// Grow the fast pathlet cleanly; mark the slow one heavily.
+	for i := 0; i < 200; i++ {
+		now += us(10)
+		tb.OnAck(now, []wire.Feedback{wire.ECNFeedback(fast, false)}, 1460, us(100))
+		tb.OnAck(now, []wire.Feedback{wire.ECNFeedback(slow, true)}, 1460, us(100))
+	}
+	wFast := tb.Get(fast).Algo.Window()
+	wSlow := tb.Get(slow).Algo.Window()
+	if wFast <= wSlow {
+		t.Fatalf("fast window %v not above slow window %v", wFast, wSlow)
+	}
+	// The unmarked pathlet's window must be unaffected by the marked one —
+	// the property TCP lacks (Fig. 5's premise).
+	if wFast < 100*1460 {
+		t.Fatalf("fast window %v polluted by slow pathlet marks", wFast)
+	}
+}
+
+func TestOnAckNoFeedbackUsesDefaultPath(t *testing.T) {
+	tb := newTable()
+	updated := tb.OnAck(us(5), nil, 1460, us(50))
+	if len(updated) != 1 || updated[0].Path != DefaultPath {
+		t.Fatalf("updated = %+v", updated)
+	}
+	if updated[0].SRTT != us(50) {
+		t.Fatalf("SRTT = %v", updated[0].SRTT)
+	}
+}
+
+func TestSignalsGrouping(t *testing.T) {
+	p1 := wire.PathTC{PathID: 1}
+	p2 := wire.PathTC{PathID: 2, TC: 1}
+	entries := []wire.Feedback{
+		wire.ECNFeedback(p1, true),
+		wire.RateFeedback(p2, 25e9),
+		wire.DelayFeedback(p2, 7000),
+		wire.TrimFeedback(p1, 1460),
+	}
+	sigs := Signals(entries, 2920, us(80))
+	if len(sigs) != 2 {
+		t.Fatalf("got %d signal groups", len(sigs))
+	}
+	s1 := sigs[p1]
+	if !s1.ECN || s1.AckedBytes != 2920 || s1.RTT != us(80) {
+		t.Fatalf("p1 signal = %+v", s1)
+	}
+	s2 := sigs[p2]
+	if !s2.HasRate || s2.RateBps != 25e9 || !s2.HasDelay || s2.Delay != 7*time.Microsecond {
+		t.Fatalf("p2 signal = %+v", s2)
+	}
+	if s2.ECN {
+		t.Fatal("p2 marked without ECN feedback")
+	}
+	if Signals(nil, 1, us(1)) != nil {
+		t.Fatal("Signals(nil) != nil")
+	}
+}
+
+func TestInflightAccounting(t *testing.T) {
+	tb := newTable()
+	p := wire.PathTC{PathID: 3}
+	tb.AddInflight(p, 3000)
+	if got := tb.Get(p).Inflight; got != 3000 {
+		t.Fatalf("Inflight = %d", got)
+	}
+	tb.RemoveInflight(p, 1000)
+	if got := tb.Get(p).Inflight; got != 2000 {
+		t.Fatalf("Inflight = %d", got)
+	}
+	tb.RemoveInflight(p, 99999)
+	if got := tb.Get(p).Inflight; got != 0 {
+		t.Fatalf("Inflight clamped = %d", got)
+	}
+}
+
+func TestCanSend(t *testing.T) {
+	tb := newTable()
+	s := tb.Get(wire.PathTC{PathID: 1})
+	w := int(s.Algo.Window())
+	if !s.CanSend(w) {
+		t.Fatal("CanSend(full window) = false")
+	}
+	s.Inflight = w
+	if s.CanSend(1) {
+		t.Fatal("CanSend over window = true")
+	}
+	// An idle pathlet always admits at least one packet, so a zero or tiny
+	// window cannot deadlock the sender.
+	s.Inflight = 0
+	if !s.CanSend(10 * w) {
+		t.Fatal("empty pathlet refused a packet")
+	}
+}
+
+func TestExcludeList(t *testing.T) {
+	tb := newTable()
+	p1 := wire.PathTC{PathID: 5, TC: 1}
+	p2 := wire.PathTC{PathID: 2, TC: 0}
+	tb.SetExcluded(p1, true)
+	tb.SetExcluded(p2, true)
+	got := tb.ExcludeList()
+	if len(got) != 2 || got[0] != p2 || got[1] != p1 {
+		t.Fatalf("ExcludeList = %v", got)
+	}
+	tb.SetExcluded(p1, false)
+	if got := tb.ExcludeList(); len(got) != 1 || got[0] != p2 {
+		t.Fatalf("ExcludeList after clear = %v", got)
+	}
+}
+
+func TestStatesDeterministicOrder(t *testing.T) {
+	tb := newTable()
+	for _, p := range []wire.PathTC{{PathID: 3}, {PathID: 1, TC: 2}, {PathID: 1, TC: 0}, {PathID: 2}} {
+		tb.Get(p)
+	}
+	got := tb.States()
+	want := []wire.PathTC{{PathID: 1, TC: 0}, {PathID: 1, TC: 2}, {PathID: 2}, {PathID: 3}}
+	for i := range want {
+		if got[i].Path != want[i] {
+			t.Fatalf("States order = %v", got)
+		}
+	}
+}
+
+func TestOnLossAffectsOnlyTarget(t *testing.T) {
+	tb := newTable()
+	p1 := wire.PathTC{PathID: 1}
+	p2 := wire.PathTC{PathID: 2}
+	// Grow both windows.
+	now := us(0)
+	for i := 0; i < 50; i++ {
+		now += us(10)
+		tb.OnAck(now, []wire.Feedback{wire.ECNFeedback(p1, false), wire.ECNFeedback(p2, false)}, 1460, us(100))
+	}
+	w2 := tb.Get(p2).Algo.Window()
+	w1 := tb.Get(p1).Algo.Window()
+	tb.OnLoss(now, p1)
+	if tb.Get(p1).Algo.Window() >= w1 {
+		t.Fatal("loss did not shrink target pathlet")
+	}
+	if tb.Get(p2).Algo.Window() != w2 {
+		t.Fatal("loss leaked into unrelated pathlet")
+	}
+}
+
+// TestQuickInflightNeverNegative: random add/remove sequences keep inflight
+// non-negative on every pathlet.
+func TestQuickInflightNeverNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tb := newTable()
+		paths := []wire.PathTC{{PathID: 1}, {PathID: 2}, {PathID: 3, TC: 1}}
+		for i := 0; i < 300; i++ {
+			p := paths[r.Intn(len(paths))]
+			if r.Intn(2) == 0 {
+				tb.AddInflight(p, r.Intn(5000))
+			} else {
+				tb.RemoveInflight(p, r.Intn(8000))
+			}
+			if tb.Get(p).Inflight < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

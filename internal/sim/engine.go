@@ -1,0 +1,179 @@
+// Package sim provides a deterministic discrete-event simulation engine with
+// a virtual clock. It is the substrate that replaces ns-3 in this
+// reproduction: network elements schedule events (packet arrivals,
+// transmission completions, timers) on a shared engine, and experiments run
+// to a virtual deadline in milliseconds of real CPU time.
+//
+// The engine is single-threaded and deterministic: events at equal timestamps
+// fire in scheduling order, and all randomness flows from a seeded source, so
+// every experiment is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is simulated time measured as a duration since the start of the run.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tiebreak: FIFO among equal timestamps
+	fn  func()
+	idx int // heap index, -1 once popped or cancelled
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be stopped.
+type Timer struct {
+	e  *event
+	en *Engine
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.en.events, t.e.idx)
+	t.e.fn = nil
+	t.e = nil
+	return true
+}
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	processed uint64
+	running   bool
+}
+
+// NewEngine returns an engine with the clock at zero and randomness derived
+// from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (run as soon as control returns to the loop). It returns a Timer
+// that can cancel the callback.
+func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil fn")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{e: ev, en: e}
+}
+
+// Run executes events until the event queue drains or the clock passes
+// until, whichever comes first. It returns the time at which it stopped.
+func (e *Engine) Run(until Time) Time {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.processed++
+		fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains, with a safety cap on the
+// number of events to catch runaway schedules. It panics if the cap is hit.
+func (e *Engine) RunAll(maxEvents uint64) {
+	if e.running {
+		panic("sim: RunAll re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	start := e.processed
+	for len(e.events) > 0 {
+		if e.processed-start >= maxEvents {
+			panic(fmt.Sprintf("sim: RunAll exceeded %d events at t=%v", maxEvents, e.now))
+		}
+		next := heap.Pop(&e.events).(*event)
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.processed++
+		fn()
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30*time.Microsecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Microsecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Microsecond, func() { order = append(order, 2) })
+	e.Run(time.Millisecond)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Processed() != 3 {
+		t.Fatalf("Processed = %d", e.Processed())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Microsecond, func() { order = append(order, i) })
+	}
+	e.Run(time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(2*time.Millisecond, func() { fired = true })
+	end := e.Run(time.Millisecond)
+	if fired {
+		t.Fatal("event beyond deadline fired")
+	}
+	if end != time.Millisecond {
+		t.Fatalf("Run returned %v, want 1ms", end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	// Continue: now the event fires.
+	e.Run(3 * time.Millisecond)
+	if !fired {
+		t.Fatal("event never fired after deadline extension")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 100 {
+			e.Schedule(10*time.Microsecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(10 * time.Millisecond)
+	if ticks != 100 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if got, want := e.Now(), 10*time.Millisecond; got != want {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(time.Microsecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	e.Run(time.Millisecond)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+
+	// Stopping a fired timer is a no-op returning false.
+	tm2 := e.Schedule(time.Microsecond, func() {})
+	e.Run(2 * time.Millisecond)
+	if tm2.Stop() {
+		t.Fatal("Stop of fired timer returned true")
+	}
+	var nilT *Timer
+	if nilT.Stop() {
+		t.Fatal("Stop of nil timer returned true")
+	}
+}
+
+func TestTimerStopMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	var timers []*Timer
+	for i := 0; i < 20; i++ {
+		i := i
+		timers = append(timers, e.Schedule(time.Duration(i+1)*time.Microsecond, func() {
+			fired = append(fired, i)
+		}))
+	}
+	// Cancel every third timer.
+	want := []int{}
+	for i := 0; i < 20; i++ {
+		if i%3 == 0 {
+			timers[i].Stop()
+		} else {
+			want = append(want, i)
+		}
+	}
+	e.Run(time.Millisecond)
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestScheduleAtClampsPast(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Millisecond, func() {
+		// Scheduling in the past must clamp to now, not run immediately
+		// or corrupt the clock.
+		e.ScheduleAt(0, func() {
+			if e.Now() != time.Millisecond {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run(2 * time.Millisecond)
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-5*time.Second, func() { ran = true })
+	e.Run(time.Millisecond)
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+}
+
+func TestRunAllDrains(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	for i := 0; i < 50; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, func() { n++ })
+	}
+	e.RunAll(1000)
+	if n != 50 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestRunAllPanicsOnRunaway(t *testing.T) {
+	e := NewEngine(1)
+	var loop func()
+	loop = func() { e.Schedule(time.Microsecond, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunAll did not panic on runaway schedule")
+		}
+	}()
+	e.RunAll(100)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(42)
+		var stamps []Time
+		for i := 0; i < 200; i++ {
+			d := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+			e.Schedule(d, func() { stamps = append(stamps, e.Now()) })
+		}
+		e.Run(time.Second)
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stamp %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestQuickMonotonicClock: for any random schedule, events fire in
+// non-decreasing time order and the clock never goes backwards.
+func TestQuickMonotonicClock(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine(seed)
+		var stamps []Time
+		n := 1 + r.Intn(100)
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(r.Intn(10000)) * time.Nanosecond
+			e.Schedule(delays[i], func() { stamps = append(stamps, e.Now()) })
+		}
+		e.Run(time.Second)
+		if len(stamps) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(stamps, func(i, j int) bool { return stamps[i] < stamps[j] }) {
+			return false
+		}
+		// Every fire time equals its requested delay.
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		for i := range stamps {
+			if stamps[i] != delays[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Microsecond, func() {})
+		}
+		e.Run(time.Second)
+	}
+}

@@ -1,0 +1,231 @@
+package simhost
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mtp/internal/core"
+	"mtp/internal/sim"
+	"mtp/internal/simnet"
+)
+
+// clos builds a 2-tier Clos: nTor ToR switches, 2 spines, hostsPerTor hosts
+// per ToR. ToRs spread uplink traffic across spines per message (ECMP);
+// every inter-ToR path crosses a distinct pathlet-stamped spine link.
+type closFabric struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	hosts  [][]*simnet.Host // [tor][i]
+	mhosts [][]*MTPHost
+}
+
+func buildClos(t *testing.T, seed int64, nTor, hostsPerTor int, linkRate float64) *closFabric {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net := simnet.NewNetwork(eng)
+	f := &closFabric{eng: eng, net: net}
+
+	tors := make([]*simnet.Switch, nTor)
+	spines := make([]*simnet.Switch, 2)
+	for i := range spines {
+		spines[i] = simnet.NewSwitch(net, nil)
+	}
+	for i := range tors {
+		tors[i] = simnet.NewSwitch(net, simnet.ECMP{})
+	}
+
+	lc := func(pathlet uint32) simnet.LinkConfig {
+		p := pathlet
+		return simnet.LinkConfig{
+			Rate: linkRate, Delay: time.Microsecond, QueueCap: 256, ECNThreshold: 40,
+			Pathlet: &p, StampECN: true,
+		}
+	}
+
+	// Hosts under each ToR.
+	f.hosts = make([][]*simnet.Host, nTor)
+	for ti := range tors {
+		for h := 0; h < hostsPerTor; h++ {
+			host := simnet.NewHost(net)
+			host.SetUplink(net.Connect(tors[ti], simnet.LinkConfig{
+				Rate: linkRate, Delay: time.Microsecond, QueueCap: 256, ECNThreshold: 40,
+			}, "host-up"))
+			tors[ti].AddRoute(host.ID(), net.Connect(host, simnet.LinkConfig{
+				Rate: linkRate, Delay: time.Microsecond, QueueCap: 256, ECNThreshold: 40,
+			}, "host-down"))
+			f.hosts[ti] = append(f.hosts[ti], host)
+		}
+	}
+	// ToR <-> spine links; pathlet IDs encode (tor, spine, direction).
+	for ti, tor := range tors {
+		for si, spine := range spines {
+			up := net.Connect(spine, lc(uint32(100+ti*10+si)), "tor-up")
+			down := net.Connect(tor, lc(uint32(200+ti*10+si)), "spine-down")
+			// ToR routes to every remote host via both spines (ECMP picks).
+			for tj := range tors {
+				if tj == ti {
+					continue
+				}
+				for _, h := range f.hosts[tj] {
+					tor.AddRoute(h.ID(), up)
+				}
+			}
+			// Spine routes back down to this ToR's hosts.
+			for _, h := range f.hosts[ti] {
+				spine.AddRoute(h.ID(), down)
+			}
+		}
+	}
+	return f
+}
+
+// TestClosFabricAllToAll runs MTP all-to-all across the fabric and checks
+// integrity, completion, and spine utilization spread.
+func TestClosFabricAllToAll(t *testing.T) {
+	const nTor, perTor = 4, 2
+	f := buildClos(t, 1, nTor, perTor, 10e9)
+
+	type rcvd struct {
+		data []byte
+	}
+	delivered := make(map[uint16][]rcvd) // receiver port -> messages
+	f.mhosts = make([][]*MTPHost, nTor)
+	port := uint16(100)
+	for ti := range f.hosts {
+		for _, h := range f.hosts[ti] {
+			p := port
+			port++
+			mh := AttachMTP(f.net, h, core.Config{
+				LocalPort: p, RTO: 2 * time.Millisecond,
+				OnMessage: func(m *core.InMessage) {
+					delivered[m.DstPort] = append(delivered[m.DstPort], rcvd{data: append([]byte(nil), m.Data...)})
+				},
+			})
+			f.mhosts[ti] = append(f.mhosts[ti], mh)
+		}
+	}
+	// Every host sends one message to every host in every other rack.
+	r := rand.New(rand.NewSource(7))
+	type sent struct {
+		payload []byte
+		dstPort uint16
+	}
+	var all []sent
+	for ti := range f.mhosts {
+		for hi, mh := range f.mhosts[ti] {
+			for tj := range f.mhosts {
+				if tj == ti {
+					continue
+				}
+				for hj, peer := range f.hosts[tj] {
+					payload := make([]byte, 20*1000+r.Intn(10000))
+					r.Read(payload)
+					dstPort := uint16(100 + tj*perTor + hj)
+					mh.EP.Send(peer.ID(), dstPort, payload, core.SendOptions{})
+					all = append(all, sent{payload: payload, dstPort: dstPort})
+					_ = hi
+				}
+			}
+		}
+	}
+	f.eng.Run(200 * time.Millisecond)
+
+	// Every message delivered exactly once with intact content.
+	total := 0
+	for _, msgs := range delivered {
+		total += len(msgs)
+	}
+	if total != len(all) {
+		t.Fatalf("delivered %d of %d messages", total, len(all))
+	}
+	for _, s := range all {
+		found := false
+		for _, m := range delivered[s.dstPort] {
+			if bytes.Equal(m.data, s.payload) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("message to port %d corrupted or missing", s.dstPort)
+		}
+	}
+	// Senders idle and no in-flight leaks.
+	for ti := range f.mhosts {
+		for _, mh := range f.mhosts[ti] {
+			if mh.EP.Pending() != 0 {
+				t.Fatalf("host %d/%v pending %d", ti, mh.Host.ID(), mh.EP.Pending())
+			}
+			for _, st := range mh.EP.Table().States() {
+				if st.Inflight != 0 {
+					t.Fatalf("inflight leak on pathlet %v", st.Path)
+				}
+			}
+		}
+	}
+	// Both spines carried traffic (ECMP spread) and senders learned
+	// multiple pathlets.
+	learned := 0
+	for _, mh := range f.mhosts[0] {
+		learned += mh.EP.Table().Len()
+	}
+	if learned < 4 {
+		t.Fatalf("pathlet discovery too narrow: %d states", learned)
+	}
+}
+
+// TestClosFabricSustainedLoad drives continuous cross-rack traffic and
+// checks aggregate goodput against the fabric's bisection capacity.
+func TestClosFabricSustainedLoad(t *testing.T) {
+	const nTor, perTor = 2, 2
+	f := buildClos(t, 2, nTor, perTor, 10e9)
+	var deliveredBytes uint64
+	f.mhosts = make([][]*MTPHost, nTor)
+	port := uint16(100)
+	for ti := range f.hosts {
+		for _, h := range f.hosts[ti] {
+			p := port
+			port++
+			mh := AttachMTP(f.net, h, core.Config{
+				LocalPort: p, RTO: 2 * time.Millisecond,
+				OnMessage: func(m *core.InMessage) { deliveredBytes += uint64(m.Size) },
+			})
+			f.mhosts[ti] = append(f.mhosts[ti], mh)
+		}
+	}
+	// Host i in rack 0 streams to host i in rack 1 and vice versa.
+	for hi := 0; hi < perTor; hi++ {
+		for _, pairIdx := range [][2]int{{0, 1}, {1, 0}} {
+			src := f.mhosts[pairIdx[0]][hi]
+			dst := f.hosts[pairIdx[1]][hi]
+			dstPort := uint16(100 + pairIdx[1]*perTor + hi)
+			var refill func(*core.OutMessage)
+			refill = func(*core.OutMessage) {
+				src.EP.SendSynthetic(dst.ID(), dstPort, 1<<19, core.SendOptions{})
+			}
+			src.EP.Config()
+			for k := 0; k < 4; k++ {
+				src.EP.SendSynthetic(dst.ID(), dstPort, 1<<19, core.SendOptions{})
+			}
+			// Install refill via OnMessageSent is fixed at attach; emulate
+			// backlog by scheduling periodic top-ups instead.
+			for tms := 1; tms <= 19; tms++ {
+				tms := tms
+				f.eng.Schedule(time.Duration(tms)*time.Millisecond, func() {
+					refill(nil)
+					refill(nil)
+				})
+			}
+		}
+	}
+	dur := 20 * time.Millisecond
+	f.eng.Run(dur)
+	gbps := float64(deliveredBytes) * 8 / dur.Seconds() / 1e9
+	// 2 hosts per direction × 10G host links, cross-rack bisection 2×10G per
+	// direction: expect well above a single link's worth in aggregate.
+	if gbps < 10 {
+		t.Fatalf("aggregate cross-rack goodput %.1f Gbps", gbps)
+	}
+}

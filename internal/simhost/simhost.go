@@ -1,0 +1,77 @@
+// Package simhost binds the sans-IO MTP endpoint (internal/core) to
+// simulated hosts (internal/simnet): packets flow through simulated links
+// and timers run on the discrete-event engine. The same endpoint code runs
+// on real sockets via the public mtp package.
+package simhost
+
+import (
+	"time"
+
+	"mtp/internal/core"
+	"mtp/internal/sim"
+	"mtp/internal/simnet"
+)
+
+// MTPHost is an MTP endpoint attached to a simulated host.
+type MTPHost struct {
+	Host *simnet.Host
+	EP   *core.Endpoint
+
+	eng   *sim.Engine
+	timer *sim.Timer
+}
+
+// AttachMTP creates an MTP endpoint on host. Peer addresses are
+// simnet.NodeID values.
+func AttachMTP(net *simnet.Network, host *simnet.Host, cfg core.Config) *MTPHost {
+	mh := &MTPHost{Host: host, eng: net.Engine()}
+	mh.EP = core.NewEndpoint(mh, cfg)
+	host.SetHandler(func(pkt *simnet.Packet) {
+		if pkt.Hdr == nil {
+			return
+		}
+		mh.EP.OnPacket(&core.Inbound{
+			From:    pkt.Src,
+			Hdr:     pkt.Hdr,
+			Data:    pkt.Data,
+			Trimmed: pkt.Trimmed,
+		})
+	})
+	return mh
+}
+
+// Now implements core.Env.
+func (mh *MTPHost) Now() time.Duration { return mh.eng.Now() }
+
+// Output implements core.Env: wrap and enqueue on the host's uplink.
+func (mh *MTPHost) Output(pkt *core.Outbound) {
+	dst, ok := pkt.Dst.(simnet.NodeID)
+	if !ok {
+		panic("simhost: destination is not a simnet.NodeID")
+	}
+	// Flow identity groups the packets of one message so ECMP keeps a
+	// message on one path while different messages spread.
+	flow := pkt.Hdr.MsgID<<16 | uint64(pkt.Hdr.SrcPort)
+	mh.Host.Send(&simnet.Packet{
+		Dst:        dst,
+		Size:       pkt.Size,
+		Hdr:        pkt.Hdr,
+		Data:       pkt.Data,
+		ECNCapable: true,
+		Tenant:     int(pkt.Hdr.TC),
+		FlowID:     flow,
+	})
+}
+
+// SetTimer implements core.Env.
+func (mh *MTPHost) SetTimer(at time.Duration) {
+	if mh.timer != nil {
+		mh.timer.Stop()
+	}
+	if at <= 0 {
+		return
+	}
+	mh.timer = mh.eng.Schedule(at-mh.eng.Now(), func() {
+		mh.EP.OnTimer(mh.eng.Now())
+	})
+}

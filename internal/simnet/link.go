@@ -1,0 +1,419 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"mtp/internal/wire"
+)
+
+// LinkConfig parameterizes one directed link.
+type LinkConfig struct {
+	// Rate is the line rate in bits per second.
+	Rate float64
+	// Delay is the propagation delay.
+	Delay time.Duration
+	// QueueCap is the per-queue capacity in packets. Zero means 1000.
+	QueueCap int
+	// ECNThreshold K marks CE (and MTP ECN feedback) when the instantaneous
+	// queue length at enqueue is >= K packets. Zero disables marking.
+	ECNThreshold int
+
+	// Queues is the number of egress queues. Zero means 1. Classify selects
+	// the queue for a packet; nil means queue 0.
+	Queues   int
+	Classify func(*Packet) int
+	// StrictPriority serves the highest-indexed non-empty queue first
+	// instead of round-robin — message-priority scheduling at the egress.
+	StrictPriority bool
+
+	// Pathlet, when non-nil, is the (pathlet, TC-agnostic) identity this
+	// link stamps into MTP headers. The TC in the stamped entry is taken
+	// from the packet's own TC so per-(pathlet,TC) state forms at senders.
+	Pathlet *uint32
+
+	// StampECN/StampRate/StampDelay/StampQueueLen select which feedback
+	// types the link writes into MTP headers (multi-algorithm CC).
+	StampECN      bool
+	StampRate     bool
+	StampDelay    bool
+	StampQueueLen bool
+
+	// Trim, when set, truncates the payload of packets that would be
+	// dropped (NDP-style) instead of discarding them, stamping trim
+	// feedback so receivers can NACK immediately.
+	Trim bool
+
+	// Policer, when non-nil, is consulted at enqueue; it may mark or drop
+	// packets to enforce per-entity policies without separate queues.
+	Policer Policer
+
+	// PauseThreshold enables PFC-style lossless forwarding: when this
+	// link's queue reaches the threshold it pauses the upstream links
+	// registered with AddUpstream, and resumes them at half the threshold.
+	// Zero disables (drop-tail). Losslessness trades drops for head-of-line
+	// blocking that spreads upstream — both behaviours are observable.
+	PauseThreshold int
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1000
+	}
+	if c.Queues <= 0 {
+		c.Queues = 1
+	}
+	return c
+}
+
+// LinkStats aggregates link counters.
+type LinkStats struct {
+	TxPackets  uint64
+	TxBytes    uint64
+	Drops      uint64
+	Trims      uint64
+	Marks      uint64
+	PoliceDrop uint64
+}
+
+// Link is a directed, rate-limited, store-and-forward channel from one node
+// to another, with one or more drop-tail egress queues, optional ECN marking,
+// and optional MTP pathlet feedback stamping. It models an egress port plus
+// wire.
+type Link struct {
+	net  *Network
+	cfg  LinkConfig
+	dst  Node
+	name string
+
+	queues  [][]*Packet
+	rrNext  int
+	busy    bool
+	stats   LinkStats
+	minWire time.Duration // serialization time of a 1-byte packet, for sanity
+
+	// flow accounting for RCP-style fair-rate feedback
+	flowSeen   map[uint64]time.Duration
+	flowWindow time.Duration
+
+	// Lossless-mode state.
+	upstream []*Link
+	paused   bool
+	// Pauses counts pause events issued to upstream links.
+	pauses uint64
+}
+
+// NewLink is used by Network.Connect; it is exported for tests that build
+// custom elements.
+func newLink(n *Network, dst Node, cfg LinkConfig, name string) *Link {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("simnet: link %s has no rate", name))
+	}
+	l := &Link{
+		net:        n,
+		cfg:        cfg,
+		dst:        dst,
+		name:       name,
+		queues:     make([][]*Packet, cfg.Queues),
+		flowSeen:   make(map[uint64]time.Duration),
+		flowWindow: time.Millisecond,
+	}
+	return l
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the total number of queued packets across queues.
+func (l *Link) QueueLen() int {
+	n := 0
+	for _, q := range l.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// QueueBytes returns the total bytes waiting across queues.
+func (l *Link) QueueBytes() int {
+	n := 0
+	for _, q := range l.queues {
+		for _, p := range q {
+			n += p.Size
+		}
+	}
+	return n
+}
+
+// SerializationDelay returns the time to put a packet of size bytes on the
+// wire at line rate.
+func (l *Link) SerializationDelay(size int) time.Duration {
+	return time.Duration(float64(size*8) / l.cfg.Rate * float64(time.Second))
+}
+
+// AddUpstream registers a link that feeds this one; it will be paused when
+// this link's queue crosses PauseThreshold (lossless mode).
+func (l *Link) AddUpstream(up *Link) {
+	l.upstream = append(l.upstream, up)
+}
+
+// Pauses returns the number of pause events this link has issued.
+func (l *Link) Pauses() uint64 { return l.pauses }
+
+// Paused reports whether the link is currently paused by a downstream.
+func (l *Link) Paused() bool { return l.paused }
+
+// pauseUpstream stops the registered upstream transmitters.
+func (l *Link) pauseUpstream() {
+	for _, up := range l.upstream {
+		if !up.paused {
+			up.paused = true
+			l.pauses++
+		}
+	}
+}
+
+// resumeUpstream restarts paused upstream transmitters.
+func (l *Link) resumeUpstream() {
+	for _, up := range l.upstream {
+		if up.paused {
+			up.paused = false
+			if !up.busy {
+				up.transmitNext()
+			}
+		}
+	}
+}
+
+// Enqueue places a packet on the link's egress queue, applying policing,
+// marking, dropping or trimming as configured.
+func (l *Link) Enqueue(pkt *Packet) {
+	now := l.net.eng.Now()
+
+	if l.cfg.Policer != nil {
+		switch l.cfg.Policer.Admit(now, pkt, l) {
+		case PolicerDrop:
+			l.stats.PoliceDrop++
+			return
+		case PolicerMark:
+			l.markPacket(pkt)
+		case PolicerPass:
+		}
+	}
+
+	qi := 0
+	if l.cfg.Classify != nil {
+		qi = l.cfg.Classify(pkt)
+		if qi < 0 || qi >= len(l.queues) {
+			qi = 0
+		}
+	}
+	q := l.queues[qi]
+
+	// Lossless mode never drops: the pause mechanism bounds growth (at the
+	// network edge the bound is host memory, as with real PFC).
+	if len(q) >= l.cfg.QueueCap && l.cfg.PauseThreshold == 0 {
+		if l.cfg.Trim && pkt.Hdr != nil && !pkt.Trimmed && pkt.Hdr.Type == wire.TypeData {
+			// NDP-style trimming: keep the header, drop the payload. Headers
+			// are tiny, so they get generous dedicated headroom beyond the
+			// payload queue (NDP queues them at high priority); the trim
+			// signal must survive exactly when overload is worst.
+			l.trim(pkt)
+			if len(q) >= l.cfg.QueueCap+l.cfg.QueueCap*4 {
+				l.stats.Drops++
+				return
+			}
+		} else {
+			l.stats.Drops++
+			return
+		}
+	}
+
+	if l.cfg.ECNThreshold > 0 && len(q) >= l.cfg.ECNThreshold {
+		l.markPacket(pkt)
+	}
+
+	pkt.enqueuedAt = now
+	pkt.queueLenAtEnqueue = len(q)
+	l.trackFlow(pkt, now)
+	l.queues[qi] = append(q, pkt)
+	if l.cfg.PauseThreshold > 0 && l.QueueLen() >= l.cfg.PauseThreshold {
+		l.pauseUpstream()
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// markPacket applies both the IP-level CE mark and, for MTP packets, the
+// pathlet ECN feedback entry.
+func (l *Link) markPacket(pkt *Packet) {
+	l.stats.Marks++
+	if pkt.ECNCapable {
+		pkt.CE = true
+	}
+	if pkt.Hdr != nil && l.cfg.StampECN {
+		pkt.Hdr.AddPathFeedback(wire.ECNFeedback(l.pathTC(pkt), true))
+	}
+}
+
+func (l *Link) trim(pkt *Packet) {
+	l.stats.Trims++
+	pkt.Trimmed = true
+	pkt.Data = nil
+	if pkt.Hdr != nil {
+		pkt.Hdr.AddPathFeedback(wire.TrimFeedback(l.pathTC(pkt), uint32(pkt.Hdr.PktLen)))
+		pkt.Size -= int(pkt.Hdr.PktLen)
+		if pkt.Size < 64 {
+			pkt.Size = 64
+		}
+	}
+}
+
+func (l *Link) pathTC(pkt *Packet) wire.PathTC {
+	var id uint32
+	if l.cfg.Pathlet != nil {
+		id = *l.cfg.Pathlet
+	}
+	tc := uint8(0)
+	if pkt.Hdr != nil {
+		tc = pkt.Hdr.TC
+	}
+	return wire.PathTC{PathID: id, TC: tc}
+}
+
+// transmitNext dequeues the next packet (round-robin or strict priority
+// across queues) and models serialization plus propagation delay.
+func (l *Link) transmitNext() {
+	if l.paused {
+		// A downstream lossless queue is full; resumeUpstream restarts us.
+		l.busy = false
+		return
+	}
+	qi := -1
+	if l.cfg.StrictPriority {
+		for i := len(l.queues) - 1; i >= 0; i-- {
+			if len(l.queues[i]) > 0 {
+				qi = i
+				break
+			}
+		}
+	} else {
+		for i := 0; i < len(l.queues); i++ {
+			cand := (l.rrNext + i) % len(l.queues)
+			if len(l.queues[cand]) > 0 {
+				qi = cand
+				break
+			}
+		}
+	}
+	if qi < 0 {
+		l.busy = false
+		return
+	}
+	l.rrNext = (qi + 1) % len(l.queues)
+	pkt := l.queues[qi][0]
+	copy(l.queues[qi], l.queues[qi][1:])
+	l.queues[qi] = l.queues[qi][:len(l.queues[qi])-1]
+
+	l.busy = true
+	txDelay := l.SerializationDelay(pkt.Size)
+	l.net.eng.Schedule(txDelay, func() {
+		l.stats.TxPackets++
+		l.stats.TxBytes += uint64(pkt.Size)
+		l.stampOnDequeue(pkt)
+		if l.cfg.PauseThreshold > 0 && l.QueueLen() <= l.cfg.PauseThreshold/2 {
+			l.resumeUpstream()
+		}
+		dst := l.dst
+		l.net.eng.Schedule(l.cfg.Delay, func() {
+			dst.Receive(pkt, l)
+		})
+		l.transmitNext()
+	})
+}
+
+// stampOnDequeue writes feedback types that need dequeue-time information
+// (delay, rate, queue length) into MTP headers.
+func (l *Link) stampOnDequeue(pkt *Packet) {
+	if pkt.Hdr == nil || pkt.Hdr.Type != wire.TypeData {
+		return
+	}
+	if l.cfg.Pathlet == nil {
+		return
+	}
+	p := l.pathTC(pkt)
+	now := l.net.eng.Now()
+	if l.cfg.StampECN {
+		// Ensure an unmarked entry exists so the sender learns the pathlet
+		// identity even on uncongested paths.
+		found := false
+		for _, f := range pkt.Hdr.PathFeedback {
+			if f.Path == p && f.Type == wire.FeedbackECN {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pkt.Hdr.AddPathFeedback(wire.ECNFeedback(p, false))
+		}
+	}
+	if l.cfg.StampDelay {
+		wait := now - pkt.enqueuedAt
+		if wait < 0 {
+			wait = 0
+		}
+		pkt.Hdr.AddPathFeedback(wire.DelayFeedback(p, uint64(wait)))
+	}
+	if l.cfg.StampQueueLen {
+		pkt.Hdr.AddPathFeedback(wire.QueueLenFeedback(p, uint32(l.QueueLen())))
+	}
+	if l.cfg.StampRate {
+		pkt.Hdr.AddPathFeedback(wire.RateFeedback(p, uint64(l.fairRate(now))))
+	}
+}
+
+// trackFlow records flow activity for fair-rate estimation. MTP packets are
+// keyed by sending endpoint (node, source port): messages are the unit of
+// load balancing, not of rate allocation, so counting each message as a
+// flow would understate everyone's fair share.
+func (l *Link) trackFlow(pkt *Packet, now time.Duration) {
+	if !l.cfg.StampRate {
+		return
+	}
+	key := pkt.FlowID
+	if pkt.Hdr != nil {
+		key = uint64(pkt.Src)<<16 | uint64(pkt.Hdr.SrcPort)
+	}
+	l.flowSeen[key] = now
+	// Opportunistic pruning keeps the map bounded.
+	if len(l.flowSeen) > 64 {
+		for id, seen := range l.flowSeen {
+			if now-seen > l.flowWindow {
+				delete(l.flowSeen, id)
+			}
+		}
+	}
+}
+
+// fairRate returns the RCP-style per-flow fair share of the link: capacity
+// divided by the number of recently active flows, derated slightly to keep
+// the queue short.
+func (l *Link) fairRate(now time.Duration) float64 {
+	active := 0
+	for _, seen := range l.flowSeen {
+		if now-seen <= l.flowWindow {
+			active++
+		}
+	}
+	if active < 1 {
+		active = 1
+	}
+	return 0.95 * l.cfg.Rate / float64(active)
+}

@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"fmt"
+
+	"mtp/internal/sim"
+)
+
+// Node is anything that can receive packets from a link.
+type Node interface {
+	// ID returns the node's address in the network.
+	ID() NodeID
+	// Receive handles a packet arriving over from.
+	Receive(pkt *Packet, from *Link)
+}
+
+// Network owns the nodes and links of one simulated topology.
+type Network struct {
+	eng   *sim.Engine
+	nodes map[NodeID]Node
+	links []*Link
+	next  NodeID
+}
+
+// NewNetwork returns an empty topology bound to the engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng, nodes: make(map[NodeID]Node)}
+}
+
+// Engine returns the underlying discrete-event engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AllocID reserves a fresh node ID. Nodes built by callers register with
+// Register.
+func (n *Network) AllocID() NodeID {
+	id := n.next
+	n.next++
+	return id
+}
+
+// Register adds a node to the topology.
+func (n *Network) Register(node Node) {
+	if _, dup := n.nodes[node.ID()]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node id %d", node.ID()))
+	}
+	n.nodes[node.ID()] = node
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// Connect creates a directed link from src's egress to dst and returns it.
+// Bidirectional connectivity is two Connect calls (possibly with different
+// configs, e.g. asymmetric rates).
+func (n *Network) Connect(dst Node, cfg LinkConfig, name string) *Link {
+	l := newLink(n, dst, cfg, name)
+	n.links = append(n.links, l)
+	return l
+}
+
+// Links returns all links for stats collection.
+func (n *Network) Links() []*Link { return n.links }
+
+// Host is a leaf node that delivers arriving packets to a handler and sends
+// through a single uplink.
+type Host struct {
+	id      NodeID
+	uplink  *Link
+	handler func(pkt *Packet)
+	net     *Network
+}
+
+// NewHost creates and registers a host. The handler may be set later with
+// SetHandler (endpoints are usually attached after topology construction).
+func NewHost(n *Network) *Host {
+	h := &Host{id: n.AllocID(), net: n}
+	n.Register(h)
+	return h
+}
+
+// ID implements Node.
+func (h *Host) ID() NodeID { return h.id }
+
+// SetUplink sets the host's egress link.
+func (h *Host) SetUplink(l *Link) { h.uplink = l }
+
+// Uplink returns the host's egress link.
+func (h *Host) Uplink() *Link { return h.uplink }
+
+// SetHandler installs the packet delivery callback.
+func (h *Host) SetHandler(fn func(pkt *Packet)) { h.handler = fn }
+
+// Send transmits a packet via the host's uplink.
+func (h *Host) Send(pkt *Packet) {
+	if h.uplink == nil {
+		panic(fmt.Sprintf("simnet: host %d has no uplink", h.id))
+	}
+	pkt.Src = h.id
+	h.uplink.Enqueue(pkt)
+}
+
+// Receive implements Node.
+func (h *Host) Receive(pkt *Packet, _ *Link) {
+	if h.handler != nil {
+		h.handler(pkt)
+	}
+}

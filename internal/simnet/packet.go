@@ -1,0 +1,62 @@
+// Package simnet provides the simulated network elements — links with
+// output queues, hosts, switches with pluggable forwarding policies, and a
+// tenant fair-share policer — that run on the discrete-event engine in
+// internal/sim. Together with internal/sim it is this repository's substitute
+// for the ns-3 simulator used by the paper.
+package simnet
+
+import (
+	"time"
+
+	"mtp/internal/wire"
+)
+
+// NodeID addresses a node in a Network.
+type NodeID int
+
+// Packet is the unit of transmission in the simulated network. A packet
+// always has a size in bytes (used for serialization delay and queueing);
+// MTP packets additionally carry a parsed header, which in-network devices
+// read and mutate, while baseline transports stash their own state in
+// Payload.
+type Packet struct {
+	Src, Dst NodeID
+	// Size is the on-wire size in bytes including all headers.
+	Size int
+
+	// Hdr is the MTP header for MTP packets; nil otherwise.
+	Hdr *wire.Header
+
+	// Payload carries transport-specific state for non-MTP packets (e.g.
+	// a TCP segment model).
+	Payload any
+
+	// Data optionally carries application bytes for offload experiments
+	// (caches, mutators). Most throughput experiments leave it nil and
+	// model payload by Size alone.
+	Data []byte
+
+	// CE is the IP-level congestion-experienced mark (RFC 3168) used by
+	// the DCTCP baseline.
+	CE bool
+	// ECNCapable gates CE marking; non-capable packets are dropped instead
+	// when the mark threshold also exceeds the queue.
+	ECNCapable bool
+
+	// Trimmed reports that a switch removed the payload (NDP-style).
+	Trimmed bool
+
+	// Tenant identifies the originating entity for per-entity policies.
+	Tenant int
+
+	// FlowID groups packets for ECMP hashing and flow counting.
+	FlowID uint64
+
+	// enqueuedAt and queueLenAtEnqueue record queueing metadata between
+	// enqueue and dequeue on one link.
+	enqueuedAt        time.Duration
+	queueLenAtEnqueue int
+}
+
+// IsMTP reports whether the packet carries an MTP header.
+func (p *Packet) IsMTP() bool { return p.Hdr != nil }

@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"time"
+)
+
+// PolicerAction is the verdict a policer returns for one packet.
+type PolicerAction int
+
+// Policer verdicts.
+const (
+	// PolicerPass admits the packet unchanged.
+	PolicerPass PolicerAction = iota
+	// PolicerMark admits the packet but marks congestion (CE bit and, for
+	// MTP packets, pathlet ECN feedback) so the sending entity backs off.
+	PolicerMark
+	// PolicerDrop discards the packet.
+	PolicerDrop
+)
+
+// Policer inspects packets at link enqueue to enforce per-entity policies
+// without dedicating a queue per entity (the paper's Figure 7 "MTP-enabled
+// shared queue" system).
+type Policer interface {
+	Admit(now time.Duration, pkt *Packet, l *Link) PolicerAction
+}
+
+// FairSharePolicer enforces weighted max-min bandwidth shares between
+// tenants using one token bucket per tenant. A tenant transmitting within
+// its share always passes; a tenant exceeding its share is marked once the
+// shared queue has built up, and dropped only if it keeps pushing far past
+// its share while the queue is near capacity.
+type FairSharePolicer struct {
+	// Rate is the bandwidth being shared, in bits per second.
+	Rate float64
+	// Weights maps tenant → relative weight. Unknown tenants get weight 1.
+	Weights map[int]float64
+	// MarkQueue is the shared-queue depth (packets) above which over-share
+	// traffic is marked. Zero means 10.
+	MarkQueue int
+	// DropQueue is the depth above which over-share traffic is dropped.
+	// Zero means 4× MarkQueue.
+	DropQueue int
+	// Burst is the token bucket depth in bytes. Zero means 64 KiB.
+	Burst float64
+
+	buckets map[int]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+func (p *FairSharePolicer) defaults() (markQ, dropQ int, burst float64) {
+	markQ = p.MarkQueue
+	if markQ <= 0 {
+		markQ = 10
+	}
+	dropQ = p.DropQueue
+	if dropQ <= 0 {
+		dropQ = 4 * markQ
+	}
+	burst = p.Burst
+	if burst <= 0 {
+		burst = 64 << 10
+	}
+	return
+}
+
+func (p *FairSharePolicer) weight(tenant int) float64 {
+	if w, ok := p.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+func (p *FairSharePolicer) totalWeight() float64 {
+	if len(p.Weights) == 0 {
+		return 1
+	}
+	t := 0.0
+	for _, w := range p.Weights {
+		t += w
+	}
+	return t
+}
+
+// Admit implements Policer.
+func (p *FairSharePolicer) Admit(now time.Duration, pkt *Packet, l *Link) PolicerAction {
+	if p.buckets == nil {
+		p.buckets = make(map[int]*bucket)
+	}
+	markQ, dropQ, burst := p.defaults()
+
+	b, ok := p.buckets[pkt.Tenant]
+	if !ok {
+		b = &bucket{tokens: burst, last: now}
+		p.buckets[pkt.Tenant] = b
+	}
+	share := p.Rate * p.weight(pkt.Tenant) / p.totalWeight() / 8 // bytes/s
+	b.tokens += share * (now - b.last).Seconds()
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+
+	need := float64(pkt.Size)
+	if b.tokens >= need {
+		b.tokens -= need
+		return PolicerPass
+	}
+	// Over share: the verdict escalates with shared-queue pressure. When the
+	// queue is empty, spare capacity exists and the packet passes (work
+	// conservation); the bucket stays empty so pressure is detected quickly.
+	qlen := l.QueueLen()
+	switch {
+	case qlen >= dropQ:
+		return PolicerDrop
+	case qlen >= markQ:
+		return PolicerMark
+	default:
+		return PolicerPass
+	}
+}

@@ -1,0 +1,251 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"mtp/internal/wire"
+)
+
+// ForwardPolicy selects the egress link for a packet among the candidate
+// links toward its destination. Implementations embody the load-balancing
+// schemes compared in the paper's Figure 6 and the path alternator of
+// Figure 5.
+type ForwardPolicy interface {
+	// Choose picks one of candidates (never empty) for pkt.
+	Choose(sw *Switch, pkt *Packet, candidates []*Link) *Link
+}
+
+// Switch is an output-queued switch with a static routing table mapping
+// destinations to one or more candidate egress links, and a forwarding
+// policy that picks among them.
+type Switch struct {
+	id     NodeID
+	net    *Network
+	routes map[NodeID][]*Link
+	policy ForwardPolicy
+
+	// Interposer, when non-nil, sees every packet before forwarding and may
+	// consume it (in-network compute offloads: caches, aggregators,
+	// mutators). Returning false consumes the packet.
+	Interposer func(pkt *Packet, from *Link) bool
+}
+
+// NewSwitch creates and registers a switch with the given policy
+// (SingleRoute if nil).
+func NewSwitch(n *Network, policy ForwardPolicy) *Switch {
+	if policy == nil {
+		policy = SingleRoute{}
+	}
+	s := &Switch{id: n.AllocID(), net: n, routes: make(map[NodeID][]*Link), policy: policy}
+	n.Register(s)
+	return s
+}
+
+// ID implements Node.
+func (s *Switch) ID() NodeID { return s.id }
+
+// AddRoute appends a candidate egress link for packets destined to dst.
+func (s *Switch) AddRoute(dst NodeID, l *Link) {
+	s.routes[dst] = append(s.routes[dst], l)
+}
+
+// SetPolicy replaces the forwarding policy.
+func (s *Switch) SetPolicy(p ForwardPolicy) { s.policy = p }
+
+// Receive implements Node: route and enqueue.
+func (s *Switch) Receive(pkt *Packet, from *Link) {
+	if s.Interposer != nil && !s.Interposer(pkt, from) {
+		return
+	}
+	s.Forward(pkt)
+}
+
+// Forward routes a packet (also used by offloads that generate packets).
+func (s *Switch) Forward(pkt *Packet) {
+	candidates := s.routes[pkt.Dst]
+	if len(candidates) == 0 {
+		panic(fmt.Sprintf("simnet: switch %d has no route to %d", s.id, pkt.Dst))
+	}
+	l := s.policy.Choose(s, pkt, s.filterExcluded(pkt, candidates))
+	l.Enqueue(pkt)
+}
+
+// filterExcluded honors the header's path-exclude list when alternatives
+// remain: the end-host has told the network these pathlets are congested.
+func (s *Switch) filterExcluded(pkt *Packet, candidates []*Link) []*Link {
+	if pkt.Hdr == nil || len(pkt.Hdr.PathExclude) == 0 || len(candidates) == 1 {
+		return candidates
+	}
+	kept := make([]*Link, 0, len(candidates))
+	for _, l := range candidates {
+		if l.cfg.Pathlet != nil && pkt.Hdr.Excludes(wire.PathTC{PathID: *l.cfg.Pathlet, TC: pkt.Hdr.TC}) {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if len(kept) == 0 {
+		return candidates
+	}
+	return kept
+}
+
+// SingleRoute always uses the first candidate.
+type SingleRoute struct{}
+
+// Choose implements ForwardPolicy.
+func (SingleRoute) Choose(_ *Switch, _ *Packet, c []*Link) *Link { return c[0] }
+
+// ECMP hashes the packet's flow ID onto one candidate, so a flow (or an MTP
+// message, which carries its own flow ID) sticks to one path regardless of
+// load.
+type ECMP struct{}
+
+// Choose implements ForwardPolicy.
+func (ECMP) Choose(_ *Switch, pkt *Packet, c []*Link) *Link {
+	h := pkt.FlowID
+	// Fibonacci hashing spreads sequential flow IDs.
+	h = h * 0x9E3779B97F4A7C15
+	return c[int(h%uint64(len(c)))]
+}
+
+// Spray sends successive packets round-robin across candidates regardless of
+// flow or message, maximizing utilization at the cost of reordering.
+type Spray struct{ next int }
+
+// Choose implements ForwardPolicy.
+func (p *Spray) Choose(_ *Switch, _ *Packet, c []*Link) *Link {
+	l := c[p.next%len(c)]
+	p.next++
+	return l
+}
+
+// Alternator models a time-division path switch (e.g. an optical circuit
+// switch): the active candidate rotates every Period of virtual time. This
+// is the Figure 5 scenario that defeats single-window congestion control.
+type Alternator struct {
+	Period time.Duration
+}
+
+// Choose implements ForwardPolicy.
+func (a Alternator) Choose(sw *Switch, _ *Packet, c []*Link) *Link {
+	if a.Period <= 0 {
+		return c[0]
+	}
+	idx := int(sw.net.eng.Now()/a.Period) % len(c)
+	return c[idx]
+}
+
+// MessageRR assigns whole messages to candidates round-robin: it keeps
+// MTP's atomic-message invariant (no reordering inside a message) but is
+// blind to message size and path load — the ablation showing that the LB's
+// win in Figure 6 comes from size/load visibility, not just atomicity.
+type MessageRR struct {
+	assignments map[msgKey]*Link
+	next        int
+}
+
+// NewMessageRR returns the blind per-message round-robin policy.
+func NewMessageRR() *MessageRR {
+	return &MessageRR{assignments: make(map[msgKey]*Link)}
+}
+
+// Choose implements ForwardPolicy.
+func (m *MessageRR) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
+	if pkt.Hdr == nil {
+		return ECMP{}.Choose(sw, pkt, c)
+	}
+	key := msgKey{src: pkt.Src, port: pkt.Hdr.SrcPort, msgID: pkt.Hdr.MsgID}
+	if l, ok := m.assignments[key]; ok {
+		if pkt.Hdr.PktNum+1 >= pkt.Hdr.MsgPkts {
+			delete(m.assignments, key)
+		}
+		return l
+	}
+	l := c[m.next%len(c)]
+	m.next++
+	if pkt.Hdr.MsgPkts > 1 && pkt.Hdr.PktNum+1 < pkt.Hdr.MsgPkts {
+		m.assignments[key] = l
+	}
+	return l
+}
+
+// MessageLB is the MTP-enabled load balancer of Figure 6: it assigns each
+// message atomically to the candidate with the least outstanding work,
+// using the message length advertised in every MTP header. Packets without
+// an MTP header fall back to ECMP.
+type MessageLB struct {
+	assignments map[msgKey]*Link
+	// pendingBytes tracks bytes assigned to each link that have not yet
+	// been serialized, giving the LB visibility beyond the queue itself.
+	pendingBytes map[*Link]float64
+	lastDrain    time.Duration
+}
+
+type msgKey struct {
+	src   NodeID
+	port  uint16
+	msgID uint64
+}
+
+// NewMessageLB returns an empty message-aware load balancer.
+func NewMessageLB() *MessageLB {
+	return &MessageLB{
+		assignments:  make(map[msgKey]*Link),
+		pendingBytes: make(map[*Link]float64),
+	}
+}
+
+// Choose implements ForwardPolicy.
+func (m *MessageLB) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
+	if pkt.Hdr == nil {
+		return ECMP{}.Choose(sw, pkt, c)
+	}
+	m.drain(sw.net.eng.Now())
+	key := msgKey{src: pkt.Src, port: pkt.Hdr.SrcPort, msgID: pkt.Hdr.MsgID}
+	if l, ok := m.assignments[key]; ok {
+		m.account(l, pkt)
+		if pkt.Hdr.PktNum+1 >= pkt.Hdr.MsgPkts {
+			delete(m.assignments, key)
+		}
+		return l
+	}
+	// Pick the candidate that would finish this message soonest: queued
+	// bytes plus our own pending estimate, normalized by link rate, plus
+	// propagation delay.
+	var best *Link
+	bestScore := 0.0
+	for _, l := range c {
+		backlog := float64(l.QueueBytes()) + m.pendingBytes[l]
+		score := backlog*8/l.cfg.Rate + l.cfg.Delay.Seconds()
+		if best == nil || score < bestScore {
+			best, bestScore = l, score
+		}
+	}
+	if pkt.Hdr.MsgPkts > 1 && pkt.Hdr.PktNum+1 < pkt.Hdr.MsgPkts {
+		m.assignments[key] = best
+	}
+	m.account(best, pkt)
+	return best
+}
+
+func (m *MessageLB) account(l *Link, pkt *Packet) {
+	m.pendingBytes[l] += float64(pkt.Size)
+}
+
+// drain decays the pending-bytes estimate at line rate so the score tracks
+// reality without per-packet callbacks.
+func (m *MessageLB) drain(now time.Duration) {
+	dt := (now - m.lastDrain).Seconds()
+	if dt <= 0 {
+		return
+	}
+	m.lastDrain = now
+	for l, b := range m.pendingBytes {
+		b -= l.cfg.Rate / 8 * dt
+		if b < 0 {
+			b = 0
+		}
+		m.pendingBytes[l] = b
+	}
+}

@@ -1,0 +1,150 @@
+// Package stats provides the light measurement utilities used by the
+// experiment harnesses: interval throughput meters, percentile computation,
+// and simple summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Meter accumulates byte counts into fixed-width time buckets and reports a
+// throughput series, mirroring the "measure the flow throughput every 32 µs"
+// methodology of the paper's Figure 5.
+type Meter struct {
+	interval time.Duration
+	buckets  []uint64
+}
+
+// NewMeter returns a meter with the given sampling interval.
+func NewMeter(interval time.Duration) *Meter {
+	if interval <= 0 {
+		panic("stats: non-positive meter interval")
+	}
+	return &Meter{interval: interval}
+}
+
+// Add records n bytes delivered at time t.
+func (m *Meter) Add(t time.Duration, n int) {
+	if n < 0 || t < 0 {
+		return
+	}
+	idx := int(t / m.interval)
+	for len(m.buckets) <= idx {
+		m.buckets = append(m.buckets, 0)
+	}
+	m.buckets[idx] += uint64(n)
+}
+
+// Interval returns the bucket width.
+func (m *Meter) Interval() time.Duration { return m.interval }
+
+// Buckets returns the raw per-interval byte counts.
+func (m *Meter) Buckets() []uint64 { return m.buckets }
+
+// SeriesGbps converts the buckets to throughput samples in Gbit/s.
+func (m *Meter) SeriesGbps() []float64 {
+	out := make([]float64, len(m.buckets))
+	secs := m.interval.Seconds()
+	for i, b := range m.buckets {
+		out[i] = float64(b) * 8 / secs / 1e9
+	}
+	return out
+}
+
+// TotalBytes returns the sum across buckets.
+func (m *Meter) TotalBytes() uint64 {
+	var t uint64
+	for _, b := range m.buckets {
+		t += b
+	}
+	return t
+}
+
+// MeanGbps returns average throughput between from and to.
+func (m *Meter) MeanGbps(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	lo, hi := int(from/m.interval), int(to/m.interval)
+	var bytes uint64
+	for i := lo; i < hi && i < len(m.buckets); i++ {
+		bytes += m.buckets[i]
+	}
+	return float64(bytes) * 8 / (to - from).Seconds() / 1e9
+}
+
+// Percentile returns the p-th percentile (0..100) of values using
+// nearest-rank on a sorted copy. It returns 0 for empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Summary holds basic aggregate statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of values.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CoefficientOfVariation returns stddev/mean, the noisiness measure used to
+// compare Figure 3's throughput traces. It returns 0 when the mean is 0.
+func (s Summary) CoefficientOfVariation() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Stddev / s.Mean
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f", s.N, s.Mean, s.Stddev, s.Min, s.Max)
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeterBuckets(t *testing.T) {
+	m := NewMeter(10 * time.Microsecond)
+	m.Add(0, 100)
+	m.Add(5*time.Microsecond, 100)
+	m.Add(10*time.Microsecond, 300)
+	m.Add(35*time.Microsecond, 50)
+	b := m.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if b[0] != 200 || b[1] != 300 || b[2] != 0 || b[3] != 50 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if m.TotalBytes() != 550 {
+		t.Fatalf("total = %d", m.TotalBytes())
+	}
+}
+
+func TestMeterSeriesGbps(t *testing.T) {
+	m := NewMeter(time.Microsecond)
+	// 125 bytes in 1 µs = 1 Gbps.
+	m.Add(0, 125)
+	got := m.SeriesGbps()
+	if len(got) != 1 || math.Abs(got[0]-1.0) > 1e-9 {
+		t.Fatalf("series = %v", got)
+	}
+}
+
+func TestMeterMeanGbps(t *testing.T) {
+	m := NewMeter(time.Microsecond)
+	for i := 0; i < 10; i++ {
+		m.Add(time.Duration(i)*time.Microsecond, 125) // 1 Gbps sustained
+	}
+	if got := m.MeanGbps(0, 10*time.Microsecond); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := m.MeanGbps(5*time.Microsecond, 5*time.Microsecond); got != 0 {
+		t.Fatalf("degenerate range mean = %v", got)
+	}
+}
+
+func TestMeterIgnoresNegative(t *testing.T) {
+	m := NewMeter(time.Microsecond)
+	m.Add(-time.Second, 100)
+	m.Add(0, -100)
+	if m.TotalBytes() != 0 {
+		t.Fatalf("total = %d", m.TotalBytes())
+	}
+}
+
+func TestMeterPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewMeter(0)
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of that classic set is ~2.138.
+	if math.Abs(s.Stddev-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if cv := s.CoefficientOfVariation(); math.Abs(cv-2.138/5) > 0.01 {
+		t.Fatalf("cv = %v", cv)
+	}
+	if got := Summarize(nil); got.N != 0 || got.CoefficientOfVariation() != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// TestQuickPercentileWithinRange: percentiles are always within [min, max]
+// and monotone in p.
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 100
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(vals, p)
+			if v < sorted[0] || v > sorted[n-1] || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

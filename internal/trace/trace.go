@@ -1,0 +1,143 @@
+// Package trace provides a bounded in-memory event tracer for the protocol
+// engine: every significant action (packet sent, acked, retransmitted,
+// message delivered, pathlet excluded, ...) can be recorded into a fixed
+// ring and dumped for debugging. Tracing is optional and allocation-free
+// once the ring exists, so it is safe to leave enabled in experiments.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds recorded by the endpoint.
+const (
+	KindSendData Kind = iota + 1
+	KindRetransmit
+	KindRecvData
+	KindDupData
+	KindSendAck
+	KindRecvAck
+	KindNackOut
+	KindNackIn
+	KindDeliver
+	KindComplete
+	KindTimeout
+	KindExclude
+	KindReadmit
+)
+
+// String returns the kind mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case KindSendData:
+		return "SEND"
+	case KindRetransmit:
+		return "RETX"
+	case KindRecvData:
+		return "RECV"
+	case KindDupData:
+		return "DUP"
+	case KindSendAck:
+		return "ACK>"
+	case KindRecvAck:
+		return "ACK<"
+	case KindNackOut:
+		return "NACK>"
+	case KindNackIn:
+		return "NACK<"
+	case KindDeliver:
+		return "DLVR"
+	case KindComplete:
+		return "DONE"
+	case KindTimeout:
+		return "RTO"
+	case KindExclude:
+		return "EXCL"
+	case KindReadmit:
+		return "READM"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded action.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	// Msg and Pkt identify the message/packet where applicable.
+	Msg uint64
+	Pkt uint32
+	// A and B carry kind-specific values (bytes, pathlet id, counts).
+	A, B uint64
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-5s msg=%d pkt=%d a=%d b=%d", e.At, e.Kind, e.Msg, e.Pkt, e.A, e.B)
+}
+
+// Ring is a fixed-capacity event buffer; when full, the oldest events are
+// overwritten.
+type Ring struct {
+	buf   []Event
+	pos   int
+	total uint64
+}
+
+// NewRing returns a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Add records one event.
+func (r *Ring) Add(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.pos] = e
+	r.pos = (r.pos + 1) % len(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Len returns the number of events currently retained.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Events returns retained events oldest-first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// Dump renders the retained events, newest last, with a summary header.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events recorded, %d retained\n", r.total, r.Len())
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Counts aggregates retained events by kind.
+func (r *Ring) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

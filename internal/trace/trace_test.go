@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Event{At: time.Duration(i), Kind: KindSendData, Msg: uint64(i)})
+	}
+	if r.Total() != 10 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if e.Msg != uint64(6+i) {
+			t.Fatalf("events = %+v", ev)
+		}
+	}
+}
+
+func TestRingUnderfilled(t *testing.T) {
+	r := NewRing(10)
+	r.Add(Event{Kind: KindDeliver, Msg: 1})
+	r.Add(Event{Kind: KindComplete, Msg: 2})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Msg != 1 || ev[1].Msg != 2 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 2000; i++ {
+		r.Add(Event{Kind: KindRecvData})
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindSendData, KindRetransmit, KindRecvData, KindDupData,
+		KindSendAck, KindRecvAck, KindNackOut, KindNackIn, KindDeliver,
+		KindComplete, KindTimeout, KindExclude, KindReadmit}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no mnemonic", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate mnemonic %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatal("unknown kind format")
+	}
+}
+
+func TestDumpAndCounts(t *testing.T) {
+	r := NewRing(8)
+	r.Add(Event{At: time.Microsecond, Kind: KindSendData, Msg: 7, Pkt: 3, A: 1460})
+	r.Add(Event{At: 2 * time.Microsecond, Kind: KindSendData})
+	r.Add(Event{At: 3 * time.Microsecond, Kind: KindDeliver})
+	d := r.Dump()
+	if !strings.Contains(d, "SEND") || !strings.Contains(d, "msg=7") {
+		t.Fatalf("dump = %q", d)
+	}
+	c := r.Counts()
+	if c[KindSendData] != 2 || c[KindDeliver] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}

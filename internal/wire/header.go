@@ -1,0 +1,539 @@
+// Package wire implements the MTP packet header wire format (Figure 4 of the
+// HotNets'21 paper). A header carries port addressing, per-message metadata
+// (ID, priority, length in bytes and packets), per-packet position fields,
+// and the pathlet congestion-control lists: path exclusions, path feedback
+// stamped by network devices, acknowledged path feedback echoed by receivers,
+// and SACK/NACK lists at (message, packet) granularity.
+//
+// All multi-byte integers are big endian. Variable-length lists are
+// count-prefixed. The encoding is self-describing enough for a switch or NIC
+// to parse message attributes from any single packet with bounded state.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PacketType distinguishes the roles an MTP packet can play.
+type PacketType uint8
+
+const (
+	// TypeData carries message payload bytes.
+	TypeData PacketType = iota + 1
+	// TypeAck acknowledges received packets and echoes path feedback.
+	TypeAck
+	// TypeNack negatively acknowledges packets (e.g. after trimming).
+	TypeNack
+	// TypeControl carries endpoint control information (e.g. path
+	// announcements) without payload.
+	TypeControl
+)
+
+// String returns the packet type mnemonic.
+func (t PacketType) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeAck:
+		return "ACK"
+	case TypeNack:
+		return "NACK"
+	case TypeControl:
+		return "CTRL"
+	default:
+		return fmt.Sprintf("PacketType(%d)", uint8(t))
+	}
+}
+
+// FeedbackType identifies the kind of congestion feedback in a TLV entry.
+// Different pathlets may use different feedback types simultaneously; this is
+// what lets DCTCP-style and RCP-style control coexist (multi-algorithm CC).
+type FeedbackType uint8
+
+const (
+	// FeedbackECN is a one-byte 0/1 congestion-experienced mark.
+	FeedbackECN FeedbackType = iota + 1
+	// FeedbackRate is an 8-byte explicit rate in bits per second (RCP).
+	FeedbackRate
+	// FeedbackDelay is an 8-byte one-way queueing delay in nanoseconds
+	// (Swift-style).
+	FeedbackDelay
+	// FeedbackTrim marks a packet whose payload was trimmed by a switch
+	// (NDP-style); the value is the original payload length (4 bytes).
+	FeedbackTrim
+	// FeedbackQueueLen is a 4-byte instantaneous queue length in packets,
+	// useful for replica-selection style feedback.
+	FeedbackQueueLen
+)
+
+// String returns the feedback type mnemonic.
+func (t FeedbackType) String() string {
+	switch t {
+	case FeedbackECN:
+		return "ECN"
+	case FeedbackRate:
+		return "RATE"
+	case FeedbackDelay:
+		return "DELAY"
+	case FeedbackTrim:
+		return "TRIM"
+	case FeedbackQueueLen:
+		return "QLEN"
+	default:
+		return fmt.Sprintf("FeedbackType(%d)", uint8(t))
+	}
+}
+
+// PathTC identifies a (pathlet, traffic class) pair. Congestion state at
+// end-hosts is keyed by this pair, which is what provides per-entity
+// isolation at coarser-than-flow granularity.
+type PathTC struct {
+	PathID uint32
+	TC     uint8
+}
+
+// String formats the pair as "path/tc".
+func (p PathTC) String() string { return fmt.Sprintf("%d/%d", p.PathID, p.TC) }
+
+// Feedback is one (pathlet, TC, feedback) tuple. Network devices append these
+// to DATA packets; receivers copy them into the AckPathFeedback list of the
+// ACK they generate.
+type Feedback struct {
+	Path  PathTC
+	Type  FeedbackType
+	Value []byte
+}
+
+// ECNFeedback constructs an ECN mark feedback entry.
+func ECNFeedback(p PathTC, marked bool) Feedback {
+	v := []byte{0}
+	if marked {
+		v[0] = 1
+	}
+	return Feedback{Path: p, Type: FeedbackECN, Value: v}
+}
+
+// RateFeedback constructs an explicit-rate feedback entry (bits/second).
+func RateFeedback(p PathTC, bps uint64) Feedback {
+	v := make([]byte, 8)
+	binary.BigEndian.PutUint64(v, bps)
+	return Feedback{Path: p, Type: FeedbackRate, Value: v}
+}
+
+// DelayFeedback constructs a queueing-delay feedback entry (nanoseconds).
+func DelayFeedback(p PathTC, nanos uint64) Feedback {
+	v := make([]byte, 8)
+	binary.BigEndian.PutUint64(v, nanos)
+	return Feedback{Path: p, Type: FeedbackDelay, Value: v}
+}
+
+// QueueLenFeedback constructs a queue-occupancy feedback entry (packets).
+func QueueLenFeedback(p PathTC, pkts uint32) Feedback {
+	v := make([]byte, 4)
+	binary.BigEndian.PutUint32(v, pkts)
+	return Feedback{Path: p, Type: FeedbackQueueLen, Value: v}
+}
+
+// TrimFeedback constructs a trim notification carrying the original payload
+// length that was removed.
+func TrimFeedback(p PathTC, origLen uint32) Feedback {
+	v := make([]byte, 4)
+	binary.BigEndian.PutUint32(v, origLen)
+	return Feedback{Path: p, Type: FeedbackTrim, Value: v}
+}
+
+// ECNMarked reports whether an ECN feedback entry carries a mark. It returns
+// false for non-ECN entries or malformed values.
+func (f Feedback) ECNMarked() bool {
+	return f.Type == FeedbackECN && len(f.Value) == 1 && f.Value[0] == 1
+}
+
+// RateBps returns the explicit rate of a RATE entry, or 0 if not applicable.
+func (f Feedback) RateBps() uint64 {
+	if f.Type != FeedbackRate || len(f.Value) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(f.Value)
+}
+
+// DelayNanos returns the delay of a DELAY entry, or 0 if not applicable.
+func (f Feedback) DelayNanos() uint64 {
+	if f.Type != FeedbackDelay || len(f.Value) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(f.Value)
+}
+
+// QueueLen returns the queue occupancy of a QLEN entry, or 0 if not
+// applicable.
+func (f Feedback) QueueLen() uint32 {
+	if f.Type != FeedbackQueueLen || len(f.Value) != 4 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(f.Value)
+}
+
+// PacketRef names one packet of one message, used in SACK and NACK lists.
+type PacketRef struct {
+	MsgID  uint64
+	PktNum uint32
+}
+
+// String formats the reference as "msg:pkt".
+func (r PacketRef) String() string { return fmt.Sprintf("%d:%d", r.MsgID, r.PktNum) }
+
+// Header is the parsed MTP packet header. The field order mirrors Figure 4.
+type Header struct {
+	Type    PacketType
+	SrcPort uint16
+	DstPort uint16
+
+	// Message-level information, present in every packet of the message so
+	// that any device can parse the message from any packet.
+	MsgID    uint64
+	MsgPri   uint8  // relative priority among parallel messages
+	TC       uint8  // traffic class assigned to the message's entity
+	MsgBytes uint32 // total message length in bytes
+	MsgPkts  uint32 // total message length in packets
+
+	// Per-packet position information used for retransmission.
+	PktNum    uint32 // 0-based packet number within the message
+	PktOffset uint32 // byte offset of this packet's payload in the message
+	PktLen    uint16 // payload length of this packet in bytes
+
+	// Pathlet congestion control lists.
+	PathExclude     []PathTC   // pathlets the source asks the network to avoid
+	PathFeedback    []Feedback // stamped by network devices on the forward path
+	AckPathFeedback []Feedback // echoed by the receiver on the reverse path
+
+	// Selective acknowledgement lists.
+	SACK []PacketRef
+	NACK []PacketRef
+}
+
+// Wire format constants.
+const (
+	// Version is the wire format version byte leading every packet.
+	Version = 1
+
+	// fixedLen is the byte length of the fixed portion of the header:
+	// version(1) type(1) srcPort(2) dstPort(2) msgID(8) msgPri(1) tc(1)
+	// msgBytes(4) msgPkts(4) pktNum(4) pktOffset(4) pktLen(2)
+	// + 5 list-count fields (2 bytes each).
+	fixedLen = 1 + 1 + 2 + 2 + 8 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 2*5
+
+	// pathTCLen is the encoded size of one PathTC entry.
+	pathTCLen = 4 + 1
+	// feedbackFixedLen is the encoded size of one Feedback entry minus its
+	// variable value: pathID(4) tc(1) type(1) valueLen(1).
+	feedbackFixedLen = 4 + 1 + 1 + 1
+	// packetRefLen is the encoded size of one SACK/NACK entry.
+	packetRefLen = 8 + 4
+
+	// MaxListEntries bounds each variable-length list so that a malformed
+	// or adversarial header cannot force unbounded allocation.
+	MaxListEntries = 1024
+	// MaxFeedbackValue bounds the value length of one feedback TLV.
+	MaxFeedbackValue = 255
+)
+
+// Errors returned by Decode.
+var (
+	ErrShortBuffer   = errors.New("wire: buffer too short")
+	ErrBadVersion    = errors.New("wire: unsupported version")
+	ErrBadType       = errors.New("wire: invalid packet type")
+	ErrListTooLong   = errors.New("wire: list exceeds MaxListEntries")
+	ErrValueTooLong  = errors.New("wire: feedback value exceeds MaxFeedbackValue")
+	ErrTrailingBytes = errors.New("wire: trailing bytes after header")
+)
+
+// EncodedLen returns the number of bytes Encode will produce for h.
+func (h *Header) EncodedLen() int {
+	n := fixedLen
+	n += len(h.PathExclude) * pathTCLen
+	for _, f := range h.PathFeedback {
+		n += feedbackFixedLen + len(f.Value)
+	}
+	for _, f := range h.AckPathFeedback {
+		n += feedbackFixedLen + len(f.Value)
+	}
+	n += (len(h.SACK) + len(h.NACK)) * packetRefLen
+	return n
+}
+
+// Validate checks structural invariants that must hold before encoding.
+func (h *Header) Validate() error {
+	switch h.Type {
+	case TypeData, TypeAck, TypeNack, TypeControl:
+	default:
+		return ErrBadType
+	}
+	if len(h.PathExclude) > MaxListEntries || len(h.PathFeedback) > MaxListEntries ||
+		len(h.AckPathFeedback) > MaxListEntries || len(h.SACK) > MaxListEntries ||
+		len(h.NACK) > MaxListEntries {
+		return ErrListTooLong
+	}
+	for _, f := range h.PathFeedback {
+		if len(f.Value) > MaxFeedbackValue {
+			return ErrValueTooLong
+		}
+	}
+	for _, f := range h.AckPathFeedback {
+		if len(f.Value) > MaxFeedbackValue {
+			return ErrValueTooLong
+		}
+	}
+	return nil
+}
+
+// Encode appends the wire representation of h to dst and returns the extended
+// slice. It returns an error if h fails Validate.
+func (h *Header) Encode(dst []byte) ([]byte, error) {
+	if err := h.Validate(); err != nil {
+		return dst, err
+	}
+	dst = append(dst, Version, byte(h.Type))
+	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
+	dst = binary.BigEndian.AppendUint64(dst, h.MsgID)
+	dst = append(dst, h.MsgPri, h.TC)
+	dst = binary.BigEndian.AppendUint32(dst, h.MsgBytes)
+	dst = binary.BigEndian.AppendUint32(dst, h.MsgPkts)
+	dst = binary.BigEndian.AppendUint32(dst, h.PktNum)
+	dst = binary.BigEndian.AppendUint32(dst, h.PktOffset)
+	dst = binary.BigEndian.AppendUint16(dst, h.PktLen)
+
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.PathExclude)))
+	for _, p := range h.PathExclude {
+		dst = binary.BigEndian.AppendUint32(dst, p.PathID)
+		dst = append(dst, p.TC)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.PathFeedback)))
+	for _, f := range h.PathFeedback {
+		dst = appendFeedback(dst, f)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.AckPathFeedback)))
+	for _, f := range h.AckPathFeedback {
+		dst = appendFeedback(dst, f)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.SACK)))
+	for _, r := range h.SACK {
+		dst = binary.BigEndian.AppendUint64(dst, r.MsgID)
+		dst = binary.BigEndian.AppendUint32(dst, r.PktNum)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.NACK)))
+	for _, r := range h.NACK {
+		dst = binary.BigEndian.AppendUint64(dst, r.MsgID)
+		dst = binary.BigEndian.AppendUint32(dst, r.PktNum)
+	}
+	return dst, nil
+}
+
+func appendFeedback(dst []byte, f Feedback) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, f.Path.PathID)
+	dst = append(dst, f.Path.TC, byte(f.Type), byte(len(f.Value)))
+	return append(dst, f.Value...)
+}
+
+// decoder is a cursor over an encoded header.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if len(d.b)-d.off < n {
+		return ErrShortBuffer
+	}
+	return nil
+}
+
+func (d *decoder) u8() uint8   { v := d.b[d.off]; d.off++; return v }
+func (d *decoder) u16() uint16 { v := binary.BigEndian.Uint16(d.b[d.off:]); d.off += 2; return v }
+func (d *decoder) u32() uint32 { v := binary.BigEndian.Uint32(d.b[d.off:]); d.off += 4; return v }
+func (d *decoder) u64() uint64 { v := binary.BigEndian.Uint64(d.b[d.off:]); d.off += 8; return v }
+
+// Decode parses an encoded header from b. It returns the parsed header and
+// the number of bytes consumed; the remainder of b is the packet payload.
+// Decoded slices alias freshly allocated memory, never b.
+func Decode(b []byte) (*Header, int, error) {
+	d := &decoder{b: b}
+	if err := d.need(fixedLen); err != nil {
+		return nil, 0, err
+	}
+	if v := d.u8(); v != Version {
+		return nil, 0, fmt.Errorf("%w: got %d want %d", ErrBadVersion, v, Version)
+	}
+	h := &Header{}
+	h.Type = PacketType(d.u8())
+	switch h.Type {
+	case TypeData, TypeAck, TypeNack, TypeControl:
+	default:
+		return nil, 0, ErrBadType
+	}
+	h.SrcPort = d.u16()
+	h.DstPort = d.u16()
+	h.MsgID = d.u64()
+	h.MsgPri = d.u8()
+	h.TC = d.u8()
+	h.MsgBytes = d.u32()
+	h.MsgPkts = d.u32()
+	h.PktNum = d.u32()
+	h.PktOffset = d.u32()
+	h.PktLen = d.u16()
+
+	nExclude := int(d.u16())
+	if nExclude > MaxListEntries {
+		return nil, 0, ErrListTooLong
+	}
+	if err := d.need(nExclude * pathTCLen); err != nil {
+		return nil, 0, err
+	}
+	if nExclude > 0 {
+		h.PathExclude = make([]PathTC, nExclude)
+		for i := range h.PathExclude {
+			h.PathExclude[i].PathID = d.u32()
+			h.PathExclude[i].TC = d.u8()
+		}
+	}
+
+	var err error
+	if h.PathFeedback, err = d.feedbackList(); err != nil {
+		return nil, 0, err
+	}
+	if h.AckPathFeedback, err = d.feedbackList(); err != nil {
+		return nil, 0, err
+	}
+	if h.SACK, err = d.refList(); err != nil {
+		return nil, 0, err
+	}
+	if h.NACK, err = d.refList(); err != nil {
+		return nil, 0, err
+	}
+	return h, d.off, nil
+}
+
+func (d *decoder) feedbackList() ([]Feedback, error) {
+	if err := d.need(2); err != nil {
+		return nil, err
+	}
+	n := int(d.u16())
+	if n > MaxListEntries {
+		return nil, ErrListTooLong
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]Feedback, 0, n)
+	for i := 0; i < n; i++ {
+		if err := d.need(feedbackFixedLen); err != nil {
+			return nil, err
+		}
+		var f Feedback
+		f.Path.PathID = d.u32()
+		f.Path.TC = d.u8()
+		f.Type = FeedbackType(d.u8())
+		vl := int(d.u8())
+		if err := d.need(vl); err != nil {
+			return nil, err
+		}
+		if vl > 0 {
+			f.Value = append([]byte(nil), d.b[d.off:d.off+vl]...)
+			d.off += vl
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func (d *decoder) refList() ([]PacketRef, error) {
+	if err := d.need(2); err != nil {
+		return nil, err
+	}
+	n := int(d.u16())
+	if n > MaxListEntries {
+		return nil, ErrListTooLong
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if err := d.need(n * packetRefLen); err != nil {
+		return nil, err
+	}
+	out := make([]PacketRef, n)
+	for i := range out {
+		out[i].MsgID = d.u64()
+		out[i].PktNum = d.u32()
+	}
+	return out, nil
+}
+
+// DecodeFull parses b, which must contain exactly one header and nothing
+// else. It is a convenience for control packets with no payload.
+func DecodeFull(b []byte) (*Header, error) {
+	h, n, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(b) {
+		return nil, ErrTrailingBytes
+	}
+	return h, nil
+}
+
+// Clone returns a deep copy of h. Network devices that mutate headers (e.g.
+// appending feedback) operate on clones so that simulated multicast or
+// retransmission state is not corrupted by aliasing.
+func (h *Header) Clone() *Header {
+	c := *h
+	c.PathExclude = append([]PathTC(nil), h.PathExclude...)
+	c.PathFeedback = cloneFeedback(h.PathFeedback)
+	c.AckPathFeedback = cloneFeedback(h.AckPathFeedback)
+	c.SACK = append([]PacketRef(nil), h.SACK...)
+	c.NACK = append([]PacketRef(nil), h.NACK...)
+	return &c
+}
+
+func cloneFeedback(in []Feedback) []Feedback {
+	if in == nil {
+		return nil
+	}
+	out := make([]Feedback, len(in))
+	for i, f := range in {
+		out[i] = f
+		out[i].Value = append([]byte(nil), f.Value...)
+	}
+	return out
+}
+
+// AddPathFeedback appends a feedback entry to the forward path feedback list,
+// replacing an existing entry for the same (pathlet, TC, type) if present so
+// a packet crossing the same device twice carries only the freshest value.
+func (h *Header) AddPathFeedback(f Feedback) {
+	for i, old := range h.PathFeedback {
+		if old.Path == f.Path && old.Type == f.Type {
+			h.PathFeedback[i] = f
+			return
+		}
+	}
+	h.PathFeedback = append(h.PathFeedback, f)
+}
+
+// Excludes reports whether the source asked the network to avoid pathlet p.
+func (h *Header) Excludes(p PathTC) bool {
+	for _, e := range h.PathExclude {
+		if e == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a compact single-line summary useful in traces.
+func (h *Header) String() string {
+	return fmt.Sprintf("%s %d->%d msg=%d pri=%d tc=%d len=%dB/%dp pkt=%d off=%d plen=%d fb=%d ackfb=%d sack=%d nack=%d",
+		h.Type, h.SrcPort, h.DstPort, h.MsgID, h.MsgPri, h.TC, h.MsgBytes, h.MsgPkts,
+		h.PktNum, h.PktOffset, h.PktLen, len(h.PathFeedback), len(h.AckPathFeedback), len(h.SACK), len(h.NACK))
+}

@@ -1,0 +1,214 @@
+// Package workload provides the message-size distributions and arrival
+// processes used by the experiment harnesses.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// SizeDist samples message sizes in bytes.
+type SizeDist interface {
+	Sample(r *rand.Rand) int
+	// Mean returns the expected size in bytes.
+	Mean() float64
+}
+
+// Fixed always returns the same size.
+type Fixed int
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*rand.Rand) int { return int(f) }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Bucket is one (size, weight) point of a discrete distribution.
+type Bucket struct {
+	Size   int
+	Weight float64
+}
+
+// Discrete samples from weighted buckets.
+type Discrete struct {
+	buckets []Bucket
+	cum     []float64
+	total   float64
+}
+
+// NewDiscrete builds a discrete distribution; weights need not sum to 1.
+func NewDiscrete(buckets []Bucket) *Discrete {
+	if len(buckets) == 0 {
+		panic("workload: empty distribution")
+	}
+	d := &Discrete{buckets: buckets}
+	for _, b := range buckets {
+		if b.Weight < 0 || b.Size <= 0 {
+			panic("workload: invalid bucket")
+		}
+		d.total += b.Weight
+		d.cum = append(d.cum, d.total)
+	}
+	if d.total <= 0 {
+		panic("workload: zero total weight")
+	}
+	return d
+}
+
+// Sample implements SizeDist.
+func (d *Discrete) Sample(r *rand.Rand) int {
+	x := r.Float64() * d.total
+	for i, c := range d.cum {
+		if x <= c {
+			return d.buckets[i].Size
+		}
+	}
+	return d.buckets[len(d.buckets)-1].Size
+}
+
+// Mean implements SizeDist.
+func (d *Discrete) Mean() float64 {
+	var m float64
+	for _, b := range d.buckets {
+		m += float64(b.Size) * b.Weight / d.total
+	}
+	return m
+}
+
+// PaperMix returns the Figure 6 workload: message sizes from 10 KB up to
+// maxSize (the paper uses 1 GB; benchmarks cap it to keep packet counts
+// tractable), skewed toward short messages as in the DCTCP web-search
+// studies: each decade is ~4× less likely than the previous but carries a
+// large share of the bytes.
+func PaperMix(maxSize int) *Discrete {
+	sizes := []int{10 << 10, 100 << 10, 1 << 20, 10 << 20, 100 << 20, 1 << 30}
+	w := 1.0
+	var buckets []Bucket
+	for _, s := range sizes {
+		if s > maxSize {
+			break
+		}
+		buckets = append(buckets, Bucket{Size: s, Weight: w})
+		w /= 4
+	}
+	if len(buckets) == 0 {
+		buckets = []Bucket{{Size: maxSize, Weight: 1}}
+	}
+	return NewDiscrete(buckets)
+}
+
+// WebSearchCDF is the flow-size distribution from the DCTCP paper's
+// production web-search cluster, as (bytes, cumulative probability) points.
+// It is the empirical counterpart to PaperMix and the "skewed toward short
+// messages as per existing studies [3]" citation in the MTP paper.
+var WebSearchCDF = []CDFPoint{
+	{Bytes: 6 << 10, P: 0.15},
+	{Bytes: 13 << 10, P: 0.20},
+	{Bytes: 19 << 10, P: 0.30},
+	{Bytes: 33 << 10, P: 0.40},
+	{Bytes: 53 << 10, P: 0.53},
+	{Bytes: 133 << 10, P: 0.60},
+	{Bytes: 667 << 10, P: 0.70},
+	{Bytes: 1334 << 10, P: 0.80},
+	{Bytes: 3335 << 10, P: 0.90},
+	{Bytes: 6670 << 10, P: 0.97},
+	{Bytes: 20 << 20, P: 1.00},
+}
+
+// CDFPoint is one point of an empirical size distribution.
+type CDFPoint struct {
+	Bytes int
+	P     float64
+}
+
+// Empirical samples sizes by inverse-transform over a piecewise-linear CDF.
+type Empirical struct {
+	points []CDFPoint
+	mean   float64
+}
+
+// NewEmpirical builds a distribution from CDF points (strictly increasing in
+// both coordinates, final P == 1).
+func NewEmpirical(points []CDFPoint) *Empirical {
+	if len(points) == 0 {
+		panic("workload: empty CDF")
+	}
+	prev := CDFPoint{}
+	for _, p := range points {
+		if p.Bytes <= prev.Bytes || p.P <= prev.P || p.P > 1 {
+			panic("workload: CDF not strictly increasing")
+		}
+		prev = p
+	}
+	if points[len(points)-1].P != 1 {
+		panic("workload: CDF must end at P=1")
+	}
+	e := &Empirical{points: points}
+	// Mean of the piecewise-linear interpolation: segment midpoints times
+	// segment probability mass.
+	prev = CDFPoint{Bytes: points[0].Bytes, P: 0}
+	for _, p := range points {
+		e.mean += float64(prev.Bytes+p.Bytes) / 2 * (p.P - prev.P)
+		prev = p
+	}
+	return e
+}
+
+// Sample implements SizeDist.
+func (e *Empirical) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	prev := CDFPoint{Bytes: e.points[0].Bytes, P: 0}
+	for _, p := range e.points {
+		if u <= p.P {
+			frac := (u - prev.P) / (p.P - prev.P)
+			return prev.Bytes + int(frac*float64(p.Bytes-prev.Bytes))
+		}
+		prev = p
+	}
+	return e.points[len(e.points)-1].Bytes
+}
+
+// Mean implements SizeDist.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Zipf samples key indexes with a Zipfian popularity skew — the access
+// pattern that makes in-network caches effective (NetCache's motivation).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a sampler over [0, keys) with skew s > 1.
+func NewZipf(r *rand.Rand, s float64, keys int) *Zipf {
+	if keys <= 0 || s <= 1 {
+		panic("workload: Zipf needs keys > 0 and s > 1")
+	}
+	return &Zipf{z: rand.NewZipf(r, s, 1, uint64(keys-1))}
+}
+
+// Next returns the next key index.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// Poisson generates exponential interarrival times with the given mean.
+type Poisson struct {
+	Mean time.Duration
+}
+
+// Next samples the next interarrival gap.
+func (p Poisson) Next(r *rand.Rand) time.Duration {
+	if p.Mean <= 0 {
+		return 0
+	}
+	return time.Duration(-math.Log(1-r.Float64()) * float64(p.Mean))
+}
+
+// ArrivalsForLoad computes the mean interarrival time that yields the given
+// utilization of a link with capacity rateBps for messages of meanSize
+// bytes.
+func ArrivalsForLoad(load, rateBps, meanSize float64) Poisson {
+	if load <= 0 || rateBps <= 0 || meanSize <= 0 {
+		panic("workload: invalid load parameters")
+	}
+	msgsPerSec := load * rateBps / 8 / meanSize
+	return Poisson{Mean: time.Duration(float64(time.Second) / msgsPerSec)}
+}

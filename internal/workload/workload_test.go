@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFixed(t *testing.T) {
+	f := Fixed(1000)
+	if f.Sample(nil) != 1000 || f.Mean() != 1000 {
+		t.Fatal("fixed distribution broken")
+	}
+}
+
+func TestDiscreteFrequencies(t *testing.T) {
+	d := NewDiscrete([]Bucket{{Size: 1, Weight: 3}, {Size: 2, Weight: 1}})
+	r := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	for i := 0; i < 40000; i++ {
+		counts[d.Sample(r)]++
+	}
+	frac := float64(counts[1]) / 40000
+	if frac < 0.73 || frac > 0.77 {
+		t.Fatalf("P(1) = %v, want ~0.75", frac)
+	}
+	if got := d.Mean(); math.Abs(got-1.25) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	for _, buckets := range [][]Bucket{
+		nil,
+		{{Size: 0, Weight: 1}},
+		{{Size: 1, Weight: -1}},
+		{{Size: 1, Weight: 0}},
+	} {
+		func() {
+			defer func() { recover() }()
+			NewDiscrete(buckets)
+			t.Fatalf("no panic for %v", buckets)
+		}()
+	}
+}
+
+func TestPaperMixSkew(t *testing.T) {
+	d := PaperMix(1 << 30)
+	r := rand.New(rand.NewSource(2))
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		s := d.Sample(r)
+		if s <= 100<<10 {
+			small++
+		}
+		if s >= 100<<20 {
+			large++
+		}
+	}
+	if small < 8000 {
+		t.Fatalf("small fraction = %d/10000, distribution not skewed short", small)
+	}
+	if large == 0 {
+		t.Fatal("no large messages sampled")
+	}
+	// Capping excludes bigger sizes.
+	capped := PaperMix(1 << 20)
+	for i := 0; i < 1000; i++ {
+		if s := capped.Sample(r); s > 1<<20 {
+			t.Fatalf("capped distribution produced %d", s)
+		}
+	}
+	// Degenerate cap still works.
+	tiny := PaperMix(1)
+	if tiny.Sample(r) != 1 {
+		t.Fatal("degenerate cap")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	p := Poisson{Mean: time.Millisecond}
+	r := rand.New(rand.NewSource(3))
+	var sum time.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		g := p.Next(r)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += g
+	}
+	mean := sum / time.Duration(n)
+	if mean < 950*time.Microsecond || mean > 1050*time.Microsecond {
+		t.Fatalf("mean gap = %v", mean)
+	}
+	if (Poisson{}).Next(r) != 0 {
+		t.Fatal("zero-mean Poisson should return 0")
+	}
+}
+
+func TestArrivalsForLoad(t *testing.T) {
+	// 50% of 100 Gbps with 1 MB messages = 6250 msg/s → 160 µs mean gap.
+	p := ArrivalsForLoad(0.5, 100e9, 1<<20)
+	perSec := 0.5 * 100e9 / 8 / float64(1<<20)
+	want := time.Duration(float64(time.Second) / perSec)
+	if d := p.Mean - want; d > time.Nanosecond || d < -time.Nanosecond {
+		t.Fatalf("mean = %v, want %v", p.Mean, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad load")
+		}
+	}()
+	ArrivalsForLoad(0, 1, 1)
+}
+
+func TestEmpiricalWebSearch(t *testing.T) {
+	e := NewEmpirical(WebSearchCDF)
+	r := rand.New(rand.NewSource(4))
+	n := 50000
+	var small, large int
+	var sum float64
+	min, max := 1<<62, 0
+	for i := 0; i < n; i++ {
+		s := e.Sample(r)
+		sum += float64(s)
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		if s <= 33<<10 {
+			small++
+		}
+		if s >= 3335<<10 {
+			large++
+		}
+	}
+	// ~40% of flows are <= 33KB per the CDF.
+	frac := float64(small) / float64(n)
+	if frac < 0.36 || frac > 0.44 {
+		t.Fatalf("P(<=33KB) = %.3f, want ~0.40", frac)
+	}
+	if large == 0 {
+		t.Fatal("no large flows sampled")
+	}
+	if min < WebSearchCDF[0].Bytes/2 || max > WebSearchCDF[len(WebSearchCDF)-1].Bytes {
+		t.Fatalf("sample range [%d, %d] outside CDF support", min, max)
+	}
+	// Sample mean tracks the analytic mean within 5%.
+	gotMean := sum / float64(n)
+	if gotMean < e.Mean()*0.95 || gotMean > e.Mean()*1.05 {
+		t.Fatalf("sample mean %.0f vs analytic %.0f", gotMean, e.Mean())
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	for _, pts := range [][]CDFPoint{
+		nil,
+		{{Bytes: 10, P: 0.5}},                   // doesn't end at 1
+		{{Bytes: 10, P: 0.5}, {Bytes: 5, P: 1}}, // bytes not increasing
+		{{Bytes: 10, P: 0.5}, {Bytes: 20, P: 0.4}}, // P not increasing
+	} {
+		func() {
+			defer func() { recover() }()
+			NewEmpirical(pts)
+			t.Fatalf("no panic for %v", pts)
+		}()
+	}
+}
+
+// TestQuickDiscreteSamplesAreValid: samples always come from the bucket set.
+func TestQuickDiscreteSamplesAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		set := map[int]bool{}
+		var buckets []Bucket
+		for i := 0; i < n; i++ {
+			s := 1 + r.Intn(1000000)
+			set[s] = true
+			buckets = append(buckets, Bucket{Size: s, Weight: r.Float64() + 0.01})
+		}
+		d := NewDiscrete(buckets)
+		for i := 0; i < 200; i++ {
+			if !set[d.Sample(r)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package mtp is a userspace implementation of MTP, the message transport
+// protocol for in-network computing from "TCP is Harmful to In-Network
+// Computing: Designing a Message Transport Protocol" (HotNets'21).
+//
+// Messages — not byte streams — are the unit of transmission,
+// acknowledgement, retransmission, scheduling, and load balancing. Every
+// packet carries its message's identity and length, so network devices can
+// act on messages with bounded state: caches can answer requests in-network,
+// balancers can steer whole messages, and offloads can mutate data in
+// flight. Congestion control is per (pathlet, traffic class): the network
+// stamps feedback for the resources a packet crossed into its header, the
+// receiver echoes it, and the sender evolves one congestion window per
+// pathlet, so path changes never invalidate learned state.
+//
+// A Node binds the protocol engine to any net.PacketConn (UDP in practice,
+// or the in-memory network from NewMemNetwork in tests):
+//
+//	pc, _ := net.ListenPacket("udp", "127.0.0.1:0")
+//	node, _ := mtp.NewNode(pc, mtp.Config{
+//		Port:      7,
+//		OnMessage: func(m mtp.Message) { fmt.Printf("%s\n", m.Data) },
+//	})
+//	defer node.Close()
+//
+//	// elsewhere
+//	msg, _ := peer.Send(node.Addr().String(), 7, []byte("hello"))
+//	<-msg.Done() // acknowledged end to end
+//
+// The same engine runs under virtual time in this repository's simulator,
+// which is how the paper's evaluation figures are reproduced (see
+// EXPERIMENTS.md).
+package mtp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/core"
+	"mtp/internal/trace"
+	"mtp/internal/wire"
+)
+
+// Config parameterizes a Node.
+type Config struct {
+	// Port identifies the application on this node (like a UDP port, but
+	// inside MTP's own header).
+	Port uint16
+
+	// MSS is the maximum message payload bytes per packet. The default of
+	// 1200 leaves room for the MTP header inside a 1500-byte MTU datagram.
+	MSS int
+
+	// TC is the traffic class (entity) stamped on outgoing messages.
+	TC uint8
+
+	// CC selects the per-pathlet congestion control algorithm: "dctcp"
+	// (default), "aimd", "rcp", or "swift".
+	CC string
+
+	// RTO is the retransmission timeout. Default 20ms (wide-area safe; tune
+	// down for rack-scale deployments).
+	RTO time.Duration
+
+	// AckEvery batches acknowledgements per N data packets. Default 1.
+	AckEvery int
+
+	// OnMessage delivers completed inbound messages. It is called from the
+	// node's receive goroutine; do not block.
+	OnMessage func(m Message)
+
+	// BlobPort, when non-zero, dedicates one MTP port to the bulk-data
+	// (blob) mode: messages arriving on it are reassembled into blobs and
+	// delivered via OnBlob instead of OnMessage.
+	BlobPort uint16
+	// OnBlob delivers completed blobs (requires BlobPort).
+	OnBlob func(b Blob)
+
+	// TraceEvents, when positive, keeps a ring of that many protocol
+	// events (sends, acks, retransmissions, deliveries) readable via
+	// Node.TraceDump — lightweight always-on diagnostics.
+	TraceEvents int
+
+	// NackDelay makes receiver gap-NACKs reordering-tolerant: a hole is
+	// NACKed only after staying open this long. Zero NACKs immediately
+	// (correct when the network keeps messages atomic).
+	NackDelay time.Duration
+
+	// FeedbackBudget caps echoed pathlet-feedback entries per ACK (header
+	// overhead control); zero means unlimited.
+	FeedbackBudget int
+
+	// AutoExcludePathlets enables the policy that asks the network to
+	// avoid persistently congested pathlets via the header exclude list.
+	AutoExcludePathlets bool
+}
+
+// Message is a completed inbound message.
+type Message struct {
+	// From is the sender's network address (reply with Node.Send to
+	// From.String()).
+	From net.Addr
+	// SrcPort/DstPort are the MTP ports.
+	SrcPort, DstPort uint16
+	// ID is the sender-assigned message ID.
+	ID uint64
+	// Priority is the application priority the sender assigned.
+	Priority uint8
+	// TC is the sender's traffic class.
+	TC uint8
+	// Data is the reassembled payload.
+	Data []byte
+}
+
+// Outgoing tracks one message submitted with Send.
+type Outgoing struct {
+	ID   uint64
+	done chan struct{}
+}
+
+// Done is closed when every packet of the message has been acknowledged.
+func (o *Outgoing) Done() <-chan struct{} { return o.done }
+
+// Node is one MTP endpoint bound to a packet connection.
+type Node struct {
+	pc    net.PacketConn
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex
+	ep      *core.Endpoint
+	peers   map[string]net.Addr
+	waiters map[uint64]*Outgoing
+	timer   *time.Timer
+	closed  bool
+	// inbox stages completed messages while mu is held; they are handed to
+	// cfg.OnMessage after the lock is released so the handler may call
+	// Send and friends.
+	inbox []Message
+	blob  blobState
+
+	// RPC layer state (rpc.go).
+	rpc         rpcState
+	rpcHandlers map[uint16]Handler
+
+	wg sync.WaitGroup
+}
+
+// NewNode binds an MTP endpoint to pc and starts its receive loop. The node
+// owns pc and closes it on Close.
+func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
+	if pc == nil {
+		return nil, errors.New("mtp: nil PacketConn")
+	}
+	if cfg.MSS == 0 {
+		cfg.MSS = 1200
+	}
+	if cfg.MSS < 64 || cfg.MSS > 60000 {
+		return nil, fmt.Errorf("mtp: MSS %d out of range", cfg.MSS)
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = 20 * time.Millisecond
+	}
+	kind := cc.Kind(cfg.CC)
+	if cfg.CC == "" {
+		kind = cc.KindDCTCP
+	}
+	if _, err := cc.New(kind, cc.Config{MSS: cfg.MSS}); err != nil {
+		return nil, fmt.Errorf("mtp: %w", err)
+	}
+
+	n := &Node{
+		pc:      pc,
+		cfg:     cfg,
+		start:   time.Now(),
+		peers:   make(map[string]net.Addr),
+		waiters: make(map[uint64]*Outgoing),
+	}
+	var ring *trace.Ring
+	if cfg.TraceEvents > 0 {
+		ring = trace.NewRing(cfg.TraceEvents)
+	}
+	var autoExclude *core.AutoExcludeConfig
+	if cfg.AutoExcludePathlets {
+		autoExclude = &core.AutoExcludeConfig{}
+	}
+	coreCfg := core.Config{
+		LocalPort:      cfg.Port,
+		MSS:            cfg.MSS,
+		TC:             cfg.TC,
+		CC:             kind,
+		RTO:            cfg.RTO,
+		AckEvery:       cfg.AckEvery,
+		NackDelay:      cfg.NackDelay,
+		FeedbackBudget: cfg.FeedbackBudget,
+		AutoExclude:    autoExclude,
+		Trace:          ring,
+		OnMessage:      n.deliver,
+		OnMessageSent: func(m *core.OutMessage) {
+			if w, ok := n.waiters[m.ID]; ok {
+				delete(n.waiters, m.ID)
+				close(w.done)
+			}
+		},
+	}
+	n.ep = core.NewEndpoint(n, coreCfg)
+
+	n.wg.Add(1)
+	go n.readLoop()
+	return n, nil
+}
+
+// Addr returns the node's network address.
+func (n *Node) Addr() net.Addr { return n.pc.LocalAddr() }
+
+// Stats returns a snapshot of protocol counters.
+func (n *Node) Stats() core.EndpointStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ep.Stats
+}
+
+// TraceDump renders the retained protocol event trace (empty unless
+// Config.TraceEvents was set).
+func (n *Node) TraceDump() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ep.Config().Trace == nil {
+		return ""
+	}
+	return n.ep.Config().Trace.Dump()
+}
+
+// Send queues data as one MTP message to the peer at addr (a network
+// address string resolvable by the underlying PacketConn's network) and MTP
+// port dstPort. The returned handle's Done channel closes when the message
+// is fully acknowledged.
+func (n *Node) Send(addr string, dstPort uint16, data []byte) (*Outgoing, error) {
+	return n.SendPriority(addr, dstPort, data, 0)
+}
+
+// SendPriority is Send with an application priority: higher-priority
+// messages are scheduled first among this node's parallel messages.
+func (n *Node) SendPriority(addr string, dstPort uint16, data []byte, priority uint8) (*Outgoing, error) {
+	if len(data) == 0 {
+		return nil, errors.New("mtp: empty message")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("mtp: node closed")
+	}
+	if _, ok := n.peers[addr]; !ok {
+		resolved, err := n.resolve(addr)
+		if err != nil {
+			return nil, err
+		}
+		n.peers[addr] = resolved
+	}
+	m := n.ep.Send(addr, dstPort, data, core.SendOptions{Priority: priority})
+	out := &Outgoing{ID: m.ID, done: make(chan struct{})}
+	if m.Done() {
+		close(out.done) // tiny message fully acked already (loopback)
+	} else {
+		n.waiters[m.ID] = out
+	}
+	return out, nil
+}
+
+func (n *Node) resolve(addr string) (net.Addr, error) {
+	network := n.pc.LocalAddr().Network()
+	switch network {
+	case "udp", "udp4", "udp6":
+		return net.ResolveUDPAddr(network, addr)
+	default:
+		// In-memory and custom PacketConns accept their own string form.
+		return memAddr(addr), nil
+	}
+}
+
+// Close shuts the node down and closes the underlying connection.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	if n.timer != nil {
+		n.timer.Stop()
+	}
+	n.mu.Unlock()
+	err := n.pc.Close()
+	n.wg.Wait()
+	return err
+}
+
+// deliver stages a completed message for the user callback. Called under mu.
+func (n *Node) deliver(m *core.InMessage) {
+	if n.cfg.BlobPort != 0 && m.DstPort == n.cfg.BlobPort {
+		n.feedBlob(m)
+		return
+	}
+	if n.cfg.OnMessage == nil && n.rpcHandlers == nil && n.rpc.pending == nil {
+		return
+	}
+	addrStr, _ := m.From.(string)
+	from := n.peers[addrStr]
+	if from == nil {
+		from = memAddr(addrStr)
+	}
+	n.inbox = append(n.inbox, Message{
+		From:     from,
+		SrcPort:  m.SrcPort,
+		DstPort:  m.DstPort,
+		ID:       m.MsgID,
+		Priority: m.Pri,
+		TC:       m.TC,
+		Data:     m.Data,
+	})
+}
+
+// drainInbox invokes the user callback for staged messages. Must be called
+// without holding mu.
+func (n *Node) drainInbox() {
+	for {
+		n.mu.Lock()
+		if len(n.inbox) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		pending := n.inbox
+		n.inbox = nil
+		n.mu.Unlock()
+		for _, m := range pending {
+			if n.handleRPC(m) {
+				continue
+			}
+			if n.cfg.OnMessage != nil {
+				n.cfg.OnMessage(m)
+			}
+		}
+	}
+}
+
+// drainAll flushes both message and blob staging areas.
+func (n *Node) drainAll() {
+	n.drainInbox()
+	n.drainBlobInbox()
+}
+
+// --- core.Env implementation (wall-clock) ---
+
+// Now implements core.Env.
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Output implements core.Env: encode and transmit. Called under mu.
+func (n *Node) Output(pkt *core.Outbound) {
+	addrStr, _ := pkt.Dst.(string)
+	to := n.peers[addrStr]
+	if to == nil {
+		resolved, err := n.resolve(addrStr)
+		if err != nil {
+			return
+		}
+		n.peers[addrStr] = resolved
+		to = resolved
+	}
+	buf := make([]byte, 0, pkt.Hdr.EncodedLen()+len(pkt.Data))
+	buf, err := pkt.Hdr.Encode(buf)
+	if err != nil {
+		return
+	}
+	buf = append(buf, pkt.Data...)
+	// Ignore transient write errors; reliability recovers them.
+	_, _ = n.pc.WriteTo(buf, to)
+}
+
+// SetTimer implements core.Env. Called under mu.
+func (n *Node) SetTimer(at time.Duration) {
+	if n.timer != nil {
+		n.timer.Stop()
+		n.timer = nil
+	}
+	if at <= 0 || n.closed {
+		return
+	}
+	d := at - n.Now()
+	if d < 0 {
+		d = 0
+	}
+	n.timer = time.AfterFunc(d, func() {
+		n.mu.Lock()
+		if !n.closed {
+			n.ep.OnTimer(n.Now())
+		}
+		n.mu.Unlock()
+		n.drainAll()
+	})
+}
+
+// readLoop decodes datagrams and feeds the engine.
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		nr, from, err := n.pc.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		hdr, consumed, derr := wire.Decode(buf[:nr])
+		if derr != nil {
+			continue // not an MTP packet
+		}
+		var data []byte
+		if consumed < nr {
+			data = append([]byte(nil), buf[consumed:nr]...)
+		}
+		n.mu.Lock()
+		if !n.closed {
+			key := from.String()
+			if _, ok := n.peers[key]; !ok {
+				n.peers[key] = from
+			}
+			n.ep.OnPacket(&core.Inbound{From: key, Hdr: hdr, Data: data})
+		}
+		n.mu.Unlock()
+		n.drainAll()
+	}
+}

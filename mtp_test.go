@@ -1,0 +1,447 @@
+package mtp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectNode builds a node on the mem network that records messages.
+type collected struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (c *collected) add(m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collected) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collected) get(i int) Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs[i]
+}
+
+func memPair(t *testing.T, seed int64, cfgA, cfgB Config) (*Node, *Node, *collected, *MemNetwork) {
+	t.Helper()
+	mn := NewMemNetwork(seed)
+	pa, err := mn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := mn.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &collected{}
+	if cfgB.OnMessage == nil {
+		cfgB.OnMessage = col.add
+	}
+	na, err := NewNode(pa, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NewNode(pb, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		na.Close()
+		nb.Close()
+	})
+	return na, nb, col, mn
+}
+
+func waitDone(t *testing.T, o *Outgoing, d time.Duration) {
+	t.Helper()
+	select {
+	case <-o.Done():
+	case <-time.After(d):
+		t.Fatalf("message %d not acknowledged within %v", o.ID, d)
+	}
+}
+
+func TestNodeMemRoundTrip(t *testing.T) {
+	na, _, col, _ := memPair(t, 1, Config{Port: 10}, Config{Port: 20})
+	data := []byte("hello over the in-memory network")
+	out, err := na.Send("b", 20, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 2*time.Second)
+	deadline := time.Now().Add(time.Second)
+	for col.len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if col.len() != 1 {
+		t.Fatalf("delivered %d", col.len())
+	}
+	m := col.get(0)
+	if !bytes.Equal(m.Data, data) || m.SrcPort != 10 || m.DstPort != 20 {
+		t.Fatalf("message = %+v", m)
+	}
+	if m.From.String() != "a" {
+		t.Fatalf("from = %v", m.From)
+	}
+}
+
+func TestNodeMultiPacketWithLoss(t *testing.T) {
+	na, _, col, mn := memPair(t, 2,
+		Config{Port: 1, MSS: 512, RTO: 20 * time.Millisecond},
+		Config{Port: 2})
+	mn.Loss = 0.05
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(5)).Read(data)
+	out, err := na.Send("b", 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 10*time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for col.len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if col.len() != 1 {
+		t.Fatalf("delivered %d", col.len())
+	}
+	if !bytes.Equal(col.get(0).Data, data) {
+		t.Fatal("data corrupt under loss")
+	}
+	if na.Stats().PktsRetx == 0 {
+		t.Fatal("no retransmissions under 5% loss")
+	}
+}
+
+func TestNodeBidirectional(t *testing.T) {
+	var gotA []Message
+	var muA sync.Mutex
+	na, nb, col, _ := memPair(t, 3,
+		Config{Port: 1, OnMessage: func(m Message) {
+			muA.Lock()
+			gotA = append(gotA, m)
+			muA.Unlock()
+		}},
+		Config{Port: 2})
+	o1, err := na.Send("b", 2, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, o1, 2*time.Second)
+	o2, err := nb.Send("a", 1, []byte("pong"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, o2, 2*time.Second)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		muA.Lock()
+		n := len(gotA)
+		muA.Unlock()
+		if n == 1 && col.len() == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("deliveries: a=%d b=%d", len(gotA), col.len())
+}
+
+func TestNodeManyMessagesConcurrent(t *testing.T) {
+	na, _, col, _ := memPair(t, 4, Config{Port: 1, MSS: 600}, Config{Port: 2})
+	const n = 50
+	outs := make([]*Outgoing, n)
+	payloads := make([][]byte, n)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		payloads[i] = make([]byte, 1+r.Intn(8000))
+		r.Read(payloads[i])
+		o, err := na.Send("b", 2, payloads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = o
+	}
+	for _, o := range outs {
+		waitDone(t, o, 10*time.Second)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for col.len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if col.len() != n {
+		t.Fatalf("delivered %d/%d", col.len(), n)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		m := col.get(i)
+		if seen[m.ID] {
+			t.Fatalf("duplicate delivery of %d", m.ID)
+		}
+		seen[m.ID] = true
+		if !bytes.Equal(m.Data, payloads[m.ID-1]) {
+			t.Fatalf("message %d corrupt", m.ID)
+		}
+	}
+}
+
+func TestNodeOverUDP(t *testing.T) {
+	pcA, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	pcB, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		pcA.Close()
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	col := &collected{}
+	na, err := NewNode(pcA, Config{Port: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := NewNode(pcB, Config{Port: 2, OnMessage: col.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+
+	data := make([]byte, 100<<10)
+	rand.New(rand.NewSource(9)).Read(data)
+	out, err := na.Send(nb.Addr().String(), 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 10*time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for col.len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if col.len() != 1 || !bytes.Equal(col.get(0).Data, data) {
+		t.Fatalf("UDP delivery failed: %d messages", col.len())
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := NewNode(nil, Config{}); err == nil {
+		t.Fatal("nil conn accepted")
+	}
+	mn := NewMemNetwork(1)
+	pc, _ := mn.Listen("x")
+	if _, err := NewNode(pc, Config{MSS: 5}); err == nil {
+		t.Fatal("tiny MSS accepted")
+	}
+	if _, err := NewNode(pc, Config{CC: "bogus"}); err == nil {
+		t.Fatal("bogus CC accepted")
+	}
+	n, err := NewNode(pc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send("y", 1, nil); err == nil {
+		t.Fatal("empty message accepted")
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal("second close errored:", err)
+	}
+	if _, err := n.Send("y", 1, []byte("x")); err == nil {
+		t.Fatal("send on closed node accepted")
+	}
+}
+
+func TestMemNetworkAddressing(t *testing.T) {
+	mn := NewMemNetwork(1)
+	a, err := mn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mn.Listen("a"); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	if a.LocalAddr().Network() != "mem" || a.LocalAddr().String() != "a" {
+		t.Fatalf("addr = %v", a.LocalAddr())
+	}
+	if err := a.SetDeadline(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := a.WriteTo([]byte("x"), memAddr("b")); err == nil {
+		t.Fatal("write on closed conn accepted")
+	}
+	// The name is free again after close.
+	if _, err := mn.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeReplyFromHandler guards against deadlock when OnMessage calls
+// Send (the echo-server pattern).
+func TestNodeReplyFromHandler(t *testing.T) {
+	mn := NewMemNetwork(8)
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	gotReply := make(chan []byte, 1)
+	na, err := NewNode(pa, Config{Port: 1, OnMessage: func(m Message) {
+		select {
+		case gotReply <- m.Data:
+		default:
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	var nb *Node
+	nb, err = NewNode(pb, Config{Port: 2, OnMessage: func(m Message) {
+		if _, err := nb.Send(m.From.String(), m.SrcPort, append([]byte("echo:"), m.Data...)); err != nil {
+			t.Errorf("reply: %v", err)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+
+	out, err := na.Send("b", 2, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 5*time.Second)
+	select {
+	case data := <-gotReply:
+		if string(data) != "echo:ping" {
+			t.Fatalf("reply = %q", data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no echo (handler reply deadlocked?)")
+	}
+}
+
+func TestNodePriorityExposed(t *testing.T) {
+	na, _, col, _ := memPair(t, 6, Config{Port: 1}, Config{Port: 2})
+	out, err := na.SendPriority("b", 2, []byte("urgent"), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 2*time.Second)
+	deadline := time.Now().Add(time.Second)
+	for col.len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if col.get(0).Priority != 9 {
+		t.Fatalf("priority = %d", col.get(0).Priority)
+	}
+}
+
+// TestNodeCloseMidTransfer: closing while a large message is in flight must
+// not panic, deadlock, or leave goroutines stuck.
+func TestNodeCloseMidTransfer(t *testing.T) {
+	mn := NewMemNetwork(41)
+	mn.Latency = 2 * time.Millisecond
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	na, _ := NewNode(pa, Config{Port: 1, MSS: 600})
+	nb, _ := NewNode(pb, Config{Port: 2})
+	big := make([]byte, 1<<20)
+	if _, err := na.Send("b", 2, big); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * time.Millisecond) // transfer underway
+	if err := na.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Further sends fail cleanly.
+	if _, err := na.Send("b", 2, []byte("x")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	mn := NewMemNetwork(31)
+	mn.Latency = 5 * time.Millisecond
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	na, _ := NewNode(pa, Config{Port: 1})
+	defer na.Close()
+	col := &collected{}
+	nb, _ := NewNode(pb, Config{Port: 2, OnMessage: col.add})
+	defer nb.Close()
+
+	t0 := time.Now()
+	out, err := na.Send("b", 2, []byte("delayed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 10*time.Second)
+	// Data + ack each cross the injected 5ms latency.
+	if rtt := time.Since(t0); rtt < 9*time.Millisecond {
+		t.Fatalf("ack after %v despite 2x5ms injected latency", rtt)
+	}
+}
+
+func TestNodeTraceDump(t *testing.T) {
+	mn := NewMemNetwork(21)
+	pa, _ := mn.Listen("a")
+	pb, _ := mn.Listen("b")
+	na, err := NewNode(pa, Config{Port: 1, TraceEvents: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := NewNode(pb, Config{Port: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	if nb.TraceDump() != "" {
+		t.Fatal("trace dump without TraceEvents")
+	}
+	out, err := na.Send("b", 2, []byte("traced message"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 5*time.Second)
+	d := na.TraceDump()
+	if !strings.Contains(d, "SEND") || !strings.Contains(d, "DONE") {
+		t.Fatalf("trace dump missing events:\n%s", d)
+	}
+}
+
+func ExampleNode() {
+	mn := NewMemNetwork(1)
+	pcServer, _ := mn.Listen("server")
+	pcClient, _ := mn.Listen("client")
+
+	done := make(chan struct{})
+	server, _ := NewNode(pcServer, Config{Port: 7, OnMessage: func(m Message) {
+		fmt.Printf("server got %q from %s\n", m.Data, m.From)
+		close(done)
+	}})
+	defer server.Close()
+
+	client, _ := NewNode(pcClient, Config{Port: 9})
+	defer client.Close()
+
+	msg, _ := client.Send("server", 7, []byte("hello MTP"))
+	<-msg.Done()
+	<-done
+	// Output: server got "hello MTP" from client
+}

@@ -1,0 +1,191 @@
+package mtp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rpcPair(t *testing.T, seed int64) (*Node, *Node) {
+	t.Helper()
+	mn := NewMemNetwork(seed)
+	pa, _ := mn.Listen("client")
+	pb, _ := mn.Listen("server")
+	client, err := NewNode(pa, Config{Port: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewNode(pb, Config{Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return client, server
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	client, server := rpcPair(t, 1)
+	err := server.ServeRPC(7, func(from string, req []byte) ([]byte, error) {
+		return []byte("echo:" + string(req) + " from " + from), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, "server", 7, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hello from client" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestRPCConcurrentCallsCorrelate(t *testing.T) {
+	client, server := rpcPair(t, 2)
+	if err := server.ServeRPC(7, func(_ string, req []byte) ([]byte, error) {
+		return append([]byte("r-"), req...), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			want := fmt.Sprintf("req-%d", i)
+			resp, err := client.Call(ctx, "server", 7, []byte(want))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp) != "r-"+want {
+				errs <- fmt.Errorf("call %d got %q", i, resp)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCRemoteError(t *testing.T) {
+	client, server := rpcPair(t, 3)
+	if err := server.ServeRPC(7, func(_ string, _ []byte) ([]byte, error) {
+		return nil, errors.New("backend exploded")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := client.Call(ctx, "server", 7, []byte("x"))
+	if !errors.Is(err, ErrRPCRemote) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "backend exploded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRPCContextCancel(t *testing.T) {
+	client, server := rpcPair(t, 4)
+	block := make(chan struct{})
+	if err := server.ServeRPC(7, func(_ string, _ []byte) ([]byte, error) {
+		<-block
+		return []byte("late"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := client.Call(ctx, "server", 7, []byte("x"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	close(block)
+	// A late response after cancellation must not panic or leak.
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestRPCHandlerValidation(t *testing.T) {
+	_, server := rpcPair(t, 5)
+	if err := server.ServeRPC(7, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	ok := func(string, []byte) ([]byte, error) { return nil, nil }
+	if err := server.ServeRPC(7, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.ServeRPC(7, ok); err == nil {
+		t.Fatal("duplicate port binding accepted")
+	}
+}
+
+func TestRPCCoexistsWithPlainMessages(t *testing.T) {
+	mn := NewMemNetwork(6)
+	pa, _ := mn.Listen("client")
+	pb, _ := mn.Listen("server")
+	var plain []Message
+	var mu sync.Mutex
+	client, err := NewNode(pa, Config{Port: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server, err := NewNode(pb, Config{Port: 7, OnMessage: func(m Message) {
+		mu.Lock()
+		plain = append(plain, m)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if err := server.ServeRPC(8, func(_ string, req []byte) ([]byte, error) {
+		return req, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain message to port 7 hits OnMessage; an RPC to port 8 does not.
+	out, err := client.Send("server", 7, []byte("plain payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, out, 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := client.Call(ctx, "server", 8, []byte("rpc payload")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		nPlain := len(plain)
+		mu.Unlock()
+		if nPlain == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(plain) != 1 || string(plain[0].Data) != "plain payload" {
+		t.Fatalf("plain messages = %+v", plain)
+	}
+}
