@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet verify exp
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the gate a change must pass before it ships.
+verify: vet race
+
+# exp regenerates the paper's figures on the simulator.
+exp: build
+	$(GO) run ./cmd/mtpexp -exp all

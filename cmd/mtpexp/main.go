@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, table1, ext, fig5sweep, fig6sweep")
+		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep")
 		duration = flag.Duration("duration", 0, "override simulated duration (fig2/3/5/7)")
 		messages = flag.Int("messages", 0, "override message count (fig6)")
 		maxSize  = flag.Int("maxsize", 0, "override max message size in bytes (fig6)")
@@ -70,7 +70,7 @@ func main() {
 	}
 	if *which == "fig5sweep" {
 		ran = true
-		fmt.Println(exp.SweepString(exp.RunFig5PeriodSweep(nil, *duration)))
+		fmt.Println(exp.SweepString(exp.RunFig5PeriodSweep(nil, *duration, *seed)))
 	}
 	if run("fig6") {
 		ran = true
@@ -83,7 +83,19 @@ func main() {
 	}
 	if *which == "fig6sweep" {
 		ran = true
-		fmt.Println(exp.LoadSweepString(exp.RunFig6LoadSweep(nil, *messages, *maxSize)))
+		fmt.Println(exp.LoadSweepString(exp.RunFig6LoadSweep(nil, *messages, *maxSize, *seed)))
+	}
+	if run("failover") {
+		ran = true
+		fr := exp.FailoverConfig{Seed: *seed}
+		if *duration > 0 {
+			fr.Duration = *duration
+		}
+		r := exp.RunFailover(fr)
+		fmt.Println(r.String())
+		if *samples {
+			fmt.Println(r.Samples())
+		}
 	}
 	if run("fig7") {
 		ran = true

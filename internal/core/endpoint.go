@@ -69,6 +69,19 @@ type Config struct {
 	// path-exclude list.
 	AutoExclude *AutoExcludeConfig
 
+	// FailoverRTOs, when positive, enables pathlet failure recovery: a
+	// pathlet that suffers this many consecutive retransmission-timeout
+	// rounds with no returning feedback is declared dead — it is pushed onto
+	// the wire path-exclude list, its unacknowledged packets fail over to
+	// surviving pathlets (delivered packets are never resent), and it is
+	// probed periodically for readmission. Zero disables detection.
+	FailoverRTOs int
+
+	// ProbeInterval is how often a dead pathlet is probed for readmission
+	// (one packet omits it from the exclude list). Default 8×RTO when
+	// FailoverRTOs is set.
+	ProbeInterval time.Duration
+
 	// FeedbackBudget caps the number of echoed feedback entries per ACK
 	// (Section 4's header-overhead mitigation: "feedback can be selectively
 	// returned"). The freshest entries win; zero means unlimited.
@@ -97,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReceiveTimeout <= 0 {
 		c.ReceiveTimeout = 50 * time.Millisecond
+	}
+	if c.FailoverRTOs > 0 && c.ProbeInterval <= 0 {
+		c.ProbeInterval = 8 * c.RTO
 	}
 	return c
 }
@@ -183,6 +199,7 @@ type Endpoint struct {
 	unacked     int
 
 	excluder *autoExcluder
+	fo       *failoverState
 
 	// Stats counts protocol events.
 	Stats EndpointStats
@@ -210,6 +227,12 @@ type EndpointStats struct {
 	// Exclusions counts pathlets the auto-exclude policy asked the network
 	// to avoid.
 	Exclusions uint64
+	// Failovers counts pathlets declared dead after consecutive RTOs.
+	Failovers uint64
+	// ProbesSent counts readmission probes toward dead pathlets.
+	ProbesSent uint64
+	// Readmissions counts dead pathlets revived by returning feedback.
+	Readmissions uint64
 }
 
 type inKey struct {
@@ -269,6 +292,9 @@ func NewEndpoint(env Env, cfg Config) *Endpoint {
 	e.table = pathlet.NewTable(factory)
 	if cfg.AutoExclude != nil {
 		e.excluder = newAutoExcluder(*cfg.AutoExclude)
+	}
+	if cfg.FailoverRTOs > 0 {
+		e.fo = newFailoverState()
 	}
 	return e
 }

@@ -33,6 +33,11 @@ type testEnv struct {
 	// stampECN, when non-nil, appends pathlet ECN feedback with the given
 	// mark decision to outgoing data packets.
 	stampECN func(pkt *Outbound) (wire.PathTC, bool, bool)
+	// dup decides whether an outgoing packet is delivered twice.
+	dup func(pkt *Outbound) bool
+	// jitter, when non-nil, returns extra one-way delay for a packet copy,
+	// letting tests reorder deliveries.
+	jitter func(pkt *Outbound) time.Duration
 
 	sent uint64
 }
@@ -69,19 +74,29 @@ func (te *testEnv) Output(pkt *Outbound) {
 	if peer == nil {
 		return
 	}
-	in := &Inbound{From: te.name, Hdr: pkt.Hdr.Clone(), Data: append([]byte(nil), pkt.Data...)}
-	if pkt.Data == nil {
-		in.Data = nil
+	copies := 1
+	if te.dup != nil && te.dup(pkt) {
+		copies = 2
 	}
-	if te.trim != nil && pkt.Hdr.Type == wire.TypeData && te.trim(pkt) {
-		in.Data = nil
-		in.Trimmed = true
-	}
-	te.world.eng.Schedule(te.delay, func() {
-		if peer.ep != nil {
-			peer.ep.OnPacket(in)
+	for c := 0; c < copies; c++ {
+		in := &Inbound{From: te.name, Hdr: pkt.Hdr.Clone(), Data: append([]byte(nil), pkt.Data...)}
+		if pkt.Data == nil {
+			in.Data = nil
 		}
-	})
+		if te.trim != nil && pkt.Hdr.Type == wire.TypeData && te.trim(pkt) {
+			in.Data = nil
+			in.Trimmed = true
+		}
+		d := te.delay
+		if te.jitter != nil {
+			d += te.jitter(pkt)
+		}
+		te.world.eng.Schedule(d, func() {
+			if peer.ep != nil {
+				peer.ep.OnPacket(in)
+			}
+		})
+	}
 }
 
 // SetTimer implements Env.

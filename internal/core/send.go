@@ -91,7 +91,7 @@ func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC
 		PktNum:      uint32(idx),
 		PktOffset:   p.offset,
 		PktLen:      p.length,
-		PathExclude: e.table.ExcludeList(),
+		PathExclude: e.sendExcludeList(),
 	}
 	var data []byte
 	if m.data != nil {
@@ -171,7 +171,14 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 
 	// Feed pathlet congestion control with the echoed network feedback.
 	if ackedBytes > 0 || len(hdr.AckPathFeedback) > 0 {
-		e.table.OnAck(now, hdr.AckPathFeedback, ackedBytes, rttSample)
+		updated := e.table.OnAck(now, hdr.AckPathFeedback, ackedBytes, rttSample)
+		if e.fo != nil {
+			// Feedback is proof of life: clear timeout runs and readmit
+			// dead pathlets a probe successfully crossed.
+			for _, st := range updated {
+				e.noteFeedbackPath(st.Path)
+			}
+		}
 	}
 	if e.excluder != nil {
 		e.excluder.observe(e, now, hdr.AckPathFeedback)
@@ -249,6 +256,9 @@ func (e *Endpoint) OnTimer(now time.Duration) {
 				if !lossPaths[p.path] {
 					lossPaths[p.path] = true
 					e.table.OnLoss(now, p.path)
+					// One timeout round per pathlet per firing counts
+					// toward the consecutive-RTO death threshold.
+					e.noteTimeoutPath(p.path)
 				}
 			} else if next == 0 || deadline < next {
 				next = deadline

@@ -1,0 +1,310 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mtp/internal/baseline"
+	"mtp/internal/cc"
+	"mtp/internal/core"
+	"mtp/internal/fault"
+	"mtp/internal/sim"
+	"mtp/internal/simhost"
+	"mtp/internal/simnet"
+	"mtp/internal/stats"
+)
+
+// FailoverConfig parameterizes the failure-recovery experiment: one sender
+// and one receiver joined by a fast and a slow path, where the fast path
+// silently blackholes mid-transfer. MTP detects the dead pathlet from
+// consecutive RTOs, excludes it in its headers so the switch reroutes onto
+// the slow path, and later readmits it by probing; DCTCP has one connection
+// bound to whatever path the network picked and can only wait the outage
+// out. The headline number is how much faster MTP's goodput recovers.
+type FailoverConfig struct {
+	FastRate, SlowRate float64       // 100 / 10 Gbps
+	LinkDelay          time.Duration // 1 µs
+	QueueCap           int           // 128 packets
+	ECNThreshold       int           // 20 packets
+	RTO                time.Duration // 1 ms, both systems
+	FailoverRTOs       int           // 2 consecutive RTOs declare a pathlet dead
+	ProbeInterval      time.Duration // 4 ms between readmission probes
+	FaultAt            time.Duration // 5 ms: blackhole onset
+	FaultFor           time.Duration // 20 ms: blackhole duration
+	Duration           time.Duration // 40 ms
+	SampleInterval     time.Duration // 100 µs
+	Seed               int64
+	MaxWindow          float64 // socket-buffer cap, default 256 KiB
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.FastRate == 0 {
+		c.FastRate = 100e9
+	}
+	if c.SlowRate == 0 {
+		c.SlowRate = 10e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 128
+	}
+	if c.ECNThreshold == 0 {
+		c.ECNThreshold = 20
+	}
+	if c.RTO == 0 {
+		c.RTO = time.Millisecond
+	}
+	if c.FailoverRTOs == 0 {
+		c.FailoverRTOs = 2
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 4 * time.Millisecond
+	}
+	if c.FaultAt == 0 {
+		c.FaultAt = 5 * time.Millisecond
+	}
+	if c.FaultFor == 0 {
+		c.FaultFor = 20 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 40 * time.Millisecond
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 100 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 256 << 10
+	}
+	return c
+}
+
+// FailoverSeries is one system's trace plus its recovery metrics.
+type FailoverSeries struct {
+	Name string
+	Gbps []float64
+	// PreFaultGbps is the mean goodput over the 1ms before the fault.
+	PreFaultGbps float64
+	// Recovery is the time from fault onset until goodput first reaches
+	// half the slow path's rate again; Recovered is false if it never does.
+	Recovery  time.Duration
+	Recovered bool
+	// FirstDelivery is the time from fault onset until any byte is
+	// delivered (the application-visible outage).
+	FirstDelivery time.Duration
+	// DipGbits is the goodput lost to the fault: the area between the
+	// pre-fault mean and the trace, from onset to the end of the run.
+	DipGbits float64
+}
+
+// FailoverResult holds both systems' outcomes.
+type FailoverResult struct {
+	Config FailoverConfig
+	MTP    FailoverSeries
+	DCTCP  FailoverSeries
+	// Speedup is DCTCP recovery time over MTP recovery time.
+	Speedup float64
+	// Failovers/ProbesSent/Readmissions are the MTP sender's fault counters.
+	Failovers, ProbesSent, Readmissions uint64
+	// Faults is the injector's event log.
+	Faults []fault.Event
+}
+
+// failoverTopo builds the two-path topology. Unlike fig5Topo the switch uses
+// SingleRoute, so all traffic takes the fast path until a header's exclude
+// list forces the slow one — rerouting is entirely end-host-driven.
+func failoverTopo(cfg FailoverConfig, pathlets bool) (*sim.Engine, *simnet.Network, *simnet.Host, *simnet.Host, *simnet.Link) {
+	eng := sim.NewEngine(cfg.Seed)
+	net := simnet.NewNetwork(eng)
+	snd := simnet.NewHost(net)
+	rcv := simnet.NewHost(net)
+	sw := simnet.NewSwitch(net, simnet.SingleRoute{})
+
+	snd.SetUplink(net.Connect(sw, simnet.LinkConfig{
+		Rate: cfg.FastRate, Delay: cfg.LinkDelay, QueueCap: 4096,
+	}, "snd->sw"))
+
+	fastID, slowID := uint32(1), uint32(2)
+	mk := func(rate float64, id *uint32, name string) *simnet.Link {
+		lc := simnet.LinkConfig{
+			Rate: rate, Delay: cfg.LinkDelay,
+			QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNThreshold,
+		}
+		if pathlets {
+			lc.Pathlet = id
+			lc.StampECN = true
+		}
+		return net.Connect(rcv, lc, name)
+	}
+	fast := mk(cfg.FastRate, &fastID, "fast")
+	slow := mk(cfg.SlowRate, &slowID, "slow")
+	sw.AddRoute(rcv.ID(), fast)
+	sw.AddRoute(rcv.ID(), slow)
+
+	rcv.SetUplink(net.Connect(snd, simnet.LinkConfig{
+		Rate: cfg.FastRate, Delay: cfg.LinkDelay, QueueCap: 4096,
+	}, "rcv->snd"))
+	return eng, net, snd, rcv, fast
+}
+
+// byteMeter samples a monotone byte counter every interval, keeping both the
+// raw per-interval byte counts (for time-to-first-delivery) and the derived
+// Gbit/s series.
+func byteMeter(eng *sim.Engine, interval, duration time.Duration, read func() uint64) (*[]float64, *[]uint64) {
+	series := &[]float64{}
+	buckets := &[]uint64{}
+	var last uint64
+	var tick func()
+	tick = func() {
+		total := read()
+		delta := total - last
+		last = total
+		*buckets = append(*buckets, delta)
+		*series = append(*series, float64(delta)*8/interval.Seconds()/1e9)
+		if eng.Now()+interval <= duration {
+			eng.Schedule(interval, tick)
+		}
+	}
+	eng.Schedule(interval, tick)
+	return series, buckets
+}
+
+// RunFailover executes the experiment for both systems.
+func RunFailover(cfg FailoverConfig) FailoverResult {
+	cfg = cfg.withDefaults()
+	res := FailoverResult{Config: cfg}
+
+	// --- MTP run: pathlet failover around the blackhole ---
+	{
+		eng, net, snd, rcv, fastLink := failoverTopo(cfg, true)
+		in := fault.NewInjector(eng, cfg.Seed)
+		in.Blackhole(fastLink, cfg.FaultAt, cfg.FaultFor)
+
+		var sender *simhost.MTPHost
+		refill := func(m *core.OutMessage) {
+			sender.EP.SendSynthetic(rcv.ID(), 2, 1<<20, core.SendOptions{})
+		}
+		sender = simhost.AttachMTP(net, snd, core.Config{
+			LocalPort: 1, OnMessageSent: refill,
+			RTO:           cfg.RTO,
+			FailoverRTOs:  cfg.FailoverRTOs,
+			ProbeInterval: cfg.ProbeInterval,
+			CCConfig:      cc.Config{MaxWindow: cfg.MaxWindow, LineRate: cfg.FastRate},
+		})
+		receiver := simhost.AttachMTP(net, rcv, core.Config{LocalPort: 2})
+		series, buckets := byteMeter(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
+			return receiver.EP.Stats.PayloadBytes
+		})
+		for i := 0; i < 8; i++ {
+			sender.EP.SendSynthetic(rcv.ID(), 2, 1<<20, core.SendOptions{})
+		}
+		eng.Run(cfg.Duration)
+
+		res.MTP = summarizeFailover(cfg, "MTP", *series, *buckets)
+		res.Failovers = sender.EP.Stats.Failovers
+		res.ProbesSent = sender.EP.Stats.ProbesSent
+		res.Readmissions = sender.EP.Stats.Readmissions
+		res.Faults = in.Events()
+	}
+
+	// --- DCTCP run: one connection pinned to the blackholed path ---
+	{
+		eng, _, snd, rcv, fastLink := failoverTopo(cfg, false)
+		in := fault.NewInjector(eng, cfg.Seed)
+		in.Blackhole(fastLink, cfg.FaultAt, cfg.FaultFor)
+
+		sender := baseline.NewSender(eng, snd.Send, baseline.SenderConfig{
+			Conn: 1, Dst: rcv.ID(), SkipHandshake: true,
+			RTO:      cfg.RTO,
+			CCConfig: cc.Config{MaxWindow: cfg.MaxWindow},
+		})
+		receiver := baseline.NewReceiver(eng, rcv.Send, baseline.ReceiverConfig{
+			Conn: 1, Src: snd.ID(),
+		})
+		series, buckets := byteMeter(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
+			return uint64(receiver.Delivered())
+		})
+		snd.SetHandler(sender.OnPacket)
+		rcv.SetHandler(receiver.OnPacket)
+		sender.Write(1 << 32)
+		eng.Run(cfg.Duration)
+
+		res.DCTCP = summarizeFailover(cfg, "DCTCP", *series, *buckets)
+	}
+
+	if res.MTP.Recovered && res.DCTCP.Recovered && res.MTP.Recovery > 0 {
+		res.Speedup = float64(res.DCTCP.Recovery) / float64(res.MTP.Recovery)
+	}
+	return res
+}
+
+func summarizeFailover(cfg FailoverConfig, name string, series []float64, buckets []uint64) FailoverSeries {
+	s := FailoverSeries{Name: name, Gbps: series}
+	preFrom := cfg.FaultAt - time.Millisecond
+	if preFrom < 0 {
+		preFrom = 0
+	}
+	lo, hi := int(preFrom/cfg.SampleInterval), int(cfg.FaultAt/cfg.SampleInterval)
+	n := 0
+	for i := lo; i < hi && i < len(series); i++ {
+		s.PreFaultGbps += series[i]
+		n++
+	}
+	if n > 0 {
+		s.PreFaultGbps /= float64(n)
+	}
+	// Recovered means goodput is back to at least half the surviving
+	// (slow) path's capacity.
+	threshold := cfg.SlowRate / 2 / 1e9
+	s.Recovery, s.Recovered = stats.RecoveryTime(series, cfg.SampleInterval, cfg.FaultAt, threshold)
+	s.FirstDelivery, _ = stats.TimeToFirstDelivery(buckets, cfg.SampleInterval, cfg.FaultAt)
+	s.DipGbits = stats.DipArea(series, cfg.SampleInterval, cfg.FaultAt, s.PreFaultGbps)
+	return s
+}
+
+// String renders the experiment as text.
+func (r FailoverResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Failover: %s path blackholes at %v for %v (paths %s/%s, detect after %d RTOs of %v)\n",
+		"fast", r.Config.FaultAt, r.Config.FaultFor,
+		gbpsStr(r.Config.FastRate), gbpsStr(r.Config.SlowRate),
+		r.Config.FailoverRTOs, r.Config.RTO)
+	for _, s := range []FailoverSeries{r.DCTCP, r.MTP} {
+		rec := "never"
+		if s.Recovered {
+			rec = s.Recovery.String()
+		}
+		fmt.Fprintf(&b, "  %-6s pre-fault %6.2f Gbps  recovery %-10s first-delivery %-10v dip %7.2f Gbit\n",
+			s.Name, s.PreFaultGbps, rec, s.FirstDelivery, s.DipGbits)
+	}
+	fmt.Fprintf(&b, "  MTP sender: %d failover(s), %d probe(s), %d readmission(s)\n",
+		r.Failovers, r.ProbesSent, r.Readmissions)
+	if r.Speedup > 0 {
+		fmt.Fprintf(&b, "  MTP recovered %.1fx faster than DCTCP\n", r.Speedup)
+	}
+	fmt.Fprintf(&b, "  fault timeline:\n")
+	for _, e := range r.Faults {
+		fmt.Fprintf(&b, "    %v\n", e)
+	}
+	return b.String()
+}
+
+// Samples renders the two traces side by side for plotting.
+func (r FailoverResult) Samples() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# t_us\tdctcp_gbps\tmtp_gbps\n")
+	n := len(r.MTP.Gbps)
+	if len(r.DCTCP.Gbps) < n {
+		n = len(r.DCTCP.Gbps)
+	}
+	step := r.Config.SampleInterval.Microseconds()
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d\t%.3f\t%.3f\n", int64(i+1)*step, r.DCTCP.Gbps[i], r.MTP.Gbps[i])
+	}
+	return b.String()
+}

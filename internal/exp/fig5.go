@@ -231,8 +231,9 @@ type Fig5SweepPoint struct {
 
 // RunFig5PeriodSweep varies the path-alternation period: the faster the
 // network re-balances, the more a single-window transport loses and the
-// larger MTP's advantage — the sensitivity analysis behind Figure 5.
-func RunFig5PeriodSweep(periods []time.Duration, duration time.Duration) []Fig5SweepPoint {
+// larger MTP's advantage — the sensitivity analysis behind Figure 5. All
+// points share seed, so one sweep is reproducible end to end.
+func RunFig5PeriodSweep(periods []time.Duration, duration time.Duration, seed int64) []Fig5SweepPoint {
 	if len(periods) == 0 {
 		periods = []time.Duration{
 			48 * time.Microsecond, 96 * time.Microsecond, 192 * time.Microsecond,
@@ -241,7 +242,7 @@ func RunFig5PeriodSweep(periods []time.Duration, duration time.Duration) []Fig5S
 	}
 	out := make([]Fig5SweepPoint, 0, len(periods))
 	for _, p := range periods {
-		r := RunFig5(Fig5Config{SwitchPeriod: p, Duration: duration})
+		r := RunFig5(Fig5Config{SwitchPeriod: p, Duration: duration, Seed: seed})
 		out = append(out, Fig5SweepPoint{
 			Period:      p,
 			DCTCPGbps:   r.DCTCP.MeanGbps,

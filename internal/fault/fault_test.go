@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mtp/internal/sim"
+	"mtp/internal/simnet"
+)
+
+// world is a minimal two-host topology through one switch:
+//
+//	a --uplink--> sw --downlink--> b
+//
+// with a counter on b for delivered packets.
+type world struct {
+	eng      *sim.Engine
+	net      *simnet.Network
+	a, b     *simnet.Host
+	sw       *simnet.Switch
+	uplink   *simnet.Link
+	downlink *simnet.Link
+	received int
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{eng: sim.NewEngine(1)}
+	w.net = simnet.NewNetwork(w.eng)
+	w.a = simnet.NewHost(w.net)
+	w.b = simnet.NewHost(w.net)
+	w.sw = simnet.NewSwitch(w.net, nil)
+	cfg := simnet.LinkConfig{Rate: 10e9, Delay: 10 * time.Microsecond, QueueCap: 64}
+	w.uplink = w.net.Connect(w.sw, cfg, "up")
+	w.a.SetUplink(w.uplink)
+	w.downlink = w.net.Connect(w.b, cfg, "down")
+	w.sw.AddRoute(w.b.ID(), w.downlink)
+	w.b.SetHandler(func(*simnet.Packet) { w.received++ })
+	return w
+}
+
+// sendEvery schedules one 1500-byte packet from a to b every interval in
+// [0, until).
+func (w *world) sendEvery(interval, until time.Duration) int {
+	n := 0
+	for at := time.Duration(0); at < until; at += interval {
+		w.eng.ScheduleAt(at, func() {
+			w.a.Send(&simnet.Packet{Dst: w.b.ID(), Size: 1500})
+		})
+		n++
+	}
+	return n
+}
+
+func TestLinkDownDropsThenRecovers(t *testing.T) {
+	w := newWorld(t)
+	in := NewInjector(w.eng, 1)
+	sent := w.sendEvery(100*time.Microsecond, 10*time.Millisecond)
+	in.LinkDown(w.downlink, 3*time.Millisecond, 3*time.Millisecond)
+
+	w.eng.Run(20 * time.Millisecond)
+
+	lost := sent - w.received
+	// 3ms of a 100µs send interval is ~30 packets.
+	if lost < 25 || lost > 35 {
+		t.Fatalf("lost %d packets, want ~30", lost)
+	}
+	if got := w.downlink.Stats().FaultDrops; got != uint64(lost) {
+		t.Fatalf("FaultDrops = %d, want %d", got, lost)
+	}
+	if w.downlink.Down() {
+		t.Fatal("link still down after recovery time")
+	}
+	if len(in.Events()) != 2 {
+		t.Fatalf("event log has %d entries, want 2: %v", len(in.Events()), in.Events())
+	}
+}
+
+func TestFlapLinkSchedulesEveryCycle(t *testing.T) {
+	w := newWorld(t)
+	in := NewInjector(w.eng, 1)
+	// Down 1ms / up 1ms from t=1ms to t=9ms: down edges at 1,3,5,7ms.
+	in.FlapLink(w.downlink, time.Millisecond, time.Millisecond, time.Millisecond, 9*time.Millisecond)
+	sent := w.sendEvery(100*time.Microsecond, 10*time.Millisecond)
+
+	w.eng.Run(20 * time.Millisecond)
+
+	if len(in.Events()) != 8 {
+		t.Fatalf("event log has %d entries, want 8 (4 down + 4 up)", len(in.Events()))
+	}
+	lost := sent - w.received
+	// Roughly half the 1..9ms window is dark: ~40 of 100 packets.
+	if lost < 30 || lost > 50 {
+		t.Fatalf("lost %d packets, want ~40", lost)
+	}
+}
+
+func TestBlackholeSilentlyDropsArrivals(t *testing.T) {
+	w := newWorld(t)
+	in := NewInjector(w.eng, 1)
+	sent := w.sendEvery(100*time.Microsecond, 10*time.Millisecond)
+	in.Blackhole(w.downlink, 3*time.Millisecond, 3*time.Millisecond)
+
+	w.eng.Run(20 * time.Millisecond)
+
+	lost := sent - w.received
+	if lost < 25 || lost > 35 {
+		t.Fatalf("lost %d packets, want ~30", lost)
+	}
+	if got := w.downlink.Stats().FaultDrops; got != uint64(lost) {
+		t.Fatalf("FaultDrops = %d, want %d", got, lost)
+	}
+}
+
+func TestSwitchCrashDropsTransit(t *testing.T) {
+	w := newWorld(t)
+	in := NewInjector(w.eng, 1)
+	sent := w.sendEvery(100*time.Microsecond, 10*time.Millisecond)
+	in.CrashSwitch(w.sw, 3*time.Millisecond, 3*time.Millisecond)
+
+	w.eng.Run(20 * time.Millisecond)
+
+	lost := sent - w.received
+	if lost < 25 || lost > 35 {
+		t.Fatalf("lost %d packets, want ~30", lost)
+	}
+	if w.sw.FaultDrops == 0 {
+		t.Fatal("switch recorded no fault drops")
+	}
+	if w.sw.Down() {
+		t.Fatal("switch still down after recovery time")
+	}
+}
+
+func TestDegradeSlowsLink(t *testing.T) {
+	w := newWorld(t)
+	in := NewInjector(w.eng, 1)
+	in.Degrade(w.downlink, 0.5, 0, time.Millisecond)
+
+	full := w.downlink.SerializationDelay(1500)
+	w.eng.Run(time.Microsecond) // fire the degrade-on event
+	if got := w.downlink.SerializationDelay(1500); got != 2*full {
+		t.Fatalf("degraded serialization = %v, want %v", got, 2*full)
+	}
+	w.eng.Run(2 * time.Millisecond)
+	if got := w.downlink.SerializationDelay(1500); got != full {
+		t.Fatalf("restored serialization = %v, want %v", got, full)
+	}
+}
+
+func TestDuplicateCreatesExtraDeliveries(t *testing.T) {
+	w := newWorld(t)
+	in := NewInjector(w.eng, 7)
+	in.Duplicate(w.downlink, 0.5, 0, 0)
+	sent := w.sendEvery(100*time.Microsecond, 10*time.Millisecond)
+
+	w.eng.Run(20 * time.Millisecond)
+
+	if w.received <= sent {
+		t.Fatalf("received %d <= sent %d, expected duplicates", w.received, sent)
+	}
+	dups := w.downlink.Stats().Duplicated
+	if dups == 0 || w.received != sent+int(dups) {
+		t.Fatalf("received %d, sent %d, Duplicated %d: inconsistent", w.received, sent, dups)
+	}
+}
+
+func TestCorruptMarksPackets(t *testing.T) {
+	w := newWorld(t)
+	corrupted := 0
+	w.b.SetHandler(func(pkt *simnet.Packet) {
+		w.received++
+		if pkt.Corrupted {
+			corrupted++
+		}
+	})
+	in := NewInjector(w.eng, 7)
+	in.Corrupt(w.downlink, 0.5, 0, 5*time.Millisecond)
+	w.sendEvery(100*time.Microsecond, 10*time.Millisecond)
+
+	w.eng.Run(20 * time.Millisecond)
+
+	if corrupted == 0 {
+		t.Fatal("no packets corrupted at p=0.5")
+	}
+	if uint64(corrupted) != w.downlink.Stats().Corrupted {
+		t.Fatalf("corrupted deliveries %d != link counter %d", corrupted, w.downlink.Stats().Corrupted)
+	}
+	// The corruption window closed at 5ms; the ~50 packets after it are clean.
+	if corrupted > 40 {
+		t.Fatalf("%d corrupted, window does not appear to have closed", corrupted)
+	}
+}
+
+// runSeed runs a corruption+duplication scenario and returns a stats digest.
+func runSeed(t *testing.T, seed int64) string {
+	w := newWorld(t)
+	in := NewInjector(w.eng, seed)
+	in.Corrupt(w.uplink, 0.2, 0, 8*time.Millisecond)
+	in.Duplicate(w.downlink, 0.2, 2*time.Millisecond, 6*time.Millisecond)
+	in.LinkDown(w.downlink, 4*time.Millisecond, time.Millisecond)
+	w.sendEvery(50*time.Microsecond, 10*time.Millisecond)
+	w.eng.Run(20 * time.Millisecond)
+	return fmt.Sprintf("rx=%d up=%+v down=%+v events=%v",
+		w.received, w.uplink.Stats(), w.downlink.Stats(), in.Events())
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a := runSeed(t, 42)
+	b := runSeed(t, 42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if c := runSeed(t, 43); c == a {
+		t.Fatalf("different seed produced identical run: %s", c)
+	}
+}

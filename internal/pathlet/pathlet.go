@@ -176,6 +176,27 @@ func (t *Table) OnAck(now time.Duration, entries []wire.Feedback, ackedBytes int
 	return updated
 }
 
+// FailoverFrom picks the best alternative to a dead pathlet: the
+// non-excluded pathlet (other than dead) with the most recent feedback.
+// It reports false when the sender knows no live alternative — the network
+// may still reroute via the header exclude list, so failover proceeds either
+// way; this only steers the window prediction.
+func (t *Table) FailoverFrom(dead wire.PathTC) (wire.PathTC, bool) {
+	var best *State
+	for _, s := range t.States() {
+		if s.Path == dead || s.Excluded || s.LastFeedback == 0 {
+			continue
+		}
+		if best == nil || s.LastFeedback > best.LastFeedback {
+			best = s
+		}
+	}
+	if best == nil {
+		return wire.PathTC{}, false
+	}
+	return best.Path, true
+}
+
 // OnLoss reports a loss attributed to pathlet p.
 func (t *Table) OnLoss(now time.Duration, p wire.PathTC) {
 	t.Get(p).Algo.OnLoss(now)

@@ -17,6 +17,11 @@ type MTPHost struct {
 	Host *simnet.Host
 	EP   *core.Endpoint
 
+	// ChecksumDrops counts arriving packets discarded because an injected
+	// fault corrupted them (the wire checksum catches this on real sockets;
+	// the simulator models the same drop without materializing bit flips).
+	ChecksumDrops uint64
+
 	eng   *sim.Engine
 	timer *sim.Timer
 }
@@ -28,6 +33,10 @@ func AttachMTP(net *simnet.Network, host *simnet.Host, cfg core.Config) *MTPHost
 	mh.EP = core.NewEndpoint(mh, cfg)
 	host.SetHandler(func(pkt *simnet.Packet) {
 		if pkt.Hdr == nil {
+			return
+		}
+		if pkt.Corrupted {
+			mh.ChecksumDrops++
 			return
 		}
 		mh.EP.OnPacket(&core.Inbound{

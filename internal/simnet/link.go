@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"mtp/internal/wire"
@@ -74,6 +75,13 @@ type LinkStats struct {
 	Trims      uint64
 	Marks      uint64
 	PoliceDrop uint64
+	// FaultDrops counts packets lost to injected faults (link down, switch
+	// crash flushes, blackholes).
+	FaultDrops uint64
+	// Corrupted counts packets damaged by injected bit errors.
+	Corrupted uint64
+	// Duplicated counts extra copies created by injected duplication.
+	Duplicated uint64
 }
 
 // Link is a directed, rate-limited, store-and-forward channel from one node
@@ -101,6 +109,15 @@ type Link struct {
 	paused   bool
 	// Pauses counts pause events issued to upstream links.
 	pauses uint64
+
+	// Fault-injection state, driven by internal/fault. All zero in healthy
+	// operation.
+	down      bool       // link down: arrivals and queued packets are lost
+	blackhole bool       // silent drop of arrivals; queued packets drain
+	degrade   float64    // line-rate multiplier in (0,1]; 0 means healthy
+	corruptP  float64    // per-packet bit-corruption probability
+	dupP      float64    // per-packet duplication probability
+	faultRng  *rand.Rand // deterministic source for the probabilistic faults
 }
 
 // NewLink is used by Network.Connect; it is exported for tests that build
@@ -152,9 +169,78 @@ func (l *Link) QueueBytes() int {
 }
 
 // SerializationDelay returns the time to put a packet of size bytes on the
-// wire at line rate.
+// wire at the current (possibly degraded) line rate.
 func (l *Link) SerializationDelay(size int) time.Duration {
-	return time.Duration(float64(size*8) / l.cfg.Rate * float64(time.Second))
+	return time.Duration(float64(size*8) / l.effectiveRate() * float64(time.Second))
+}
+
+// effectiveRate is the line rate after any injected degradation.
+func (l *Link) effectiveRate() float64 {
+	if l.degrade > 0 && l.degrade < 1 {
+		return l.cfg.Rate * l.degrade
+	}
+	return l.cfg.Rate
+}
+
+// --- fault-injection hooks (driven by internal/fault) ---
+
+// SetDown sets the link's administrative state. Taking a link down loses the
+// queued packets (the buffer belongs to the dead port) and every subsequent
+// arrival until the link comes back up. A packet already being serialized
+// still delivers — it was committed to the wire before the failure.
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	if down {
+		l.stats.FaultDrops += uint64(l.FlushQueues())
+	}
+}
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// SetBlackhole controls silent packet loss: while set, arrivals vanish
+// without any counter the sender could observe — queued packets still drain,
+// and no error signal of any kind is generated. This models a misprogrammed
+// forwarding entry or a failed egress port that the network itself does not
+// detect; only end-to-end machinery can.
+func (l *Link) SetBlackhole(on bool) { l.blackhole = on }
+
+// SetDegrade scales the effective line rate by factor (0 < factor <= 1);
+// zero or one restores full rate. Models transient brownouts (flapping
+// optics, FEC storms).
+func (l *Link) SetDegrade(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		factor = 0
+	}
+	l.degrade = factor
+}
+
+// SetCorrupt makes each transiting packet independently corrupted with
+// probability p, drawing from rng (nil disables). Corrupted packets are
+// flagged, not mutated: the wire checksum means receivers drop them.
+func (l *Link) SetCorrupt(p float64, rng *rand.Rand) {
+	l.corruptP = p
+	l.faultRng = rng
+}
+
+// SetDuplicate makes each transiting packet independently duplicated with
+// probability p, drawing from rng (nil disables).
+func (l *Link) SetDuplicate(p float64, rng *rand.Rand) {
+	l.dupP = p
+	l.faultRng = rng
+}
+
+// FlushQueues discards every queued packet and returns how many were lost.
+func (l *Link) FlushQueues() int {
+	n := 0
+	for i, q := range l.queues {
+		n += len(q)
+		for j := range q {
+			q[j] = nil
+		}
+		l.queues[i] = q[:0]
+	}
+	return n
 }
 
 // AddUpstream registers a link that feeds this one; it will be paused when
@@ -191,10 +277,33 @@ func (l *Link) resumeUpstream() {
 	}
 }
 
-// Enqueue places a packet on the link's egress queue, applying policing,
-// marking, dropping or trimming as configured.
+// Enqueue places a packet on the link's egress queue, applying injected
+// faults, policing, marking, dropping or trimming as configured.
 func (l *Link) Enqueue(pkt *Packet) {
+	if l.down || l.blackhole {
+		l.stats.FaultDrops++
+		return
+	}
+	if l.dupP > 0 && l.faultRng != nil && l.faultRng.Float64() < l.dupP {
+		dup := *pkt
+		if pkt.Hdr != nil {
+			dup.Hdr = pkt.Hdr.Clone()
+		}
+		l.stats.Duplicated++
+		l.enqueue(pkt)
+		l.enqueue(&dup)
+		return
+	}
+	l.enqueue(pkt)
+}
+
+func (l *Link) enqueue(pkt *Packet) {
 	now := l.net.eng.Now()
+
+	if l.corruptP > 0 && l.faultRng != nil && l.faultRng.Float64() < l.corruptP {
+		pkt.Corrupted = true
+		l.stats.Corrupted++
+	}
 
 	if l.cfg.Policer != nil {
 		switch l.cfg.Policer.Admit(now, pkt, l) {

@@ -46,6 +46,12 @@ type Packet struct {
 	// Trimmed reports that a switch removed the payload (NDP-style).
 	Trimmed bool
 
+	// Corrupted reports that a faulty link flipped bits in the packet. The
+	// wire-format checksum detects this, so receivers drop corrupted packets
+	// instead of parsing them (see internal/wire); the flag models the
+	// damage without materializing byte flips.
+	Corrupted bool
+
 	// Tenant identifies the originating entity for per-entity policies.
 	Tenant int
 

@@ -24,6 +24,15 @@ type Switch struct {
 	net    *Network
 	routes map[NodeID][]*Link
 	policy ForwardPolicy
+	// egress lists every distinct egress link in registration order
+	// (deterministic, unlike the routes map) for crash flushes and stats.
+	egress []*Link
+
+	// down models a crashed switch: every transiting packet is dropped
+	// until it comes back up.
+	down bool
+	// FaultDrops counts packets lost while the switch was down.
+	FaultDrops uint64
 
 	// Interposer, when non-nil, sees every packet before forwarding and may
 	// consume it (in-network compute offloads: caches, aggregators,
@@ -48,13 +57,44 @@ func (s *Switch) ID() NodeID { return s.id }
 // AddRoute appends a candidate egress link for packets destined to dst.
 func (s *Switch) AddRoute(dst NodeID, l *Link) {
 	s.routes[dst] = append(s.routes[dst], l)
+	for _, e := range s.egress {
+		if e == l {
+			return
+		}
+	}
+	s.egress = append(s.egress, l)
 }
+
+// EgressLinks returns the switch's distinct egress links in registration
+// order.
+func (s *Switch) EgressLinks() []*Link { return s.egress }
+
+// SetDown sets the switch's crash state. Going down drops every packet
+// sitting in the egress port queues (they are the crashed switch's buffers)
+// in addition to all packets that transit while down.
+func (s *Switch) SetDown(down bool) {
+	s.down = down
+	if down {
+		for _, l := range s.egress {
+			n := l.FlushQueues()
+			l.stats.FaultDrops += uint64(n)
+			s.FaultDrops += uint64(n)
+		}
+	}
+}
+
+// Down reports whether the switch is crashed.
+func (s *Switch) Down() bool { return s.down }
 
 // SetPolicy replaces the forwarding policy.
 func (s *Switch) SetPolicy(p ForwardPolicy) { s.policy = p }
 
 // Receive implements Node: route and enqueue.
 func (s *Switch) Receive(pkt *Packet, from *Link) {
+	if s.down {
+		s.FaultDrops++
+		return
+	}
 	if s.Interposer != nil && !s.Interposer(pkt, from) {
 		return
 	}

@@ -76,6 +76,68 @@ func (m *Meter) MeanGbps(from, to time.Duration) float64 {
 	return float64(bytes) * 8 / (to - from).Seconds() / 1e9
 }
 
+// RecoveryTime returns how long after faultAt the throughput series first
+// reaches threshold again. series holds one sample per interval starting at
+// t=0 (as produced by Meter.SeriesGbps, in whatever unit threshold uses).
+// Recovery is credited at the end of the qualifying bucket — a sample only
+// proves throughput somewhere within its interval. ok is false if the series
+// never recovers after faultAt.
+func RecoveryTime(series []float64, interval, faultAt time.Duration, threshold float64) (rec time.Duration, ok bool) {
+	if interval <= 0 {
+		panic("stats: non-positive interval")
+	}
+	for i := firstWholeBucket(interval, faultAt); i < len(series); i++ {
+		if series[i] >= threshold {
+			return time.Duration(i+1)*interval - faultAt, true
+		}
+	}
+	return 0, false
+}
+
+// firstWholeBucket returns the index of the first bucket lying entirely
+// after faultAt. The bucket the fault lands inside is ambiguous — its count
+// mixes pre- and post-fault bytes — so it is skipped unless faultAt falls
+// exactly on its leading edge.
+func firstWholeBucket(interval, faultAt time.Duration) int {
+	i := int(faultAt / interval)
+	if faultAt%interval != 0 {
+		i++
+	}
+	return i
+}
+
+// TimeToFirstDelivery returns how long after faultAt the first nonzero
+// bucket ends — the outage seen by the application, independent of any
+// throughput threshold. ok is false if nothing is delivered after faultAt.
+func TimeToFirstDelivery(buckets []uint64, interval, faultAt time.Duration) (ttfd time.Duration, ok bool) {
+	if interval <= 0 {
+		panic("stats: non-positive interval")
+	}
+	for i := firstWholeBucket(interval, faultAt); i < len(buckets); i++ {
+		if buckets[i] > 0 {
+			return time.Duration(i+1)*interval - faultAt, true
+		}
+	}
+	return 0, false
+}
+
+// DipArea integrates the throughput deficit below ref from faultAt to the
+// end of the series: sum over samples of max(0, ref-sample)*interval. With
+// ref in Gbit/s and interval in seconds this yields gigabits of goodput lost
+// to the fault — the area of the dip in a Figure-5-style trace.
+func DipArea(series []float64, interval, faultAt time.Duration, ref float64) float64 {
+	if interval <= 0 {
+		panic("stats: non-positive interval")
+	}
+	area := 0.0
+	for i := firstWholeBucket(interval, faultAt); i < len(series); i++ {
+		if d := ref - series[i]; d > 0 {
+			area += d * interval.Seconds()
+		}
+	}
+	return area
+}
+
 // Percentile returns the p-th percentile (0..100) of values using
 // nearest-rank on a sorted copy. It returns 0 for empty input.
 func Percentile(values []float64, p float64) float64 {

@@ -110,6 +110,55 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestRecoveryTime(t *testing.T) {
+	iv := 100 * time.Microsecond
+	// Healthy (10) for 5 buckets, dead for 3, recovering at bucket 8.
+	series := []float64{10, 10, 10, 10, 10, 0, 0, 0, 6, 10}
+	faultAt := 500 * time.Microsecond
+
+	rec, ok := RecoveryTime(series, iv, faultAt, 5)
+	if !ok || rec != 400*time.Microsecond {
+		t.Fatalf("recovery = %v, %v; want 400µs, true", rec, ok)
+	}
+	// A higher bar is only cleared at bucket 9.
+	rec, ok = RecoveryTime(series, iv, faultAt, 8)
+	if !ok || rec != 500*time.Microsecond {
+		t.Fatalf("recovery@8 = %v, %v; want 500µs, true", rec, ok)
+	}
+	if _, ok := RecoveryTime(series, iv, faultAt, 11); ok {
+		t.Fatal("recovered above the series maximum")
+	}
+	// A fault mid-bucket must not credit that bucket's own pre-fault bytes.
+	rec, ok = RecoveryTime([]float64{10, 0, 10}, iv, 50*time.Microsecond, 5)
+	if !ok || rec != 250*time.Microsecond {
+		t.Fatalf("mid-bucket recovery = %v, %v; want 250µs, true", rec, ok)
+	}
+}
+
+func TestTimeToFirstDelivery(t *testing.T) {
+	iv := time.Millisecond
+	buckets := []uint64{500, 500, 0, 0, 120, 500}
+	ttfd, ok := TimeToFirstDelivery(buckets, iv, 2*time.Millisecond)
+	if !ok || ttfd != 3*time.Millisecond {
+		t.Fatalf("ttfd = %v, %v; want 3ms, true", ttfd, ok)
+	}
+	if _, ok := TimeToFirstDelivery([]uint64{1, 0, 0}, iv, time.Millisecond); ok {
+		t.Fatal("reported delivery where there was none")
+	}
+}
+
+func TestDipArea(t *testing.T) {
+	iv := time.Second // makes the math legible: area = sum of deficits
+	series := []float64{10, 10, 2, 4, 10, 12}
+	got := DipArea(series, iv, 2*time.Second, 10)
+	if math.Abs(got-(8+6)) > 1e-9 {
+		t.Fatalf("dip area = %v, want 14", got)
+	}
+	if got := DipArea(series, iv, 2*time.Second, 0); got != 0 {
+		t.Fatalf("dip area with zero ref = %v", got)
+	}
+}
+
 // TestQuickPercentileWithinRange: percentiles are always within [min, max]
 // and monotone in p.
 func TestQuickPercentileWithinRange(t *testing.T) {

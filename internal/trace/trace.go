@@ -29,6 +29,8 @@ const (
 	KindTimeout
 	KindExclude
 	KindReadmit
+	KindFailover
+	KindProbe
 )
 
 // String returns the kind mnemonic.
@@ -60,6 +62,10 @@ func (k Kind) String() string {
 		return "EXCL"
 	case KindReadmit:
 		return "READM"
+	case KindFailover:
+		return "FAIL"
+	case KindProbe:
+		return "PROBE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

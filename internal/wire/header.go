@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // PacketType distinguishes the roles an MTP packet can play.
@@ -219,10 +220,14 @@ const (
 	Version = 1
 
 	// fixedLen is the byte length of the fixed portion of the header:
-	// version(1) type(1) srcPort(2) dstPort(2) msgID(8) msgPri(1) tc(1)
-	// msgBytes(4) msgPkts(4) pktNum(4) pktOffset(4) pktLen(2)
-	// + 5 list-count fields (2 bytes each).
-	fixedLen = 1 + 1 + 2 + 2 + 8 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 2*5
+	// version(1) type(1) checksum(4) srcPort(2) dstPort(2) msgID(8)
+	// msgPri(1) tc(1) msgBytes(4) msgPkts(4) pktNum(4) pktOffset(4)
+	// pktLen(2) + 5 list-count fields (2 bytes each).
+	fixedLen = 1 + 1 + 4 + 2 + 2 + 8 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 2*5
+
+	// checksumOff is the byte offset of the header checksum within an
+	// encoded header (right after version and type).
+	checksumOff = 2
 
 	// pathTCLen is the encoded size of one PathTC entry.
 	pathTCLen = 4 + 1
@@ -247,7 +252,21 @@ var (
 	ErrListTooLong   = errors.New("wire: list exceeds MaxListEntries")
 	ErrValueTooLong  = errors.New("wire: feedback value exceeds MaxFeedbackValue")
 	ErrTrailingBytes = errors.New("wire: trailing bytes after header")
+	ErrBadChecksum   = errors.New("wire: header checksum mismatch")
 )
+
+// crcTable is the Castagnoli polynomial table used for the header checksum
+// (same polynomial as iSCSI/SCTP; hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerChecksum computes the CRC32-C of an encoded header with the checksum
+// field treated as zero, without mutating the buffer.
+func headerChecksum(b []byte) uint32 {
+	var zero [4]byte
+	sum := crc32.Update(0, crcTable, b[:checksumOff])
+	sum = crc32.Update(sum, crcTable, zero[:])
+	return crc32.Update(sum, crcTable, b[checksumOff+4:])
+}
 
 // EncodedLen returns the number of bytes Encode will produce for h.
 func (h *Header) EncodedLen() int {
@@ -294,7 +313,9 @@ func (h *Header) Encode(dst []byte) ([]byte, error) {
 	if err := h.Validate(); err != nil {
 		return dst, err
 	}
+	start := len(dst)
 	dst = append(dst, Version, byte(h.Type))
+	dst = append(dst, 0, 0, 0, 0) // checksum placeholder, filled below
 	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
 	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
 	dst = binary.BigEndian.AppendUint64(dst, h.MsgID)
@@ -328,6 +349,7 @@ func (h *Header) Encode(dst []byte) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, r.MsgID)
 		dst = binary.BigEndian.AppendUint32(dst, r.PktNum)
 	}
+	binary.BigEndian.PutUint32(dst[start+checksumOff:], headerChecksum(dst[start:]))
 	return dst, nil
 }
 
@@ -373,6 +395,7 @@ func Decode(b []byte) (*Header, int, error) {
 	default:
 		return nil, 0, ErrBadType
 	}
+	wantSum := d.u32()
 	h.SrcPort = d.u16()
 	h.DstPort = d.u16()
 	h.MsgID = d.u64()
@@ -411,6 +434,12 @@ func Decode(b []byte) (*Header, int, error) {
 	}
 	if h.NACK, err = d.refList(); err != nil {
 		return nil, 0, err
+	}
+	// The checksum covers every header byte (checksum field as zero), so
+	// in-network corruption of any field — including the lists a switch
+	// would act on — is detected and the packet dropped rather than parsed.
+	if headerChecksum(b[:d.off]) != wantSum {
+		return nil, 0, ErrBadChecksum
 	}
 	return h, d.off, nil
 }

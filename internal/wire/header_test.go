@@ -132,6 +132,13 @@ func TestDecodeErrors(t *testing.T) {
 			t.Fatal("expected type error")
 		}
 	})
+	t.Run("bad checksum", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[checksumOff] ^= 0xA5
+		if _, _, err := Decode(b); err != ErrBadChecksum {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+	})
 	t.Run("trailing bytes", func(t *testing.T) {
 		b := append(append([]byte(nil), good...), 0xFF)
 		if _, err := DecodeFull(b); err != ErrTrailingBytes {
@@ -253,6 +260,42 @@ func TestStringFormats(t *testing.T) {
 	}
 	if (PacketRef{MsgID: 2, PktNum: 5}).String() != "2:5" {
 		t.Fatal("PacketRef format")
+	}
+}
+
+// TestChecksumRejectsCorruption flips every byte of a valid encoding in turn
+// (the injected-corruption model: any single corrupted octet) and asserts the
+// decoder never silently parses the damaged header. Corruption of header
+// bytes must surface as an error — usually ErrBadChecksum, or an earlier
+// structural error when the flip lands on the version/type/length fields.
+func TestChecksumRejectsCorruption(t *testing.T) {
+	good, err := sampleHeader().Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range good {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0xFF
+		h, _, err := Decode(b)
+		if err == nil {
+			t.Fatalf("corrupted byte %d decoded silently: %+v", i, h)
+		}
+	}
+}
+
+// TestChecksumCoversLists corrupts a list entry specifically: a flipped SACK
+// reference must not be acted on (it would ack the wrong packet).
+func TestChecksumCoversLists(t *testing.T) {
+	h := &Header{Type: TypeAck, SACK: []PacketRef{{MsgID: 7, PktNum: 3}}}
+	b, err := h.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encoding ends with the SACK entry (12 bytes) followed by the empty
+	// NACK count (2 bytes); flip the low byte of the SACK PktNum.
+	b[len(b)-3] ^= 0x01
+	if _, _, err := Decode(b); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
 	}
 }
 

@@ -96,6 +96,18 @@ type Config struct {
 	// AutoExcludePathlets enables the policy that asks the network to
 	// avoid persistently congested pathlets via the header exclude list.
 	AutoExcludePathlets bool
+
+	// FailoverRTOs enables pathlet failure recovery: after this many
+	// consecutive timeout rounds on one pathlet the node declares it dead,
+	// excludes it in outgoing headers so the network reroutes, and fails
+	// surviving messages over to a healthy pathlet. Zero disables.
+	FailoverRTOs int
+
+	// ProbeInterval is how often a dead pathlet is probed for readmission
+	// (one live packet has the pathlet omitted from its exclude list; any
+	// feedback from it readmits the pathlet). Default 8x RTO. Requires
+	// FailoverRTOs > 0.
+	ProbeInterval time.Duration
 }
 
 // Message is a completed inbound message.
@@ -197,6 +209,8 @@ func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
 		NackDelay:      cfg.NackDelay,
 		FeedbackBudget: cfg.FeedbackBudget,
 		AutoExclude:    autoExclude,
+		FailoverRTOs:   cfg.FailoverRTOs,
+		ProbeInterval:  cfg.ProbeInterval,
 		Trace:          ring,
 		OnMessage:      n.deliver,
 		OnMessageSent: func(m *core.OutMessage) {
