@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify exp
+.PHONY: build test race vet verify exp bench
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,11 @@ verify: vet race
 # exp regenerates the paper's figures on the simulator.
 exp: build
 	$(GO) run ./cmd/mtpexp -exp all
+
+# bench runs the full benchmark suite (the paper's figures plus the hot-path
+# micro-benchmarks) and records name -> ns/op, allocs/op, and figure metrics
+# in BENCH_sim.json. Override BENCHTIME for statistically stronger numbers,
+# e.g. `make bench BENCHTIME=2s`.
+BENCHTIME ?= 1x
+bench: build
+	$(GO) test -run XXX -bench . -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sim.json

@@ -10,12 +10,14 @@ import (
 	"testing"
 	"time"
 
-	"mtp/internal/cc"
 	"mtp/internal/exp"
+	"mtp/internal/sim"
+	"mtp/internal/wire"
 )
 
 // BenchmarkTable1 runs the full feature-matrix probe suite.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.RunTable1()
 		pass := 0
@@ -36,6 +38,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig1 regenerates the quantified Figure 1 scenario (cache + L7 LB
 // ablation under Zipf load).
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.RunFig1(exp.Fig1Config{})
 		b.ReportMetric(r.Rows[0].P99us, "single-p99us")
@@ -49,6 +52,7 @@ func BenchmarkFig1(b *testing.B) {
 
 // BenchmarkFig2 regenerates the termination-proxy trade-off.
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.RunFig2(exp.Fig2Config{Duration: 5 * time.Millisecond})
 		b.ReportMetric(float64(r.Rows[0].PeakOccupancy)/1e6, "unlimited-peak-MB")
@@ -61,6 +65,7 @@ func BenchmarkFig2(b *testing.B) {
 
 // BenchmarkFig3 regenerates the one-message-per-flow comparison.
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.RunFig3(exp.Fig3Config{Duration: 10 * time.Millisecond, Outstanding: 1})
 		b.ReportMetric(r.Rows[0].MeanGbps, "tcp-Gbps")
@@ -76,6 +81,7 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkFig5 regenerates the multipath congestion-control comparison
 // (the paper's headline: MTP converges instantly after each path flip).
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.RunFig5(exp.Fig5Config{Duration: 20 * time.Millisecond})
 		b.ReportMetric(r.DCTCP.MeanGbps, "dctcp-Gbps")
@@ -90,6 +96,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig5AblationSinglePathlet runs MTP with the whole network as one
 // pathlet — DESIGN.md ablation 1: the advantage must disappear.
 func BenchmarkFig5AblationSinglePathlet(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		full := exp.RunFig5(exp.Fig5Config{Duration: 10 * time.Millisecond})
 		abl := exp.RunFig5(exp.Fig5Config{Duration: 10 * time.Millisecond, SinglePathlet: true})
@@ -102,16 +109,17 @@ func BenchmarkFig5AblationSinglePathlet(b *testing.B) {
 // control algorithm on MTP's pathlets — the multi-algorithm property means
 // the transport does not care which controller a pathlet runs.
 func BenchmarkFig5CCSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		for _, kind := range []cc.Kind{cc.KindDCTCP, cc.KindAIMD, cc.KindSwift, cc.KindDCQCN} {
-			r := exp.RunFig5(exp.Fig5Config{Duration: 10 * time.Millisecond, MTPCC: kind, LineRate: 100e9})
-			b.ReportMetric(r.MTP.MeanGbps, string(kind)+"-Gbps")
+		for _, p := range exp.RunFig5CCSweep(1, nil, 10*time.Millisecond, 1) {
+			b.ReportMetric(p.MTPGbps, string(p.CC)+"-Gbps")
 		}
 	}
 }
 
 // BenchmarkFig6 regenerates the load-balancer comparison.
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.RunFig6(exp.Fig6Config{Messages: 400, MaxMsgSize: 32 << 20})
 		for _, row := range r.Rows {
@@ -125,6 +133,7 @@ func BenchmarkFig6(b *testing.B) {
 
 // BenchmarkFig7 regenerates the per-entity isolation comparison.
 func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := exp.RunFig7(exp.Fig7Config{Duration: 20 * time.Millisecond})
 		b.ReportMetric(r.Rows[0].Ratio(), "shared-ratio")
@@ -140,6 +149,7 @@ func BenchmarkFig7(b *testing.B) {
 // exclusion, multi-algorithm CC, priority scheduling, and NDP-style
 // trimming.
 func BenchmarkExtensions(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		excl := exp.RunExclusion(10 * time.Millisecond)
 		multi := exp.RunMultiAlgo(10 * time.Millisecond)
@@ -175,6 +185,9 @@ func BenchmarkNodeThroughputMem(b *testing.B) {
 	payload := make([]byte, 64<<10)
 	rand.New(rand.NewSource(1)).Read(payload)
 	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	stuck := time.NewTimer(30 * time.Second)
+	defer stuck.Stop()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := na.Send("b", 2, payload)
@@ -183,7 +196,7 @@ func BenchmarkNodeThroughputMem(b *testing.B) {
 		}
 		select {
 		case <-out.Done():
-		case <-time.After(30 * time.Second):
+		case <-stuck.C:
 			b.Fatal("message stuck")
 		}
 	}
@@ -208,6 +221,8 @@ func BenchmarkNodeSmallMessagesMem(b *testing.B) {
 
 	payload := []byte("a small rpc request payload")
 	b.ReportAllocs()
+	stuck := time.NewTimer(30 * time.Second)
+	defer stuck.Stop()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := na.Send("b", 2, payload)
@@ -216,8 +231,66 @@ func BenchmarkNodeSmallMessagesMem(b *testing.B) {
 		}
 		select {
 		case <-out.Done():
-		case <-time.After(30 * time.Second):
+		case <-stuck.C:
 			b.Fatal("message stuck")
+		}
+	}
+}
+
+// BenchmarkEngineSchedule measures the discrete-event engine's steady-state
+// schedule/fire cycle. The arena and free-list make it allocation-free.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	// Warm the arena so steady state (not first-touch growth) is measured.
+	for i := 0; i < 64; i++ {
+		eng.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	eng.RunAll(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(time.Microsecond, fn)
+		eng.Schedule(3*time.Microsecond, fn)
+		eng.Schedule(2*time.Microsecond, fn)
+		eng.RunAll(1 << 20)
+	}
+}
+
+// BenchmarkWireEncodeDecode measures one header round trip through the wire
+// codec — encode into a reused buffer, decode into a reused header — the
+// per-packet cost of the real-socket path. Zero allocations.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	path := wire.PathTC{PathID: 7, TC: 2}
+	h := wire.Header{
+		Type:      wire.TypeData,
+		SrcPort:   1,
+		DstPort:   2,
+		MsgID:     99,
+		MsgBytes:  3000,
+		MsgPkts:   3,
+		PktNum:    1,
+		PktOffset: 1460,
+		PktLen:    1460,
+		PathFeedback: []wire.Feedback{
+			wire.ECNFeedback(path, true),
+			wire.RateFeedback(path, 12e9),
+		},
+	}
+	buf, err := h.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dec wire.Header
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = h.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeInto(&dec, buf); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mtp/internal/exp"
@@ -22,7 +24,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep")
+		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep, ccsweep")
 		duration = flag.Duration("duration", 0, "override simulated duration (fig2/3/5/7)")
 		messages = flag.Int("messages", 0, "override message count (fig6)")
 		maxSize  = flag.Int("maxsize", 0, "override max message size in bytes (fig6)")
@@ -30,15 +32,46 @@ func main() {
 		wl       = flag.String("workload", "", "fig6 workload: papermix (default) or websearch")
 		verbose  = flag.Bool("v", false, "verbose output (table1 evidence)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 1, "sweep workers: 1 sequential, 0 = all CPUs, N fixed (results are identical regardless)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	run := func(name string) bool { return *which == "all" || *which == name }
 	ran := false
 
 	if run("table1") {
 		ran = true
-		r := exp.RunTable1()
+		r := exp.RunTable1Workers(*parallel)
 		if *verbose {
 			fmt.Println(r.Verbose())
 		} else {
@@ -70,7 +103,11 @@ func main() {
 	}
 	if *which == "fig5sweep" {
 		ran = true
-		fmt.Println(exp.SweepString(exp.RunFig5PeriodSweep(nil, *duration, *seed)))
+		fmt.Println(exp.SweepString(exp.RunFig5PeriodSweep(*parallel, nil, *duration, *seed)))
+	}
+	if *which == "ccsweep" {
+		ran = true
+		fmt.Println(exp.CCSweepString(exp.RunFig5CCSweep(*parallel, nil, *duration, *seed)))
 	}
 	if run("fig6") {
 		ran = true
@@ -83,7 +120,7 @@ func main() {
 	}
 	if *which == "fig6sweep" {
 		ran = true
-		fmt.Println(exp.LoadSweepString(exp.RunFig6LoadSweep(nil, *messages, *maxSize, *seed)))
+		fmt.Println(exp.LoadSweepString(exp.RunFig6LoadSweep(*parallel, nil, *messages, *maxSize, *seed)))
 	}
 	if run("failover") {
 		ran = true

@@ -69,7 +69,7 @@ type Sender struct {
 	srtt       time.Duration
 	segSentAt  map[int64]time.Duration // seq -> first-send time for RTT
 	globalAt   map[int64]int64         // local offset -> MPTCP global offset
-	rtxTimer   *sim.Timer
+	rtxTimer   sim.Timer
 	inRecovery int64 // high-water seq during fast recovery; 0 when not
 
 	// Stats
@@ -233,9 +233,7 @@ func (s *Sender) OnPacket(pkt *simnet.Packet) {
 		}
 		if s.closed && s.sndUna >= s.total && !s.finAcked {
 			s.finAcked = true
-			if s.rtxTimer != nil {
-				s.rtxTimer.Stop()
-			}
+			s.rtxTimer.Stop()
 			if s.cfg.OnComplete != nil {
 				s.cfg.OnComplete(now)
 			}
@@ -298,11 +296,12 @@ func (s *Sender) globalFor(local int64) int64 {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtxTimer != nil {
-		s.rtxTimer.Stop()
-	}
-	s.rtxTimer = s.eng.Schedule(s.cfg.RTO, s.onRTO)
+	s.rtxTimer.Stop()
+	s.rtxTimer = s.eng.ScheduleArg(s.cfg.RTO, senderRTO, s, nil)
 }
+
+// senderRTO is package-level so arming the RTO timer allocates nothing.
+func senderRTO(a1, _ any) { a1.(*Sender).onRTO() }
 
 func (s *Sender) onRTO() {
 	if s.finAcked {

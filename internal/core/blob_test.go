@@ -123,8 +123,13 @@ type captureEnv struct {
 	now  time.Duration
 }
 
-func (c *captureEnv) Now() time.Duration        { return c.now }
-func (c *captureEnv) Output(p *Outbound)        { c.pkts = append(c.pkts, p) }
+func (c *captureEnv) Now() time.Duration { return c.now }
+
+// Output copies the Outbound: the endpoint reuses the pointed-to struct.
+func (c *captureEnv) Output(p *Outbound) {
+	q := *p
+	c.pkts = append(c.pkts, &q)
+}
 func (c *captureEnv) SetTimer(at time.Duration) {}
 
 // TestQuickBlobAnyOrder: chunks fed in any order reassemble correctly.

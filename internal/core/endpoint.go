@@ -137,6 +137,9 @@ type OutMessage struct {
 	rtxQueue []int
 	done     bool
 	canceled bool
+	// pkts1 inlines the packet-state slot for single-packet messages (the
+	// common RPC case), saving the separate slice allocation.
+	pkts1 [1]outPkt
 }
 
 // Done reports whether every packet has been acknowledged.
@@ -186,20 +189,44 @@ type Endpoint struct {
 	// Pacing state for rate-based pathlets.
 	nextSendAt time.Duration
 
-	// Receiver state.
-	inflows map[inKey]*inMsg
+	// Receiver state. inflowOrder tracks partial messages in arrival order:
+	// every timer-driven scan walks it instead of ranging over the map, so
+	// packet emission order is deterministic run to run.
+	inflows     map[inKey]*inMsg
+	inflowOrder []*inMsg
 	// doneRing remembers recently completed inbound messages to suppress
 	// duplicate delivery caused by retransmissions.
 	doneSet  map[inKey]struct{}
 	doneRing []inKey
 	donePos  int
 
-	// ack batching
+	// ack batching. ackOrder mirrors pendingAcks in creation order for the
+	// same reason inflowOrder exists: map iteration order is random.
 	pendingAcks map[Addr]*ackBatch
+	ackOrder    []Addr
 	unacked     int
+	// gapScratch is reused by collectNacks to iterate hole sets in packet
+	// order (maps iterate randomly, and NACK order steers retransmission
+	// order at the sender).
+	gapScratch []uint32
 
 	excluder *autoExcluder
 	fo       *failoverState
+
+	// Hot-path scratch and pools. The engine drives the endpoint from a
+	// single goroutine (or under the owner's lock), so plain slices suffice.
+	inMsgPool  []*inMsg      // recycled receiver message state
+	batchPool  []*ackBatch   // recycled ack batches (structs only; slices are handed to ACK headers)
+	outScratch Outbound      // reused for every Output call (Env must not retain it)
+	lossPaths  []wire.PathTC // per-ACK/timeout scratch of pathlets with losses
+	completed  []*OutMessage // per-ACK scratch of messages finishing on this ACK
+
+	// reuseHdrs is set when the Env implements OutputNonRetainer: outgoing
+	// headers then live in the scratch fields below and ack batches keep
+	// their list capacity across flushes.
+	reuseHdrs bool
+	dataHdr   wire.Header // scratch header for data packets (reuseHdrs only)
+	ackHdr    wire.Header // scratch header for ACK packets (reuseHdrs only)
 
 	// Stats counts protocol events.
 	Stats EndpointStats
@@ -242,15 +269,20 @@ type inKey struct {
 }
 
 type inMsg struct {
-	key      inKey
-	hdr      wire.Header // latest header seen (mutation-tolerant)
+	key inKey
+	// srcPort/dstPort are the latest port pair seen for the message
+	// (mutation-tolerant), used to address the ACKs it generates.
+	srcPort  uint16
+	dstPort  uint16
 	got      []bool
 	gotPkts  int
 	data     []byte
 	synthtic bool
 	bytes    int
 	lastSeen time.Duration
-	nacked   map[uint32]time.Duration
+	// nacked and gapSince are allocated lazily: most messages complete
+	// without ever observing a hole.
+	nacked map[uint32]time.Duration
 	// gapSince records when each hole below the receive high-water mark was
 	// first observed (reordering-tolerant NACK timing).
 	gapSince map[uint32]time.Duration
@@ -290,6 +322,9 @@ func NewEndpoint(env Env, cfg Config) *Endpoint {
 		}
 	}
 	e.table = pathlet.NewTable(factory)
+	if nr, ok := env.(OutputNonRetainer); ok && nr.OutputNonRetaining() {
+		e.reuseHdrs = true
+	}
 	if cfg.AutoExclude != nil {
 		e.excluder = newAutoExcluder(*cfg.AutoExclude)
 	}
@@ -344,7 +379,11 @@ func (e *Endpoint) newMessage(dst Addr, dstPort uint16, size int, opts SendOptio
 	}
 	e.nextID++
 	npkts := (size + e.cfg.MSS - 1) / e.cfg.MSS
-	m.pkts = make([]outPkt, npkts)
+	if npkts == 1 {
+		m.pkts = m.pkts1[:1]
+	} else {
+		m.pkts = make([]outPkt, npkts)
+	}
 	off := 0
 	for i := range m.pkts {
 		l := e.cfg.MSS
@@ -411,6 +450,86 @@ func (e *Endpoint) trace(kind trace.Kind, msg uint64, pkt uint32, a, b uint64) {
 		return
 	}
 	e.cfg.Trace.Add(trace.Event{At: e.env.Now(), Kind: kind, Msg: msg, Pkt: pkt, A: a, B: b})
+}
+
+// allocInMsg returns receiver message state for key with a cleared npkts-sized
+// bitmap, recycling pooled state when available.
+func (e *Endpoint) allocInMsg(key inKey, npkts int) *inMsg {
+	var f *inMsg
+	if k := len(e.inMsgPool); k > 0 {
+		f = e.inMsgPool[k-1]
+		e.inMsgPool[k-1] = nil
+		e.inMsgPool = e.inMsgPool[:k-1]
+	} else {
+		f = &inMsg{}
+	}
+	f.key = key
+	if cap(f.got) >= npkts {
+		f.got = f.got[:npkts]
+		clear(f.got)
+	} else {
+		f.got = make([]bool, npkts)
+	}
+	return f
+}
+
+// releaseInMsg recycles receiver message state (and drops it from the
+// ordered scan list). The payload buffer is handed off to the delivered
+// InMessage (never reused), everything else is kept.
+func (e *Endpoint) releaseInMsg(f *inMsg) {
+	for i, g := range e.inflowOrder {
+		if g == f {
+			e.inflowOrder = append(e.inflowOrder[:i], e.inflowOrder[i+1:]...)
+			break
+		}
+	}
+	f.key = inKey{}
+	f.srcPort, f.dstPort = 0, 0
+	f.gotPkts = 0
+	f.data = nil
+	f.synthtic = false
+	f.bytes = 0
+	f.lastSeen = 0
+	clear(f.nacked)
+	clear(f.gapSince)
+	e.inMsgPool = append(e.inMsgPool, f)
+}
+
+// allocBatch returns an empty ack batch, recycling pooled structs. The list
+// slices always start nil: flush hands them to the ACK header, which outlives
+// the batch.
+func (e *Endpoint) allocBatch(srcPort, dstPort uint16) *ackBatch {
+	if k := len(e.batchPool); k > 0 {
+		b := e.batchPool[k-1]
+		e.batchPool[k-1] = nil
+		e.batchPool = e.batchPool[:k-1]
+		b.srcPort, b.dstPort = srcPort, dstPort
+		return b
+	}
+	return &ackBatch{srcPort: srcPort, dstPort: dstPort}
+}
+
+// releaseBatch recycles an ack batch after flush. Under a retaining Env the
+// list slices were handed to the ACK header and must be dropped; under a
+// non-retaining Env the header was consumed inside Output, so the slices are
+// truncated in place and their capacity is reused by the next batch.
+func (e *Endpoint) releaseBatch(b *ackBatch) {
+	if e.reuseHdrs {
+		b.sack = b.sack[:0]
+		b.nack = b.nack[:0]
+		b.feedback = b.feedback[:0]
+		b.srcPort, b.dstPort = 0, 0
+	} else {
+		*b = ackBatch{}
+	}
+	e.batchPool = append(e.batchPool, b)
+}
+
+// output emits one packet through the environment using the shared scratch
+// Outbound (Env implementations must not retain the pointer).
+func (e *Endpoint) output(dst Addr, hdr *wire.Header, data []byte, size int) {
+	e.outScratch = Outbound{Dst: dst, Hdr: hdr, Data: data, Size: size}
+	e.env.Output(&e.outScratch)
 }
 
 // setTimer coalesces timer requests to the earliest pending deadline.

@@ -35,7 +35,10 @@ type Outbound struct {
 	Size int
 }
 
-// Inbound is a packet arriving from the network.
+// Inbound is a packet arriving from the network. Endpoint.OnPacket copies
+// what it needs (payload bytes, feedback entries) before returning, so
+// callers may reuse the Inbound, the Header, and the Data buffer for the
+// next packet.
 type Inbound struct {
 	// From is the peer address the packet came from (where replies go).
 	From Addr
@@ -47,12 +50,25 @@ type Inbound struct {
 	Trimmed bool
 }
 
+// OutputNonRetainer is an optional Env capability. Implementations that
+// consume Outbound.Hdr synchronously inside Output (e.g. by encoding it to
+// bytes before returning, as real-socket bindings do) return true, and the
+// endpoint then reuses header and ack-list storage across packets instead of
+// allocating fresh ones. Environments that keep the header alive after
+// Output returns — such as the simulator, where headers travel inside
+// queued packets — must not implement this (or must return false).
+type OutputNonRetainer interface {
+	OutputNonRetaining() bool
+}
+
 // Env is the world the endpoint runs in.
 type Env interface {
 	// Now returns the current time (virtual or wall-clock).
 	Now() time.Duration
 	// Output transmits a packet. It must not call back into the endpoint
-	// synchronously.
+	// synchronously, and it must not retain pkt past the call: the endpoint
+	// reuses the pointed-to struct for every transmission. Hdr and Data may
+	// be retained (the endpoint hands ownership of both to the network).
 	Output(pkt *Outbound)
 	// SetTimer requests a call to Endpoint.OnTimer at or after t. Each call
 	// replaces the previous request; zero cancels.

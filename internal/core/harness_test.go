@@ -21,7 +21,7 @@ type testEnv struct {
 	ep    *Endpoint
 
 	delay time.Duration
-	timer *sim.Timer
+	timer sim.Timer
 
 	// drop decides whether an outgoing packet is lost; nil keeps all.
 	drop func(pkt *Outbound) bool
@@ -101,9 +101,7 @@ func (te *testEnv) Output(pkt *Outbound) {
 
 // SetTimer implements Env.
 func (te *testEnv) SetTimer(at time.Duration) {
-	if te.timer != nil {
-		te.timer.Stop()
-	}
+	te.timer.Stop()
 	if at <= 0 {
 		return
 	}

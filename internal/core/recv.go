@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"time"
 
 	"mtp/internal/trace"
@@ -60,15 +61,11 @@ func (e *Endpoint) onDataPacket(in *Inbound) {
 		if npkts <= 0 {
 			npkts = 1
 		}
-		f = &inMsg{
-			key:      key,
-			got:      make([]bool, npkts),
-			nacked:   make(map[uint32]time.Duration),
-			gapSince: make(map[uint32]time.Duration),
-		}
+		f = e.allocInMsg(key, npkts)
 		e.inflows[key] = f
+		e.inflowOrder = append(e.inflowOrder, f)
 	}
-	f.hdr = *hdr
+	f.srcPort, f.dstPort = hdr.SrcPort, hdr.DstPort
 	f.lastSeen = now
 
 	// Mutation tolerance: an in-network device may rewrite the message
@@ -126,6 +123,9 @@ func (e *Endpoint) onDataPacket(in *Inbound) {
 		for i := 0; i < pn; i++ {
 			if !f.got[i] {
 				if _, seen := f.gapSince[uint32(i)]; !seen {
+					if f.gapSince == nil {
+						f.gapSince = make(map[uint32]time.Duration)
+					}
 					f.gapSince[uint32(i)] = now
 				}
 			}
@@ -136,6 +136,7 @@ func (e *Endpoint) onDataPacket(in *Inbound) {
 	// Delivery on completion.
 	if f.gotPkts == len(f.got) {
 		delete(e.inflows, key)
+		defer e.releaseInMsg(f)
 		e.rememberDone(key)
 		e.Stats.MsgsDelivered++
 		e.trace(trace.KindDeliver, hdr.MsgID, 0, uint64(f.bytes), 0)
@@ -165,7 +166,14 @@ func (e *Endpoint) onDataPacket(in *Inbound) {
 // collectNacks emits NACKs for holes that have stayed open past NackDelay
 // and arms a timer for holes that are not ripe yet.
 func (e *Endpoint) collectNacks(now time.Duration, f *inMsg, batch *ackBatch) {
-	for pkt, first := range f.gapSince {
+	keys := e.gapScratch[:0]
+	for pkt := range f.gapSince {
+		keys = append(keys, pkt)
+	}
+	slices.Sort(keys)
+	e.gapScratch = keys[:0]
+	for _, pkt := range keys {
+		first := f.gapSince[pkt]
 		if int(pkt) < len(f.got) && f.got[pkt] {
 			delete(f.gapSince, pkt)
 			continue
@@ -176,6 +184,9 @@ func (e *Endpoint) collectNacks(now time.Duration, f *inMsg, batch *ackBatch) {
 		}
 		if t, ok := f.nacked[pkt]; ok && now-t < e.cfg.RTO/2 {
 			continue
+		}
+		if f.nacked == nil {
+			f.nacked = make(map[uint32]time.Duration)
 		}
 		f.nacked[pkt] = now
 		batch.nack = append(batch.nack, wire.PacketRef{MsgID: f.key.msgID, PktNum: pkt})
@@ -189,8 +200,9 @@ func (e *Endpoint) collectNacks(now time.Duration, f *inMsg, batch *ackBatch) {
 func (e *Endpoint) batchFor(from Addr, hdr *wire.Header) *ackBatch {
 	b := e.pendingAcks[from]
 	if b == nil {
-		b = &ackBatch{srcPort: hdr.SrcPort, dstPort: hdr.DstPort}
+		b = e.allocBatch(hdr.SrcPort, hdr.DstPort)
 		e.pendingAcks[from] = b
+		e.ackOrder = append(e.ackOrder, from)
 	}
 	return b
 }
@@ -233,12 +245,20 @@ func (e *Endpoint) maybeFlush(to Addr, b *ackBatch) {
 	}
 }
 
-// flush emits one ACK packet carrying the batch.
+// flush emits one ACK packet carrying the batch and retires it; a batch
+// that is still empty is retired silently.
 func (e *Endpoint) flush(to Addr, b *ackBatch) {
 	if len(b.sack) == 0 && len(b.nack) == 0 && len(b.feedback) == 0 {
+		e.dropBatch(to, b)
 		return
 	}
-	hdr := &wire.Header{
+	var hdr *wire.Header
+	if e.reuseHdrs {
+		hdr = &e.ackHdr
+	} else {
+		hdr = new(wire.Header)
+	}
+	*hdr = wire.Header{
 		Type:            wire.TypeAck,
 		SrcPort:         b.dstPort,
 		DstPort:         b.srcPort,
@@ -248,17 +268,27 @@ func (e *Endpoint) flush(to Addr, b *ackBatch) {
 	}
 	e.Stats.AcksSent++
 	e.trace(trace.KindSendAck, 0, 0, uint64(len(b.sack)), uint64(len(b.nack)))
-	e.env.Output(&Outbound{
-		Dst:  to,
-		Hdr:  hdr,
-		Size: hdr.EncodedLen() + e.cfg.HeaderOverhead,
-	})
-	delete(e.pendingAcks, to)
+	e.output(to, hdr, nil, hdr.EncodedLen()+e.cfg.HeaderOverhead)
+	e.dropBatch(to, b)
 }
 
-// flushAllAcks drains every pending batch (delayed-ack timer path).
+// dropBatch removes a batch from the pending set and recycles it.
+func (e *Endpoint) dropBatch(to Addr, b *ackBatch) {
+	delete(e.pendingAcks, to)
+	for i, a := range e.ackOrder {
+		if a == to {
+			e.ackOrder = append(e.ackOrder[:i], e.ackOrder[i+1:]...)
+			break
+		}
+	}
+	e.releaseBatch(b)
+}
+
+// flushAllAcks drains every pending batch (delayed-ack timer path) in
+// batch-creation order.
 func (e *Endpoint) flushAllAcks() {
-	for to, b := range e.pendingAcks {
-		e.flush(to, b)
+	for len(e.ackOrder) > 0 {
+		to := e.ackOrder[0]
+		e.flush(to, e.pendingAcks[to])
 	}
 }

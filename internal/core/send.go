@@ -79,7 +79,13 @@ func (e *Endpoint) nextPacket() (*OutMessage, int, bool) {
 // transmit emits one data packet and updates send state.
 func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC) {
 	p := &m.pkts[idx]
-	hdr := &wire.Header{
+	var hdr *wire.Header
+	if e.reuseHdrs {
+		hdr = &e.dataHdr
+	} else {
+		hdr = new(wire.Header)
+	}
+	*hdr = wire.Header{
 		Type:        wire.TypeData,
 		SrcPort:     e.cfg.LocalPort,
 		DstPort:     m.DstPort,
@@ -123,12 +129,7 @@ func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC
 		e.trace(trace.KindSendData, m.ID, uint32(idx), uint64(p.length), uint64(path.PathID))
 	}
 
-	e.env.Output(&Outbound{
-		Dst:  m.Dst,
-		Hdr:  hdr,
-		Data: data,
-		Size: hdr.EncodedLen() + e.cfg.HeaderOverhead + int(p.length),
-	})
+	e.output(m.Dst, hdr, data, hdr.EncodedLen()+e.cfg.HeaderOverhead+int(p.length))
 	e.setTimer(now + e.cfg.RTO)
 }
 
@@ -142,7 +143,7 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 
 	ackedBytes := 0
 	var rttSample time.Duration
-	var completed []*OutMessage
+	completed := e.completed[:0]
 
 	for _, ref := range hdr.SACK {
 		m := e.byID[ref.MsgID]
@@ -185,8 +186,10 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 	}
 
 	// NACKed packets are retransmitted immediately and count as congestion
-	// on the pathlet they were sent over.
-	lossPaths := make(map[wire.PathTC]bool)
+	// on the pathlet they were sent over. ACKs reference a handful of
+	// pathlets at most, so a scratch slice with linear membership checks
+	// replaces a per-ACK map allocation.
+	lossPaths := e.lossPaths[:0]
 	for _, ref := range hdr.NACK {
 		m := e.byID[ref.MsgID]
 		if m == nil || int(ref.PktNum) >= len(m.pkts) {
@@ -198,11 +201,12 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 		}
 		p.inRtx = true
 		m.rtxQueue = append(m.rtxQueue, int(ref.PktNum))
-		if !lossPaths[p.path] {
-			lossPaths[p.path] = true
+		if !pathSeen(lossPaths, p.path) {
+			lossPaths = append(lossPaths, p.path)
 			e.table.OnLoss(now, p.path)
 		}
 	}
+	e.lossPaths = lossPaths[:0]
 
 	if len(completed) > 0 {
 		e.removeCompleted()
@@ -214,7 +218,18 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 			}
 		}
 	}
+	e.completed = completed[:0]
 	e.trySend()
+}
+
+// pathSeen reports whether p is already in the scratch list.
+func pathSeen(list []wire.PathTC, p wire.PathTC) bool {
+	for _, q := range list {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 func (e *Endpoint) removeCompleted() {
@@ -240,7 +255,7 @@ func (e *Endpoint) OnTimer(now time.Duration) {
 
 	// Retransmission timeouts.
 	var next time.Duration
-	lossPaths := make(map[wire.PathTC]bool)
+	lossPaths := e.lossPaths[:0]
 	for _, m := range e.active {
 		for i := range m.pkts {
 			p := &m.pkts[i]
@@ -253,8 +268,8 @@ func (e *Endpoint) OnTimer(now time.Duration) {
 				m.rtxQueue = append(m.rtxQueue, i)
 				e.Stats.Timeouts++
 				e.trace(trace.KindTimeout, m.ID, uint32(i), 0, 0)
-				if !lossPaths[p.path] {
-					lossPaths[p.path] = true
+				if !pathSeen(lossPaths, p.path) {
+					lossPaths = append(lossPaths, p.path)
 					e.table.OnLoss(now, p.path)
 					// One timeout round per pathlet per firing counts
 					// toward the consecutive-RTO death threshold.
@@ -269,17 +284,20 @@ func (e *Endpoint) OnTimer(now time.Duration) {
 			sort.Ints(m.rtxQueue)
 		}
 	}
+	e.lossPaths = lossPaths[:0]
 
-	// Emit NACKs whose reordering-tolerance delay has expired.
+	// Emit NACKs whose reordering-tolerance delay has expired, scanning
+	// partial messages in arrival order (not map order) for determinism.
 	if !e.cfg.DisableNack {
-		for _, f := range e.inflows {
+		for _, f := range e.inflowOrder {
 			if len(f.gapSince) == 0 {
 				continue
 			}
 			b := e.pendingAcks[f.key.from]
 			if b == nil {
-				b = &ackBatch{srcPort: f.hdr.SrcPort, dstPort: f.hdr.DstPort}
+				b = e.allocBatch(f.srcPort, f.dstPort)
 				e.pendingAcks[f.key.from] = b
+				e.ackOrder = append(e.ackOrder, f.key.from)
 			}
 			e.collectNacks(now, f, b)
 		}
@@ -288,10 +306,16 @@ func (e *Endpoint) OnTimer(now time.Duration) {
 	// Flush any batched acks that waited past the delayed-ack horizon.
 	e.flushAllAcks()
 
-	// Receive-side GC of stale partial messages.
-	for k, f := range e.inflows {
+	// Receive-side GC of stale partial messages, in arrival order.
+	// releaseInMsg removes the entry from inflowOrder, so only advance on
+	// survivors.
+	for i := 0; i < len(e.inflowOrder); {
+		f := e.inflowOrder[i]
 		if now-f.lastSeen > e.cfg.ReceiveTimeout {
-			delete(e.inflows, k)
+			delete(e.inflows, f.key)
+			e.releaseInMsg(f)
+		} else {
+			i++
 		}
 	}
 

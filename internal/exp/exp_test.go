@@ -119,7 +119,7 @@ func TestFig5AblationSinglePathlet(t *testing.T) {
 }
 
 func TestFig5PeriodSweepShape(t *testing.T) {
-	pts := RunFig5PeriodSweep([]time.Duration{
+	pts := RunFig5PeriodSweep(1, []time.Duration{
 		192 * time.Microsecond, 1536 * time.Microsecond,
 	}, 5*time.Millisecond, 1)
 	if len(pts) != 2 {
@@ -172,7 +172,7 @@ func TestFig6Shapes(t *testing.T) {
 }
 
 func TestFig6LoadSweepShape(t *testing.T) {
-	pts := RunFig6LoadSweep([]float64{0.5, 0.9}, 150, 8<<20, 1)
+	pts := RunFig6LoadSweep(1, []float64{0.5, 0.9}, 150, 8<<20, 1)
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}

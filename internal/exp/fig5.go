@@ -232,25 +232,54 @@ type Fig5SweepPoint struct {
 // RunFig5PeriodSweep varies the path-alternation period: the faster the
 // network re-balances, the more a single-window transport loses and the
 // larger MTP's advantage — the sensitivity analysis behind Figure 5. All
-// points share seed, so one sweep is reproducible end to end.
-func RunFig5PeriodSweep(periods []time.Duration, duration time.Duration, seed int64) []Fig5SweepPoint {
+// points share seed, so one sweep is reproducible end to end; workers only
+// controls fan-out (see Sweep).
+func RunFig5PeriodSweep(workers int, periods []time.Duration, duration time.Duration, seed int64) []Fig5SweepPoint {
 	if len(periods) == 0 {
 		periods = []time.Duration{
 			48 * time.Microsecond, 96 * time.Microsecond, 192 * time.Microsecond,
 			384 * time.Microsecond, 768 * time.Microsecond, 1536 * time.Microsecond,
 		}
 	}
-	out := make([]Fig5SweepPoint, 0, len(periods))
-	for _, p := range periods {
+	return Sweep(workers, periods, func(p time.Duration) Fig5SweepPoint {
 		r := RunFig5(Fig5Config{SwitchPeriod: p, Duration: duration, Seed: seed})
-		out = append(out, Fig5SweepPoint{
+		return Fig5SweepPoint{
 			Period:      p,
 			DCTCPGbps:   r.DCTCP.MeanGbps,
 			MTPGbps:     r.MTP.MeanGbps,
 			Improvement: r.Improvement,
-		})
+		}
+	})
+}
+
+// Fig5CCPoint is one congestion-control algorithm's outcome in the Figure 5
+// scenario.
+type Fig5CCPoint struct {
+	CC      cc.Kind
+	MTPGbps float64
+}
+
+// RunFig5CCSweep runs the Figure 5 scenario with each congestion-control
+// algorithm on MTP's pathlets: the multi-algorithm property means the
+// transport does not care which controller a pathlet runs.
+func RunFig5CCSweep(workers int, kinds []cc.Kind, duration time.Duration, seed int64) []Fig5CCPoint {
+	if len(kinds) == 0 {
+		kinds = []cc.Kind{cc.KindDCTCP, cc.KindAIMD, cc.KindSwift, cc.KindDCQCN}
 	}
-	return out
+	return Sweep(workers, kinds, func(k cc.Kind) Fig5CCPoint {
+		r := RunFig5(Fig5Config{Duration: duration, MTPCC: k, LineRate: 100e9, Seed: seed})
+		return Fig5CCPoint{CC: k, MTPGbps: r.MTP.MeanGbps}
+	})
+}
+
+// CCSweepString renders the CC sweep as a table.
+func CCSweepString(points []Fig5CCPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 CC sweep: MTP goodput per pathlet algorithm\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-8s %7.1f Gbps\n", p.CC, p.MTPGbps)
+	}
+	return b.String()
 }
 
 // SweepString renders the sweep as a table.

@@ -181,21 +181,20 @@ type Fig6LoadPoint struct {
 
 // RunFig6LoadSweep varies offered load: imbalance penalties grow with load,
 // so the gap between blind and message-aware balancing widens. All points
-// share seed, so one sweep is reproducible end to end.
-func RunFig6LoadSweep(loads []float64, messages, maxSize int, seed int64) []Fig6LoadPoint {
+// share seed, so one sweep is reproducible end to end; workers only controls
+// fan-out (see Sweep).
+func RunFig6LoadSweep(workers int, loads []float64, messages, maxSize int, seed int64) []Fig6LoadPoint {
 	if len(loads) == 0 {
 		loads = []float64{0.5, 0.7, 0.9}
 	}
-	out := make([]Fig6LoadPoint, 0, len(loads))
-	for _, load := range loads {
+	return Sweep(workers, loads, func(load float64) Fig6LoadPoint {
 		r := RunFig6(Fig6Config{Load: load, Messages: messages, MaxMsgSize: maxSize, Seed: seed})
 		pt := Fig6LoadPoint{Load: load, P99: make(map[string]float64)}
 		for _, row := range r.Rows {
 			pt.P99[row.Policy] = row.P99us
 		}
-		out = append(out, pt)
-	}
-	return out
+		return pt
+	})
 }
 
 // LoadSweepString renders the sweep.

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs fn over every point on up to workers goroutines and returns the
+// results in input order. workers <= 0 means one worker per available CPU
+// (GOMAXPROCS); workers == 1 runs inline with no goroutines at all.
+//
+// Every experiment in this package builds its own engine, network, and RNG
+// from an explicit seed, so points share no mutable state and the result
+// slice is bit-identical regardless of worker count or scheduling — the
+// parallel sweep is purely a wall-clock optimization. Anything violating
+// that (global state, shared RNGs) would be a bug in the experiment, not in
+// the runner; TestSweepMatchesSequential guards the property end to end.
+func Sweep[P, R any](workers int, points []P, fn func(P) R) []R {
+	out := make([]R, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers == 1 {
+		for i, p := range points {
+			out[i] = fn(p)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				out[i] = fn(points[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

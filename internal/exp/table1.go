@@ -47,39 +47,66 @@ var table1Features = []string{
 	"Multi-Entity Isolation",
 }
 
-// RunTable1 executes every probe.
-func RunTable1() Table1Result {
-	return Table1Result{Rows: []Table1Row{
-		{Transport: "TCP pass-through (DCTCP)", Cells: []Table1Cell{
-			probeMutationTCP(),
-			{Feature: table1Features[1], Pass: true, Evidence: "middlebox keeps no per-connection state"},
-			probeIndependenceTCP(),
-			probeMultiResourceTCP(),
-			probeIsolationDCTCP(),
-		}},
-		{Transport: "TCP termination (proxy)", Cells: []Table1Cell{
-			probeMutationProxy(),
-			probeBufferingProxy(),
-			{Feature: table1Features[2], Pass: false, Evidence: "requests in one connection share the stream; per-request steering needs one conn per request"},
-			probeMultiResourceProxy(),
-			probeIsolationDCTCP().rename("per-flow fairness on each side (measured on shared queue)"),
-		}},
-		{Transport: "UDP", Cells: []Table1Cell{
-			probeMutationUDP(),
-			{Feature: table1Features[1], Pass: true, Evidence: "datagrams parsed independently; no reassembly"},
-			{Feature: table1Features[2], Pass: true, Evidence: "datagrams are independent by construction"},
-			probeMultiResourceUDP(),
-			probeIsolationUDP(),
-		}},
-		mptcpRow(),
-		{Transport: "MTP", Cells: []Table1Cell{
-			probeMutationMTP(),
-			probeBufferingMTP(),
-			probeIndependenceMTP(),
-			probeMultiResourceMTP(),
-			probeIsolationMTP(),
-		}},
+// RunTable1 executes every probe sequentially.
+func RunTable1() Table1Result { return RunTable1Workers(1) }
+
+// table1Task locates one probe's verdict in the matrix: each probe builds
+// its own simulator from a fixed seed, so the flat task list can run on any
+// number of workers and still assemble the identical table.
+type table1Task struct {
+	row, col int
+	fn       func() Table1Cell
+}
+
+// RunTable1Workers executes every probe on up to workers goroutines (see
+// Sweep) and assembles the feature matrix.
+func RunTable1Workers(workers int) Table1Result {
+	r := Table1Result{Rows: []Table1Row{
+		{Transport: "TCP pass-through (DCTCP)", Cells: make([]Table1Cell, len(table1Features))},
+		{Transport: "TCP termination (proxy)", Cells: make([]Table1Cell, len(table1Features))},
+		{Transport: "UDP", Cells: make([]Table1Cell, len(table1Features))},
+		{Transport: "MPTCP (2 subflows)", Cells: make([]Table1Cell, len(table1Features))},
+		{Transport: "MTP", Cells: make([]Table1Cell, len(table1Features))},
 	}}
+
+	// Cells whose verdict needs no measurement.
+	r.Rows[0].Cells[1] = Table1Cell{Feature: table1Features[1], Pass: true, Evidence: "middlebox keeps no per-connection state"}
+	r.Rows[1].Cells[2] = Table1Cell{Feature: table1Features[2], Pass: false, Evidence: "requests in one connection share the stream; per-request steering needs one conn per request"}
+	r.Rows[2].Cells[1] = Table1Cell{Feature: table1Features[1], Pass: true, Evidence: "datagrams parsed independently; no reassembly"}
+	r.Rows[2].Cells[2] = Table1Cell{Feature: table1Features[2], Pass: true, Evidence: "datagrams are independent by construction"}
+
+	tasks := []table1Task{
+		{0, 0, probeMutationTCP},
+		{0, 2, probeIndependenceTCP},
+		{0, 3, probeMultiResourceTCP},
+		{0, 4, probeIsolationDCTCP},
+		{1, 0, probeMutationProxy},
+		{1, 1, probeBufferingProxy},
+		{1, 3, probeMultiResourceProxy},
+		{1, 4, func() Table1Cell {
+			return probeIsolationDCTCP().rename("per-flow fairness on each side (measured on shared queue)")
+		}},
+		{2, 0, probeMutationUDP},
+		{2, 3, probeMultiResourceUDP},
+		{2, 4, probeIsolationUDP},
+		{3, 0, probeMutationMPTCP},
+		{3, 1, probeBufferingMPTCP},
+		{3, 2, probeIndependenceMPTCP},
+		{3, 3, probeMultiResourceMPTCP},
+		{3, 4, func() Table1Cell {
+			return probeIsolationDCTCP().rename("per-flow fairness; more subflows => more bandwidth (Fig 7 mechanism)")
+		}},
+		{4, 0, probeMutationMTP},
+		{4, 1, probeBufferingMTP},
+		{4, 2, probeIndependenceMTP},
+		{4, 3, probeMultiResourceMTP},
+		{4, 4, probeIsolationMTP},
+	}
+	cells := Sweep(workers, tasks, func(t table1Task) Table1Cell { return t.fn() })
+	for i, t := range tasks {
+		r.Rows[t.row].Cells[t.col] = cells[i]
+	}
+	return r
 }
 
 func (c Table1Cell) rename(evidence string) Table1Cell {

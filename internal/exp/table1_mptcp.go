@@ -10,20 +10,11 @@ import (
 	"mtp/internal/simnet"
 )
 
-// mptcpRow measures the MPTCP feature cells (the remaining implementable
-// Table 1 row). Subflows are byte streams, so mutation inherits TCP's
-// verdict; the interesting cells are measured here: merge buffering,
-// per-subflow independence, per-path windows, and the degradation when the
-// network (not the host) flips paths.
-func mptcpRow() Table1Row {
-	return Table1Row{Transport: "MPTCP (2 subflows)", Cells: []Table1Cell{
-		probeMutationMPTCP(),
-		probeBufferingMPTCP(),
-		probeIndependenceMPTCP(),
-		probeMultiResourceMPTCP(),
-		probeIsolationDCTCP().rename("per-flow fairness; more subflows ⇒ more bandwidth (Fig 7 mechanism)"),
-	}}
-}
+// The MPTCP probes below measure the remaining implementable Table 1 row
+// (assembled in RunTable1Workers). Subflows are byte streams, so mutation
+// inherits TCP's verdict; the interesting cells are measured here: merge
+// buffering, per-subflow independence, per-path windows, and the degradation
+// when the network (not the host) flips paths.
 
 // mptcpPair builds sender/receiver over two ECMP paths and returns the
 // harness pieces.

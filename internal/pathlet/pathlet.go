@@ -51,6 +51,19 @@ type Table struct {
 
 	current    wire.PathTC
 	hasCurrent bool
+
+	// sigScratch and updScratch are reused across OnAck calls so the
+	// per-acknowledgement path allocates nothing. The slice returned by
+	// OnAck aliases updScratch and is valid until the next OnAck call.
+	sigScratch []pathSig
+	updScratch []*State
+}
+
+// pathSig pairs a pathlet with its accumulated congestion signal while an
+// acknowledgement's feedback entries are being grouped.
+type pathSig struct {
+	path wire.PathTC
+	sig  cc.Signal
 }
 
 // DefaultPath is the pathlet assumed before any network feedback arrives.
@@ -139,33 +152,71 @@ func Signals(entries []wire.Feedback, ackedBytes int, rtt time.Duration) map[wir
 // OnAck applies one acknowledgement's feedback to the table: it updates every
 // referenced pathlet's algorithm and RTT, marks the most recent feedback's
 // pathlet as current, and returns the set of pathlets that were updated.
+// The returned slice is reused by the next OnAck call; callers must not
+// retain it.
 func (t *Table) OnAck(now time.Duration, entries []wire.Feedback, ackedBytes int, rtt time.Duration) []*State {
-	sigs := Signals(entries, ackedBytes, rtt)
-	if len(sigs) == 0 {
+	if len(entries) == 0 {
 		// ACK with no pathlet feedback: attribute to the default pathlet so
 		// single-pathlet (TCP-like) operation still evolves a window.
 		s := t.Get(DefaultPath)
 		s.Algo.OnAck(now, cc.Signal{AckedBytes: ackedBytes, RTT: rtt})
 		s.LastFeedback = now
 		s.updateRTT(rtt)
-		return []*State{s}
+		t.updScratch = append(t.updScratch[:0], s)
+		return t.updScratch
 	}
-	updated := make([]*State, 0, len(sigs))
-	for p, sig := range sigs {
-		s := t.Get(p)
-		s.Algo.OnAck(now, sig)
+	// Group feedback by pathlet without a map: acknowledgements carry a
+	// handful of entries, so linear search beats hashing and allocates
+	// nothing. The accumulation mirrors Signals exactly.
+	sigs := t.sigScratch[:0]
+	for i := range entries {
+		f := &entries[i]
+		j := -1
+		for k := range sigs {
+			if sigs[k].path == f.Path {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			sigs = append(sigs, pathSig{path: f.Path, sig: cc.Signal{AckedBytes: ackedBytes, RTT: rtt}})
+			j = len(sigs) - 1
+		}
+		sg := &sigs[j].sig
+		switch f.Type {
+		case wire.FeedbackECN:
+			sg.ECN = sg.ECN || f.ECNMarked()
+		case wire.FeedbackRate:
+			sg.HasRate = true
+			sg.RateBps = float64(f.RateBps())
+		case wire.FeedbackDelay:
+			sg.HasDelay = true
+			sg.Delay = time.Duration(f.DelayNanos())
+		case wire.FeedbackQueueLen:
+			// Queue occupancy is advisory; expose as delay-free signal.
+		case wire.FeedbackTrim:
+			// Trimming indicates severe congestion: treat as a mark.
+			sg.ECN = true
+		}
+	}
+	t.sigScratch = sigs
+
+	updated := t.updScratch[:0]
+	for i := range sigs {
+		s := t.Get(sigs[i].path)
+		s.Algo.OnAck(now, sigs[i].sig)
 		s.LastFeedback = now
 		s.updateRTT(rtt)
 		updated = append(updated, s)
 	}
-	// Deterministic order: sort by (PathID, TC).
-	sort.Slice(updated, func(i, j int) bool {
-		a, b := updated[i].Path, updated[j].Path
-		if a.PathID != b.PathID {
-			return a.PathID < b.PathID
+	t.updScratch = updated
+	// Deterministic order: insertion sort by (PathID, TC) — the list is
+	// tiny and this avoids sort.Slice's closure allocation.
+	for i := 1; i < len(updated); i++ {
+		for j := i; j > 0 && pathLess(updated[j].Path, updated[j-1].Path); j-- {
+			updated[j], updated[j-1] = updated[j-1], updated[j]
 		}
-		return a.TC < b.TC
-	})
+	}
 	// The freshest feedback names the pathlet traffic is currently taking:
 	// use the last entry in the header's list (devices append in path order,
 	// so the list's entries all belong to the current path; any of them
@@ -174,6 +225,14 @@ func (t *Table) OnAck(now time.Duration, entries []wire.Feedback, ackedBytes int
 	t.current = entries[len(entries)-1].Path
 	t.hasCurrent = true
 	return updated
+}
+
+// pathLess orders (pathlet, TC) pairs lexicographically.
+func pathLess(a, b wire.PathTC) bool {
+	if a.PathID != b.PathID {
+		return a.PathID < b.PathID
+	}
+	return a.TC < b.TC
 }
 
 // FailoverFrom picks the best alternative to a dead pathlet: the

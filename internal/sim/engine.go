@@ -7,10 +7,13 @@
 // The engine is single-threaded and deterministic: events at equal timestamps
 // fire in scheduling order, and all randomness flows from a seeded source, so
 // every experiment is exactly reproducible.
+//
+// Events live by value in an arena indexed by a free-list, and the pending
+// set is a 4-ary min-heap of arena slots, so steady-state Schedule/Stop/Run
+// perform zero heap allocations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -19,68 +22,66 @@ import (
 // Time is simulated time measured as a duration since the start of the run.
 type Time = time.Duration
 
-// Event is a scheduled callback.
+// event is a scheduled callback, stored by value in the engine arena.
+// Exactly one of fn and afn is set. pos is the slot's index in the heap
+// order, -1 once fired, cancelled, or free. gen disambiguates Timer handles
+// across slot reuse.
 type event struct {
 	at  Time
 	seq uint64 // tiebreak: FIFO among equal timestamps
 	fn  func()
-	idx int // heap index, -1 once popped or cancelled
+	afn func(a1, a2 any)
+	a1  any
+	a2  any
+	gen uint32
+	pos int32
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// heapArity is the fan-out of the event heap. A 4-ary heap halves the tree
+// depth vs binary and keeps the children of a node on one cache line.
+const heapArity = 4
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Timer is a handle to a scheduled event that can be stopped.
+// Timer is a handle to a scheduled event that can be stopped. The zero value
+// is inert: Stop on it returns false.
 type Timer struct {
-	e  *event
-	en *Engine
+	en   *Engine
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the timer
-// was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.idx < 0 {
+// was still pending. Stopping a fired, cancelled, or zero timer is a no-op.
+func (t Timer) Stop() bool {
+	e := t.en
+	if e == nil {
 		return false
 	}
-	heap.Remove(&t.en.events, t.e.idx)
-	t.e.fn = nil
-	t.e = nil
+	ev := &e.arena[t.slot]
+	if ev.gen != t.gen || ev.pos < 0 {
+		return false
+	}
+	e.removeAt(int(ev.pos))
+	e.release(t.slot)
 	return true
+}
+
+// Pending reports whether the timer's event is still scheduled.
+func (t Timer) Pending() bool {
+	if t.en == nil {
+		return false
+	}
+	ev := &t.en.arena[t.slot]
+	return ev.gen == t.gen && ev.pos >= 0
 }
 
 // Engine is a discrete-event simulator instance.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	now   Time
+	seq   uint64
+	arena []event // all event slots, live and free
+	free  []int32 // free slot indices (LIFO for cache locality)
+	order []int32 // 4-ary min-heap of live slots, keyed by (at, seq)
+	rng   *rand.Rand
 
 	processed uint64
 	running   bool
@@ -102,12 +103,12 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.order) }
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
 // as zero (run as soon as control returns to the loop). It returns a Timer
 // that can cancel the callback.
-func (e *Engine) Schedule(delay Time, fn func()) *Timer {
+func (e *Engine) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -116,17 +117,139 @@ func (e *Engine) Schedule(delay Time, fn func()) *Timer {
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to now.
-func (e *Engine) ScheduleAt(at Time, fn func()) *Timer {
+func (e *Engine) ScheduleAt(at Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil fn")
 	}
+	return e.schedule(at, fn, nil, nil, nil)
+}
+
+// ScheduleArg runs fn(a1, a2) after delay. Unlike Schedule with a closure,
+// a package-level fn plus pointer-typed args allocates nothing, which keeps
+// per-packet event scheduling off the heap.
+func (e *Engine) ScheduleArg(delay Time, fn func(a1, a2 any), a1, a2 any) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleArgAt(e.now+delay, fn, a1, a2)
+}
+
+// ScheduleArgAt runs fn(a1, a2) at absolute virtual time at, clamped to now.
+func (e *Engine) ScheduleArgAt(at Time, fn func(a1, a2 any), a1, a2 any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleArgAt with nil fn")
+	}
+	return e.schedule(at, nil, fn, a1, a2)
+}
+
+func (e *Engine) schedule(at Time, fn func(), afn func(a1, a2 any), a1, a2 any) Timer {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		slot = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[slot]
+	ev.at = at
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{e: ev, en: e}
+	ev.fn = fn
+	ev.afn = afn
+	ev.a1 = a1
+	ev.a2 = a2
+	ev.pos = int32(len(e.order))
+	e.order = append(e.order, slot)
+	e.siftUp(len(e.order) - 1)
+	return Timer{en: e, slot: slot, gen: ev.gen}
+}
+
+// less orders arena slots by (time, sequence).
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	slot := e.order[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.less(slot, e.order[parent]) {
+			break
+		}
+		e.order[i] = e.order[parent]
+		e.arena[e.order[i]].pos = int32(i)
+		i = parent
+	}
+	e.order[i] = slot
+	e.arena[slot].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.order)
+	slot := e.order[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(e.order[c], e.order[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.order[best], slot) {
+			break
+		}
+		e.order[i] = e.order[best]
+		e.arena[e.order[i]].pos = int32(i)
+		i = best
+	}
+	e.order[i] = slot
+	e.arena[slot].pos = int32(i)
+}
+
+// removeAt unlinks the slot at heap position i, restoring heap order.
+func (e *Engine) removeAt(i int) {
+	slot := e.order[i]
+	e.arena[slot].pos = -1
+	n := len(e.order) - 1
+	last := e.order[n]
+	e.order = e.order[:n]
+	if i < n {
+		e.order[i] = last
+		e.arena[last].pos = int32(i)
+		e.siftDown(i)
+		if e.arena[last].pos == int32(i) {
+			e.siftUp(i)
+		}
+	}
+}
+
+// release recycles an arena slot onto the free-list, bumping its generation
+// so stale Timer handles become inert, and dropping references so fired
+// callbacks and their captures can be collected.
+func (e *Engine) release(slot int32) {
+	ev := &e.arena[slot]
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.a1 = nil
+	ev.a2 = nil
+	ev.pos = -1
+	e.free = append(e.free, slot)
 }
 
 // Run executes events until the event queue drains or the clock passes
@@ -137,18 +260,23 @@ func (e *Engine) Run(until Time) Time {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.at > until {
+	for len(e.order) > 0 {
+		slot := e.order[0]
+		ev := &e.arena[slot]
+		if ev.at > until {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		fn := next.fn
-		next.fn = nil
+		e.now = ev.at
+		fn, afn, a1, a2 := ev.fn, ev.afn, ev.a1, ev.a2
+		e.removeAt(0)
+		e.release(slot)
 		e.processed++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			afn(a1, a2)
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -165,15 +293,21 @@ func (e *Engine) RunAll(maxEvents uint64) {
 	e.running = true
 	defer func() { e.running = false }()
 	start := e.processed
-	for len(e.events) > 0 {
+	for len(e.order) > 0 {
 		if e.processed-start >= maxEvents {
 			panic(fmt.Sprintf("sim: RunAll exceeded %d events at t=%v", maxEvents, e.now))
 		}
-		next := heap.Pop(&e.events).(*event)
-		e.now = next.at
-		fn := next.fn
-		next.fn = nil
+		slot := e.order[0]
+		ev := &e.arena[slot]
+		e.now = ev.at
+		fn, afn, a1, a2 := ev.fn, ev.afn, ev.a1, ev.a2
+		e.removeAt(0)
+		e.release(slot)
 		e.processed++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			afn(a1, a2)
+		}
 	}
 }

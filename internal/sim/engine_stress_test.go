@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEvent / refHeap reimplement the pre-arena container/heap engine ordering
+// ((time, seq) min-heap with FIFO tiebreak) as an oracle for the stress test.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+	idx int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// TestEngineStressVsReference interleaves schedule, cancel, and run steps on
+// the arena engine and on the reference heap, and requires the exact same
+// fire sequence from both. This pins the new heap + free-list to the old
+// container/heap semantics, including FIFO among equal timestamps and
+// mid-heap removal.
+func TestEngineStressVsReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine(seed)
+
+		var ref refHeap
+		var refNow Time
+		var refSeq uint64
+
+		var gotFired, wantFired []int
+		timers := make(map[int]Timer)      // live arena timers by id
+		refLive := make(map[int]*refEvent) // live reference events by id
+		nextID := 0
+
+		refRun := func(until Time) {
+			for len(ref) > 0 && ref[0].at <= until {
+				ev := heap.Pop(&ref).(*refEvent)
+				refNow = ev.at
+				delete(refLive, ev.id)
+				wantFired = append(wantFired, ev.id)
+			}
+			if refNow < until {
+				refNow = until
+			}
+		}
+
+		for step := 0; step < 4000; step++ {
+			switch op := r.Intn(10); {
+			case op < 6: // schedule
+				id := nextID
+				nextID++
+				delay := time.Duration(r.Intn(500)-20) * time.Microsecond
+				timers[id] = e.Schedule(delay, func() {
+					gotFired = append(gotFired, id)
+					delete(timers, id)
+				})
+				at := refNow + delay
+				if delay < 0 {
+					at = refNow
+				}
+				ev := &refEvent{at: at, seq: refSeq, id: id}
+				refSeq++
+				heap.Push(&ref, ev)
+				refLive[id] = ev
+			case op < 9: // cancel a random live timer (or a stale handle)
+				if len(timers) == 0 {
+					continue
+				}
+				// Deterministic pick: smallest live id with r-offset.
+				ids := make([]int, 0, len(timers))
+				for id := range timers {
+					ids = append(ids, id)
+				}
+				// Order of map iteration is random; sort by id for determinism
+				// of the comparison (both sides cancel the same event).
+				minID := ids[0]
+				for _, id := range ids {
+					if id < minID {
+						minID = id
+					}
+				}
+				stopped := timers[minID].Stop()
+				delete(timers, minID)
+				ev := refLive[minID]
+				refStopped := ev != nil && ev.idx >= 0
+				if refStopped {
+					heap.Remove(&ref, ev.idx)
+					delete(refLive, minID)
+				}
+				if stopped != refStopped {
+					t.Fatalf("seed %d step %d: Stop(%d)=%v, reference=%v", seed, step, minID, stopped, refStopped)
+				}
+			default: // run forward
+				until := e.Now() + time.Duration(r.Intn(300))*time.Microsecond
+				e.Run(until)
+				refRun(until)
+				if e.Now() != refNow {
+					t.Fatalf("seed %d step %d: now %v vs reference %v", seed, step, e.Now(), refNow)
+				}
+			}
+		}
+		e.Run(e.Now() + time.Second)
+		refRun(refNow + time.Second)
+
+		if len(gotFired) != len(wantFired) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(gotFired), len(wantFired))
+		}
+		for i := range gotFired {
+			if gotFired[i] != wantFired[i] {
+				t.Fatalf("seed %d: fire order diverges at %d: got %d, want %d", seed, i, gotFired[i], wantFired[i])
+			}
+		}
+	}
+}

@@ -100,16 +100,69 @@ func TestTimerStop(t *testing.T) {
 	if tm2.Stop() {
 		t.Fatal("Stop of fired timer returned true")
 	}
-	var nilT *Timer
-	if nilT.Stop() {
-		t.Fatal("Stop of nil timer returned true")
+	var zero Timer
+	if zero.Stop() {
+		t.Fatal("Stop of zero timer returned true")
+	}
+}
+
+func TestTimerStopAfterSlotReuse(t *testing.T) {
+	// A fired timer's arena slot is recycled; a stale handle must not
+	// cancel the new occupant (generation check).
+	e := NewEngine(1)
+	tm := e.Schedule(time.Microsecond, func() {})
+	e.Run(10 * time.Microsecond)
+	fired := false
+	e.Schedule(time.Microsecond, func() { fired = true }) // reuses tm's slot
+	if tm.Stop() {
+		t.Fatal("stale timer Stop returned true")
+	}
+	e.Run(time.Millisecond)
+	if !fired {
+		t.Fatal("stale Stop cancelled a recycled slot's event")
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	fn := func(a1, a2 any) { got = append(got, *a1.(*int)+a2.(int)) }
+	x := 10
+	e.ScheduleArg(2*time.Microsecond, fn, &x, 5)
+	e.ScheduleArg(time.Microsecond, fn, &x, 1)
+	tm := e.ScheduleArg(3*time.Microsecond, fn, &x, 9)
+	if !tm.Stop() {
+		t.Fatal("Stop of pending ScheduleArg timer returned false")
+	}
+	e.Run(time.Millisecond)
+	if len(got) != 2 || got[0] != 11 || got[1] != 15 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func(a1, a2 any) {}
+	// Warm up the arena so steady state reuses slots.
+	for i := 0; i < 64; i++ {
+		e.ScheduleArg(time.Duration(i)*time.Microsecond, fn, nil, nil)
+	}
+	e.Run(time.Second)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			e.ScheduleArg(time.Duration(i%7)*time.Microsecond, fn, &e.now, nil)
+		}
+		e.Run(e.Now() + time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/run allocates %v per run, want 0", allocs)
 	}
 }
 
 func TestTimerStopMiddleOfHeap(t *testing.T) {
 	e := NewEngine(1)
 	var fired []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		timers = append(timers, e.Schedule(time.Duration(i+1)*time.Microsecond, func() {

@@ -23,13 +23,14 @@ type MTPHost struct {
 	ChecksumDrops uint64
 
 	eng   *sim.Engine
-	timer *sim.Timer
+	net   *simnet.Network
+	timer sim.Timer
 }
 
 // AttachMTP creates an MTP endpoint on host. Peer addresses are
 // simnet.NodeID values.
 func AttachMTP(net *simnet.Network, host *simnet.Host, cfg core.Config) *MTPHost {
-	mh := &MTPHost{Host: host, eng: net.Engine()}
+	mh := &MTPHost{Host: host, eng: net.Engine(), net: net}
 	mh.EP = core.NewEndpoint(mh, cfg)
 	host.SetHandler(func(pkt *simnet.Packet) {
 		if pkt.Hdr == nil {
@@ -61,26 +62,28 @@ func (mh *MTPHost) Output(pkt *core.Outbound) {
 	// Flow identity groups the packets of one message so ECMP keeps a
 	// message on one path while different messages spread.
 	flow := pkt.Hdr.MsgID<<16 | uint64(pkt.Hdr.SrcPort)
-	mh.Host.Send(&simnet.Packet{
-		Dst:        dst,
-		Size:       pkt.Size,
-		Hdr:        pkt.Hdr,
-		Data:       pkt.Data,
-		ECNCapable: true,
-		Tenant:     int(pkt.Hdr.TC),
-		FlowID:     flow,
-	})
+	sp := mh.net.AllocPacket()
+	sp.Dst = dst
+	sp.Size = pkt.Size
+	sp.Hdr = pkt.Hdr
+	sp.Data = pkt.Data
+	sp.ECNCapable = true
+	sp.Tenant = int(pkt.Hdr.TC)
+	sp.FlowID = flow
+	mh.Host.Send(sp)
 }
 
 // SetTimer implements core.Env.
 func (mh *MTPHost) SetTimer(at time.Duration) {
-	if mh.timer != nil {
-		mh.timer.Stop()
-	}
+	mh.timer.Stop()
 	if at <= 0 {
 		return
 	}
-	mh.timer = mh.eng.Schedule(at-mh.eng.Now(), func() {
-		mh.EP.OnTimer(mh.eng.Now())
-	})
+	mh.timer = mh.eng.ScheduleArg(at-mh.eng.Now(), mtpHostTimer, mh, nil)
+}
+
+// mtpHostTimer is package-level so SetTimer allocates nothing per arm.
+func mtpHostTimer(a1, _ any) {
+	mh := a1.(*MTPHost)
+	mh.EP.OnTimer(mh.eng.Now())
 }

@@ -236,6 +236,7 @@ func (l *Link) FlushQueues() int {
 	for i, q := range l.queues {
 		n += len(q)
 		for j := range q {
+			l.net.ReleasePacket(q[j])
 			q[j] = nil
 		}
 		l.queues[i] = q[:0]
@@ -282,16 +283,21 @@ func (l *Link) resumeUpstream() {
 func (l *Link) Enqueue(pkt *Packet) {
 	if l.down || l.blackhole {
 		l.stats.FaultDrops++
+		l.net.ReleasePacket(pkt)
 		return
 	}
 	if l.dupP > 0 && l.faultRng != nil && l.faultRng.Float64() < l.dupP {
-		dup := *pkt
+		dup := l.net.AllocPacket()
+		pooled := dup.pooled
+		*dup = *pkt
+		dup.pooled = pooled
+		dup.released = false
 		if pkt.Hdr != nil {
 			dup.Hdr = pkt.Hdr.Clone()
 		}
 		l.stats.Duplicated++
 		l.enqueue(pkt)
-		l.enqueue(&dup)
+		l.enqueue(dup)
 		return
 	}
 	l.enqueue(pkt)
@@ -309,6 +315,7 @@ func (l *Link) enqueue(pkt *Packet) {
 		switch l.cfg.Policer.Admit(now, pkt, l) {
 		case PolicerDrop:
 			l.stats.PoliceDrop++
+			l.net.ReleasePacket(pkt)
 			return
 		case PolicerMark:
 			l.markPacket(pkt)
@@ -336,10 +343,12 @@ func (l *Link) enqueue(pkt *Packet) {
 			l.trim(pkt)
 			if len(q) >= l.cfg.QueueCap+l.cfg.QueueCap*4 {
 				l.stats.Drops++
+				l.net.ReleasePacket(pkt)
 				return
 			}
 		} else {
 			l.stats.Drops++
+			l.net.ReleasePacket(pkt)
 			return
 		}
 	}
@@ -433,19 +442,27 @@ func (l *Link) transmitNext() {
 
 	l.busy = true
 	txDelay := l.SerializationDelay(pkt.Size)
-	l.net.eng.Schedule(txDelay, func() {
-		l.stats.TxPackets++
-		l.stats.TxBytes += uint64(pkt.Size)
-		l.stampOnDequeue(pkt)
-		if l.cfg.PauseThreshold > 0 && l.QueueLen() <= l.cfg.PauseThreshold/2 {
-			l.resumeUpstream()
-		}
-		dst := l.dst
-		l.net.eng.Schedule(l.cfg.Delay, func() {
-			dst.Receive(pkt, l)
-		})
-		l.transmitNext()
-	})
+	l.net.eng.ScheduleArg(txDelay, linkTxDone, l, pkt)
+}
+
+// linkTxDone and linkDeliver are package-level so scheduling them via
+// ScheduleArg captures nothing — the per-hop event path stays allocation-free.
+func linkTxDone(a1, a2 any) {
+	l := a1.(*Link)
+	pkt := a2.(*Packet)
+	l.stats.TxPackets++
+	l.stats.TxBytes += uint64(pkt.Size)
+	l.stampOnDequeue(pkt)
+	if l.cfg.PauseThreshold > 0 && l.QueueLen() <= l.cfg.PauseThreshold/2 {
+		l.resumeUpstream()
+	}
+	l.net.eng.ScheduleArg(l.cfg.Delay, linkDeliver, l, pkt)
+	l.transmitNext()
+}
+
+func linkDeliver(a1, a2 any) {
+	l := a1.(*Link)
+	l.dst.Receive(a2.(*Packet), l)
 }
 
 // stampOnDequeue writes feedback types that need dequeue-time information

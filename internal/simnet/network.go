@@ -20,6 +20,58 @@ type Network struct {
 	nodes map[NodeID]Node
 	links []*Link
 	next  NodeID
+
+	// pktFree recycles Packets between delivery/drop and the next send so
+	// the steady-state forwarding path allocates nothing. The engine is
+	// single-threaded, so no locking.
+	pktFree []*Packet
+}
+
+// poisonFreed enables the debug mode toggled by SetPoisonFreed.
+var poisonFreed bool
+
+// SetPoisonFreed toggles a debug mode for the packet free-list: released
+// packets are overwritten with sentinel values and withheld from reuse, so a
+// use-after-release reads obviously-wrong fields (and, under the race
+// detector, a cross-goroutine stale read is a write/read race on the poisoned
+// words). Double releases panic. Off by default; intended for tests.
+func SetPoisonFreed(on bool) { poisonFreed = on }
+
+// AllocPacket returns a zeroed packet from the network's free-list (or a
+// fresh one). It is recycled automatically when a host delivers it or a link
+// drops it; senders must not retain it past that point.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		p.released = false
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// ReleasePacket returns a pooled packet to the free-list. Packets not built
+// by AllocPacket are ignored, so callers may release unconditionally.
+func (n *Network) ReleasePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	if p.released {
+		panic("simnet: double release of pooled packet")
+	}
+	if poisonFreed {
+		// Poison and withhold from the pool: stale readers see nonsense
+		// values instead of the next packet's fields.
+		*p = Packet{
+			Src: -1, Dst: -1, Size: -0x5EAD,
+			Tenant: -0x5EAD, FlowID: ^uint64(0),
+			pooled: true, released: true,
+		}
+		return
+	}
+	*p = Packet{pooled: true, released: true}
+	n.pktFree = append(n.pktFree, p)
 }
 
 // NewNetwork returns an empty topology bound to the engine.
@@ -99,9 +151,17 @@ func (h *Host) Send(pkt *Packet) {
 	h.uplink.Enqueue(pkt)
 }
 
-// Receive implements Node.
+// AllocPacket returns a recycled packet from the host's network; see
+// Network.AllocPacket.
+func (h *Host) AllocPacket() *Packet { return h.net.AllocPacket() }
+
+// Receive implements Node. Delivery is the end of a packet's life: after the
+// handler returns, pooled packets are recycled, so handlers must not retain
+// the Packet (retaining Hdr, Data, or Payload is fine — those are dropped to
+// the garbage collector, not reused).
 func (h *Host) Receive(pkt *Packet, _ *Link) {
 	if h.handler != nil {
 		h.handler(pkt)
 	}
+	h.net.ReleasePacket(pkt)
 }

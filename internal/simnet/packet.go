@@ -62,6 +62,12 @@ type Packet struct {
 	// enqueue and dequeue on one link.
 	enqueuedAt        time.Duration
 	queueLenAtEnqueue int
+
+	// pooled marks packets owned by a Network free-list (see
+	// Network.AllocPacket); released guards against double release.
+	// Packets built with &Packet{} are never recycled.
+	pooled   bool
+	released bool
 }
 
 // IsMTP reports whether the packet carries an MTP header.

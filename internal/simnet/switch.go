@@ -93,6 +93,7 @@ func (s *Switch) SetPolicy(p ForwardPolicy) { s.policy = p }
 func (s *Switch) Receive(pkt *Packet, from *Link) {
 	if s.down {
 		s.FaultDrops++
+		s.net.ReleasePacket(pkt)
 		return
 	}
 	if s.Interposer != nil && !s.Interposer(pkt, from) {

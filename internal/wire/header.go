@@ -100,80 +100,96 @@ func (p PathTC) String() string { return fmt.Sprintf("%d/%d", p.PathID, p.TC) }
 
 // Feedback is one (pathlet, TC, feedback) tuple. Network devices append these
 // to DATA packets; receivers copy them into the AckPathFeedback list of the
-// ACK they generate.
+// ACK they generate. The value bytes live inline (every defined feedback type
+// fits in 8 bytes), so constructing, copying, and decoding entries never
+// touches the heap and copies are always deep.
 type Feedback struct {
-	Path  PathTC
-	Type  FeedbackType
-	Value []byte
+	Path PathTC
+	Type FeedbackType
+	vlen uint8
+	val  [8]byte
+}
+
+// Value returns the entry's raw value bytes. The slice aliases the entry's
+// inline storage; callers must copy it if they outlive f.
+func (f *Feedback) Value() []byte { return f.val[:f.vlen] }
+
+// SetValue replaces the entry's value bytes. It panics if v exceeds
+// MaxFeedbackValue bytes.
+func (f *Feedback) SetValue(v []byte) {
+	if len(v) > MaxFeedbackValue {
+		panic("wire: feedback value exceeds MaxFeedbackValue")
+	}
+	f.vlen = uint8(copy(f.val[:], v))
 }
 
 // ECNFeedback constructs an ECN mark feedback entry.
 func ECNFeedback(p PathTC, marked bool) Feedback {
-	v := []byte{0}
+	f := Feedback{Path: p, Type: FeedbackECN, vlen: 1}
 	if marked {
-		v[0] = 1
+		f.val[0] = 1
 	}
-	return Feedback{Path: p, Type: FeedbackECN, Value: v}
+	return f
 }
 
 // RateFeedback constructs an explicit-rate feedback entry (bits/second).
 func RateFeedback(p PathTC, bps uint64) Feedback {
-	v := make([]byte, 8)
-	binary.BigEndian.PutUint64(v, bps)
-	return Feedback{Path: p, Type: FeedbackRate, Value: v}
+	f := Feedback{Path: p, Type: FeedbackRate, vlen: 8}
+	binary.BigEndian.PutUint64(f.val[:], bps)
+	return f
 }
 
 // DelayFeedback constructs a queueing-delay feedback entry (nanoseconds).
 func DelayFeedback(p PathTC, nanos uint64) Feedback {
-	v := make([]byte, 8)
-	binary.BigEndian.PutUint64(v, nanos)
-	return Feedback{Path: p, Type: FeedbackDelay, Value: v}
+	f := Feedback{Path: p, Type: FeedbackDelay, vlen: 8}
+	binary.BigEndian.PutUint64(f.val[:], nanos)
+	return f
 }
 
 // QueueLenFeedback constructs a queue-occupancy feedback entry (packets).
 func QueueLenFeedback(p PathTC, pkts uint32) Feedback {
-	v := make([]byte, 4)
-	binary.BigEndian.PutUint32(v, pkts)
-	return Feedback{Path: p, Type: FeedbackQueueLen, Value: v}
+	f := Feedback{Path: p, Type: FeedbackQueueLen, vlen: 4}
+	binary.BigEndian.PutUint32(f.val[:], pkts)
+	return f
 }
 
 // TrimFeedback constructs a trim notification carrying the original payload
 // length that was removed.
 func TrimFeedback(p PathTC, origLen uint32) Feedback {
-	v := make([]byte, 4)
-	binary.BigEndian.PutUint32(v, origLen)
-	return Feedback{Path: p, Type: FeedbackTrim, Value: v}
+	f := Feedback{Path: p, Type: FeedbackTrim, vlen: 4}
+	binary.BigEndian.PutUint32(f.val[:], origLen)
+	return f
 }
 
 // ECNMarked reports whether an ECN feedback entry carries a mark. It returns
 // false for non-ECN entries or malformed values.
 func (f Feedback) ECNMarked() bool {
-	return f.Type == FeedbackECN && len(f.Value) == 1 && f.Value[0] == 1
+	return f.Type == FeedbackECN && f.vlen == 1 && f.val[0] == 1
 }
 
 // RateBps returns the explicit rate of a RATE entry, or 0 if not applicable.
 func (f Feedback) RateBps() uint64 {
-	if f.Type != FeedbackRate || len(f.Value) != 8 {
+	if f.Type != FeedbackRate || f.vlen != 8 {
 		return 0
 	}
-	return binary.BigEndian.Uint64(f.Value)
+	return binary.BigEndian.Uint64(f.val[:])
 }
 
 // DelayNanos returns the delay of a DELAY entry, or 0 if not applicable.
 func (f Feedback) DelayNanos() uint64 {
-	if f.Type != FeedbackDelay || len(f.Value) != 8 {
+	if f.Type != FeedbackDelay || f.vlen != 8 {
 		return 0
 	}
-	return binary.BigEndian.Uint64(f.Value)
+	return binary.BigEndian.Uint64(f.val[:])
 }
 
 // QueueLen returns the queue occupancy of a QLEN entry, or 0 if not
 // applicable.
 func (f Feedback) QueueLen() uint32 {
-	if f.Type != FeedbackQueueLen || len(f.Value) != 4 {
+	if f.Type != FeedbackQueueLen || f.vlen != 4 {
 		return 0
 	}
-	return binary.BigEndian.Uint32(f.Value)
+	return binary.BigEndian.Uint32(f.val[:])
 }
 
 // PacketRef names one packet of one message, used in SACK and NACK lists.
@@ -240,8 +256,10 @@ const (
 	// MaxListEntries bounds each variable-length list so that a malformed
 	// or adversarial header cannot force unbounded allocation.
 	MaxListEntries = 1024
-	// MaxFeedbackValue bounds the value length of one feedback TLV.
-	MaxFeedbackValue = 255
+	// MaxFeedbackValue bounds the value length of one feedback TLV. Every
+	// defined feedback type fits in 8 bytes, which lets entries store their
+	// value inline with no per-entry allocation.
+	MaxFeedbackValue = 8
 )
 
 // Errors returned by Decode.
@@ -259,12 +277,14 @@ var (
 // (same polynomial as iSCSI/SCTP; hardware-accelerated on amd64/arm64).
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// zeroCksum is the all-zero stand-in for the checksum field while summing.
+var zeroCksum [4]byte
+
 // headerChecksum computes the CRC32-C of an encoded header with the checksum
 // field treated as zero, without mutating the buffer.
 func headerChecksum(b []byte) uint32 {
-	var zero [4]byte
 	sum := crc32.Update(0, crcTable, b[:checksumOff])
-	sum = crc32.Update(sum, crcTable, zero[:])
+	sum = crc32.Update(sum, crcTable, zeroCksum[:])
 	return crc32.Update(sum, crcTable, b[checksumOff+4:])
 }
 
@@ -272,11 +292,11 @@ func headerChecksum(b []byte) uint32 {
 func (h *Header) EncodedLen() int {
 	n := fixedLen
 	n += len(h.PathExclude) * pathTCLen
-	for _, f := range h.PathFeedback {
-		n += feedbackFixedLen + len(f.Value)
+	for i := range h.PathFeedback {
+		n += feedbackFixedLen + int(h.PathFeedback[i].vlen)
 	}
-	for _, f := range h.AckPathFeedback {
-		n += feedbackFixedLen + len(f.Value)
+	for i := range h.AckPathFeedback {
+		n += feedbackFixedLen + int(h.AckPathFeedback[i].vlen)
 	}
 	n += (len(h.SACK) + len(h.NACK)) * packetRefLen
 	return n
@@ -294,16 +314,8 @@ func (h *Header) Validate() error {
 		len(h.NACK) > MaxListEntries {
 		return ErrListTooLong
 	}
-	for _, f := range h.PathFeedback {
-		if len(f.Value) > MaxFeedbackValue {
-			return ErrValueTooLong
-		}
-	}
-	for _, f := range h.AckPathFeedback {
-		if len(f.Value) > MaxFeedbackValue {
-			return ErrValueTooLong
-		}
-	}
+	// Feedback values are stored inline and bounded by construction, so no
+	// per-entry length check is needed.
 	return nil
 }
 
@@ -332,12 +344,12 @@ func (h *Header) Encode(dst []byte) ([]byte, error) {
 		dst = append(dst, p.TC)
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.PathFeedback)))
-	for _, f := range h.PathFeedback {
-		dst = appendFeedback(dst, f)
+	for i := range h.PathFeedback {
+		dst = appendFeedback(dst, &h.PathFeedback[i])
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.AckPathFeedback)))
-	for _, f := range h.AckPathFeedback {
-		dst = appendFeedback(dst, f)
+	for i := range h.AckPathFeedback {
+		dst = appendFeedback(dst, &h.AckPathFeedback[i])
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.SACK)))
 	for _, r := range h.SACK {
@@ -353,10 +365,10 @@ func (h *Header) Encode(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
-func appendFeedback(dst []byte, f Feedback) []byte {
+func appendFeedback(dst []byte, f *Feedback) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, f.Path.PathID)
-	dst = append(dst, f.Path.TC, byte(f.Type), byte(len(f.Value)))
-	return append(dst, f.Value...)
+	dst = append(dst, f.Path.TC, byte(f.Type), f.vlen)
+	return append(dst, f.val[:f.vlen]...)
 }
 
 // decoder is a cursor over an encoded header.
@@ -381,19 +393,33 @@ func (d *decoder) u64() uint64 { v := binary.BigEndian.Uint64(d.b[d.off:]); d.of
 // the number of bytes consumed; the remainder of b is the packet payload.
 // Decoded slices alias freshly allocated memory, never b.
 func Decode(b []byte) (*Header, int, error) {
-	d := &decoder{b: b}
-	if err := d.need(fixedLen); err != nil {
+	h := &Header{}
+	n, err := DecodeInto(h, b)
+	if err != nil {
 		return nil, 0, err
 	}
-	if v := d.u8(); v != Version {
-		return nil, 0, fmt.Errorf("%w: got %d want %d", ErrBadVersion, v, Version)
+	return h, n, nil
+}
+
+// DecodeInto parses an encoded header from b into h, reusing the capacity of
+// h's list slices so a header decoded repeatedly into the same struct
+// allocates only when a list outgrows every previous packet. Every field of h
+// is overwritten. It returns the number of bytes consumed; the remainder of b
+// is the packet payload. Decoded slices never alias b.
+func DecodeInto(h *Header, b []byte) (int, error) {
+	var d decoder
+	d.b = b
+	if err := d.need(fixedLen); err != nil {
+		return 0, err
 	}
-	h := &Header{}
+	if v := d.u8(); v != Version {
+		return 0, fmt.Errorf("%w: got %d want %d", ErrBadVersion, v, Version)
+	}
 	h.Type = PacketType(d.u8())
 	switch h.Type {
 	case TypeData, TypeAck, TypeNack, TypeControl:
 	default:
-		return nil, 0, ErrBadType
+		return 0, ErrBadType
 	}
 	wantSum := d.u32()
 	h.SrcPort = d.u16()
@@ -409,42 +435,39 @@ func Decode(b []byte) (*Header, int, error) {
 
 	nExclude := int(d.u16())
 	if nExclude > MaxListEntries {
-		return nil, 0, ErrListTooLong
+		return 0, ErrListTooLong
 	}
 	if err := d.need(nExclude * pathTCLen); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	if nExclude > 0 {
-		h.PathExclude = make([]PathTC, nExclude)
-		for i := range h.PathExclude {
-			h.PathExclude[i].PathID = d.u32()
-			h.PathExclude[i].TC = d.u8()
-		}
+	h.PathExclude = h.PathExclude[:0]
+	for i := 0; i < nExclude; i++ {
+		h.PathExclude = append(h.PathExclude, PathTC{PathID: d.u32(), TC: d.u8()})
 	}
 
 	var err error
-	if h.PathFeedback, err = d.feedbackList(); err != nil {
-		return nil, 0, err
+	if h.PathFeedback, err = d.feedbackList(h.PathFeedback[:0]); err != nil {
+		return 0, err
 	}
-	if h.AckPathFeedback, err = d.feedbackList(); err != nil {
-		return nil, 0, err
+	if h.AckPathFeedback, err = d.feedbackList(h.AckPathFeedback[:0]); err != nil {
+		return 0, err
 	}
-	if h.SACK, err = d.refList(); err != nil {
-		return nil, 0, err
+	if h.SACK, err = d.refList(h.SACK[:0]); err != nil {
+		return 0, err
 	}
-	if h.NACK, err = d.refList(); err != nil {
-		return nil, 0, err
+	if h.NACK, err = d.refList(h.NACK[:0]); err != nil {
+		return 0, err
 	}
 	// The checksum covers every header byte (checksum field as zero), so
 	// in-network corruption of any field — including the lists a switch
 	// would act on — is detected and the packet dropped rather than parsed.
 	if headerChecksum(b[:d.off]) != wantSum {
-		return nil, 0, ErrBadChecksum
+		return 0, ErrBadChecksum
 	}
-	return h, d.off, nil
+	return d.off, nil
 }
 
-func (d *decoder) feedbackList() ([]Feedback, error) {
+func (d *decoder) feedbackList(out []Feedback) ([]Feedback, error) {
 	if err := d.need(2); err != nil {
 		return nil, err
 	}
@@ -452,10 +475,6 @@ func (d *decoder) feedbackList() ([]Feedback, error) {
 	if n > MaxListEntries {
 		return nil, ErrListTooLong
 	}
-	if n == 0 {
-		return nil, nil
-	}
-	out := make([]Feedback, 0, n)
 	for i := 0; i < n; i++ {
 		if err := d.need(feedbackFixedLen); err != nil {
 			return nil, err
@@ -465,19 +484,21 @@ func (d *decoder) feedbackList() ([]Feedback, error) {
 		f.Path.TC = d.u8()
 		f.Type = FeedbackType(d.u8())
 		vl := int(d.u8())
+		if vl > MaxFeedbackValue {
+			return nil, ErrValueTooLong
+		}
 		if err := d.need(vl); err != nil {
 			return nil, err
 		}
-		if vl > 0 {
-			f.Value = append([]byte(nil), d.b[d.off:d.off+vl]...)
-			d.off += vl
-		}
+		copy(f.val[:], d.b[d.off:d.off+vl])
+		f.vlen = uint8(vl)
+		d.off += vl
 		out = append(out, f)
 	}
 	return out, nil
 }
 
-func (d *decoder) refList() ([]PacketRef, error) {
+func (d *decoder) refList(out []PacketRef) ([]PacketRef, error) {
 	if err := d.need(2); err != nil {
 		return nil, err
 	}
@@ -485,16 +506,11 @@ func (d *decoder) refList() ([]PacketRef, error) {
 	if n > MaxListEntries {
 		return nil, ErrListTooLong
 	}
-	if n == 0 {
-		return nil, nil
-	}
 	if err := d.need(n * packetRefLen); err != nil {
 		return nil, err
 	}
-	out := make([]PacketRef, n)
-	for i := range out {
-		out[i].MsgID = d.u64()
-		out[i].PktNum = d.u32()
+	for i := 0; i < n; i++ {
+		out = append(out, PacketRef{MsgID: d.u64(), PktNum: d.u32()})
 	}
 	return out, nil
 }
@@ -518,23 +534,12 @@ func DecodeFull(b []byte) (*Header, error) {
 func (h *Header) Clone() *Header {
 	c := *h
 	c.PathExclude = append([]PathTC(nil), h.PathExclude...)
-	c.PathFeedback = cloneFeedback(h.PathFeedback)
-	c.AckPathFeedback = cloneFeedback(h.AckPathFeedback)
+	// Feedback stores its value inline, so a slice copy is already deep.
+	c.PathFeedback = append([]Feedback(nil), h.PathFeedback...)
+	c.AckPathFeedback = append([]Feedback(nil), h.AckPathFeedback...)
 	c.SACK = append([]PacketRef(nil), h.SACK...)
 	c.NACK = append([]PacketRef(nil), h.NACK...)
 	return &c
-}
-
-func cloneFeedback(in []Feedback) []Feedback {
-	if in == nil {
-		return nil
-	}
-	out := make([]Feedback, len(in))
-	for i, f := range in {
-		out[i] = f
-		out[i].Value = append([]byte(nil), f.Value...)
-	}
-	return out
 }
 
 // AddPathFeedback appends a feedback entry to the forward path feedback list,

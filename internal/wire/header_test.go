@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -156,12 +157,34 @@ func TestValidate(t *testing.T) {
 	if err := h.Validate(); err != ErrListTooLong {
 		t.Fatalf("Validate long list = %v", err)
 	}
-	h = &Header{Type: TypeData, PathFeedback: []Feedback{{Value: make([]byte, 300)}}}
-	if err := h.Validate(); err != ErrValueTooLong {
-		t.Fatalf("Validate long value = %v", err)
-	}
 	if _, err := h.Encode(nil); err == nil {
 		t.Fatal("Encode should propagate Validate error")
+	}
+}
+
+func TestSetValuePanicsOnOversize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetValue did not panic on oversized value")
+		}
+	}()
+	var f Feedback
+	f.SetValue(make([]byte, MaxFeedbackValue+1))
+}
+
+func TestDecodeRejectsOversizeFeedbackValue(t *testing.T) {
+	h := sampleHeader()
+	b, err := h.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the first feedback entry and inflate its value-length byte past
+	// MaxFeedbackValue; the decoder must reject it before reading the value.
+	off := fixedLen - 2*3 + len(h.PathExclude)*pathTCLen + feedbackFixedLen - 1
+	b[off] = MaxFeedbackValue + 1
+	binary.BigEndian.PutUint32(b[checksumOff:], headerChecksum(b))
+	if _, _, err := Decode(b); err != ErrValueTooLong {
+		t.Fatalf("Decode oversize value err = %v, want ErrValueTooLong", err)
 	}
 }
 
@@ -171,10 +194,10 @@ func TestCloneIndependence(t *testing.T) {
 	if !reflect.DeepEqual(h, c) {
 		t.Fatal("clone differs from original")
 	}
-	c.PathFeedback[0].Value[0] = 42
+	c.PathFeedback[0].Value()[0] = 42
 	c.SACK[0].PktNum = 99
 	c.PathExclude[0].PathID = 77
-	if h.PathFeedback[0].Value[0] == 42 || h.SACK[0].PktNum == 99 || h.PathExclude[0].PathID == 77 {
+	if h.PathFeedback[0].Value()[0] == 42 || h.SACK[0].PktNum == 99 || h.PathExclude[0].PathID == 77 {
 		t.Fatal("clone shares memory with original")
 	}
 }

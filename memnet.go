@@ -16,6 +16,9 @@ type MemNetwork struct {
 	mu    sync.Mutex
 	conns map[string]*memConn
 	rng   *rand.Rand
+	// bufs recycles delivery buffers: a datagram's bytes live from send to
+	// the receiver's ReadFrom copy-out, then return to the pool.
+	bufs sync.Pool
 
 	// Loss is the packet drop probability in [0,1).
 	Loss float64
@@ -40,14 +43,20 @@ func (memAddr) Network() string { return "mem" }
 func (a memAddr) String() string { return string(a) }
 
 type memPacket struct {
-	from memAddr
+	// from is the sender's address pre-boxed as net.Addr (boxing per packet
+	// would allocate on every ReadFrom return).
+	from net.Addr
 	data []byte
+	// buf is the pooled backing array, returned to MemNetwork.bufs once the
+	// bytes have been copied out or the packet is dropped.
+	buf *[]byte
 }
 
 // memConn is one endpoint of a MemNetwork.
 type memConn struct {
 	net    *MemNetwork
 	addr   memAddr
+	addrIf net.Addr // addr pre-boxed once
 	inbox  chan memPacket
 	closed chan struct{}
 	once   sync.Once
@@ -63,6 +72,7 @@ func (m *MemNetwork) Listen(name string) (net.PacketConn, error) {
 	c := &memConn{
 		net:    m,
 		addr:   memAddr(name),
+		addrIf: memAddr(name),
 		inbox:  make(chan memPacket, 4096),
 		closed: make(chan struct{}),
 	}
@@ -70,7 +80,7 @@ func (m *MemNetwork) Listen(name string) (net.PacketConn, error) {
 	return c, nil
 }
 
-func (m *MemNetwork) send(from memAddr, to string, data []byte) {
+func (m *MemNetwork) send(from net.Addr, to string, data []byte) {
 	m.mu.Lock()
 	dst := m.conns[to]
 	drop := m.Loss > 0 && m.rng.Float64() < m.Loss
@@ -79,19 +89,29 @@ func (m *MemNetwork) send(from memAddr, to string, data []byte) {
 	if dst == nil || drop {
 		return
 	}
-	pkt := memPacket{from: from, data: append([]byte(nil), data...)}
-	deliver := func() {
-		select {
-		case dst.inbox <- pkt:
-		case <-dst.closed:
-		default: // inbox full: drop, like a real queue
-		}
+	bp, _ := m.bufs.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
 	}
+	*bp = append((*bp)[:0], data...)
+	pkt := memPacket{from: from, data: *bp, buf: bp}
 	if latency > 0 {
-		time.AfterFunc(latency, deliver)
+		time.AfterFunc(latency, func() { dst.deliver(pkt) })
 		return
 	}
-	deliver()
+	dst.deliver(pkt)
+}
+
+// deliver enqueues a packet, dropping (and recycling) it when the inbox is
+// full or the endpoint is gone.
+func (c *memConn) deliver(pkt memPacket) {
+	select {
+	case c.inbox <- pkt:
+	case <-c.closed:
+		c.net.bufs.Put(pkt.buf)
+	default: // inbox full: drop, like a real queue
+		c.net.bufs.Put(pkt.buf)
+	}
 }
 
 // ReadFrom implements net.PacketConn.
@@ -99,6 +119,7 @@ func (c *memConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	select {
 	case pkt := <-c.inbox:
 		n := copy(p, pkt.data)
+		c.net.bufs.Put(pkt.buf)
 		return n, pkt.from, nil
 	case <-c.closed:
 		return 0, nil, net.ErrClosed
@@ -112,7 +133,7 @@ func (c *memConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 		return 0, net.ErrClosed
 	default:
 	}
-	c.net.send(c.addr, addr.String(), p)
+	c.net.send(c.addrIf, addr.String(), p)
 	return len(p), nil
 }
 

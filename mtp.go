@@ -148,6 +148,11 @@ type Node struct {
 	waiters map[uint64]*Outgoing
 	timer   *time.Timer
 	closed  bool
+	// addrKeys caches peer address strings pre-boxed as core.Addr so the
+	// per-packet paths do not allocate an interface header per conversion.
+	addrKeys map[string]core.Addr
+	// wbuf is the reused datagram encode buffer (Output runs under mu).
+	wbuf []byte
 	// inbox stages completed messages while mu is held; they are handed to
 	// cfg.OnMessage after the lock is released so the handler may call
 	// Send and friends.
@@ -185,11 +190,12 @@ func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
 	}
 
 	n := &Node{
-		pc:      pc,
-		cfg:     cfg,
-		start:   time.Now(),
-		peers:   make(map[string]net.Addr),
-		waiters: make(map[uint64]*Outgoing),
+		pc:       pc,
+		cfg:      cfg,
+		start:    time.Now(),
+		peers:    make(map[string]net.Addr),
+		waiters:  make(map[uint64]*Outgoing),
+		addrKeys: make(map[string]core.Addr),
 	}
 	var ring *trace.Ring
 	if cfg.TraceEvents > 0 {
@@ -274,7 +280,7 @@ func (n *Node) SendPriority(addr string, dstPort uint16, data []byte, priority u
 		}
 		n.peers[addr] = resolved
 	}
-	m := n.ep.Send(addr, dstPort, data, core.SendOptions{Priority: priority})
+	m := n.ep.Send(n.addrKey(addr), dstPort, data, core.SendOptions{Priority: priority})
 	out := &Outgoing{ID: m.ID, done: make(chan struct{})}
 	if m.Done() {
 		close(out.done) // tiny message fully acked already (loopback)
@@ -282,6 +288,17 @@ func (n *Node) SendPriority(addr string, dstPort uint16, data []byte, priority u
 		n.waiters[m.ID] = out
 	}
 	return out, nil
+}
+
+// addrKey returns the cached boxed form of a peer address string, avoiding
+// an interface-conversion allocation per packet. Called under mu.
+func (n *Node) addrKey(addr string) core.Addr {
+	a, ok := n.addrKeys[addr]
+	if !ok {
+		a = addr
+		n.addrKeys[addr] = a
+	}
+	return a
 }
 
 func (n *Node) resolve(addr string) (net.Addr, error) {
@@ -383,22 +400,31 @@ func (n *Node) Output(pkt *core.Outbound) {
 		n.peers[addrStr] = resolved
 		to = resolved
 	}
-	buf := make([]byte, 0, pkt.Hdr.EncodedLen()+len(pkt.Data))
-	buf, err := pkt.Hdr.Encode(buf)
+	buf, err := pkt.Hdr.Encode(n.wbuf[:0])
 	if err != nil {
 		return
 	}
 	buf = append(buf, pkt.Data...)
+	n.wbuf = buf[:0]
 	// Ignore transient write errors; reliability recovers them.
 	_, _ = n.pc.WriteTo(buf, to)
 }
 
-// SetTimer implements core.Env. Called under mu.
+// OutputNonRetaining implements core.OutputNonRetainer: Output encodes the
+// header to bytes before returning, so the endpoint may reuse header and
+// ack-list storage across packets.
+func (n *Node) OutputNonRetaining() bool { return true }
+
+// SetTimer implements core.Env. Called under mu. One timer is allocated per
+// node and rearmed with Reset; a rearm that races an in-flight firing at
+// worst delivers one spurious OnTimer, which the endpoint tolerates (it
+// re-derives its deadlines every call).
 func (n *Node) SetTimer(at time.Duration) {
-	if n.timer != nil {
+	if n.timer == nil {
+		n.timer = time.AfterFunc(time.Hour, n.onTimer)
 		n.timer.Stop()
-		n.timer = nil
 	}
+	n.timer.Stop()
 	if at <= 0 || n.closed {
 		return
 	}
@@ -406,32 +432,39 @@ func (n *Node) SetTimer(at time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	n.timer = time.AfterFunc(d, func() {
-		n.mu.Lock()
-		if !n.closed {
-			n.ep.OnTimer(n.Now())
-		}
-		n.mu.Unlock()
-		n.drainAll()
-	})
+	n.timer.Reset(d)
 }
 
-// readLoop decodes datagrams and feeds the engine.
+// onTimer is the persistent timer callback.
+func (n *Node) onTimer() {
+	n.mu.Lock()
+	if !n.closed {
+		n.ep.OnTimer(n.Now())
+	}
+	n.mu.Unlock()
+	n.drainAll()
+}
+
+// readLoop decodes datagrams and feeds the engine. The header, Inbound, and
+// payload slice are all reused across packets: Endpoint.OnPacket copies what
+// it keeps before returning (see core.Inbound).
 func (n *Node) readLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, 65536)
+	var hdr wire.Header
+	var in core.Inbound
 	for {
 		nr, from, err := n.pc.ReadFrom(buf)
 		if err != nil {
 			return // closed
 		}
-		hdr, consumed, derr := wire.Decode(buf[:nr])
+		consumed, derr := wire.DecodeInto(&hdr, buf[:nr])
 		if derr != nil {
 			continue // not an MTP packet
 		}
 		var data []byte
 		if consumed < nr {
-			data = append([]byte(nil), buf[consumed:nr]...)
+			data = buf[consumed:nr]
 		}
 		n.mu.Lock()
 		if !n.closed {
@@ -439,7 +472,8 @@ func (n *Node) readLoop() {
 			if _, ok := n.peers[key]; !ok {
 				n.peers[key] = from
 			}
-			n.ep.OnPacket(&core.Inbound{From: key, Hdr: hdr, Data: data})
+			in = core.Inbound{From: n.addrKey(key), Hdr: &hdr, Data: data}
+			n.ep.OnPacket(&in)
 		}
 		n.mu.Unlock()
 		n.drainAll()
