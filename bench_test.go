@@ -145,6 +145,24 @@ func BenchmarkFig7(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleIncast runs the at-scale incast on a declarative leaf-spine
+// (internal/topo): 16 senders converge on one host under MTP's message-aware
+// LB vs DCTCP over ECMP. Headline metrics are both systems' p99 FCT.
+func BenchmarkScaleIncast(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := exp.RunScale(exp.ScaleConfig{
+			Leaves: 4, Spines: 2, HostsPerLeaf: 8,
+			Pattern: "incast", Incast: 16, MsgSize: 256 << 10, Messages: 2,
+		})
+		b.ReportMetric(r.Rows[0].P99us, "mtp-p99us")
+		b.ReportMetric(r.Rows[1].P99us, "dctcp-p99us")
+		if i == 0 {
+			b.Log("\n" + r.String())
+		}
+	}
+}
+
 // BenchmarkExtensions runs the Section 4 design-point probes: pathlet
 // exclusion, multi-algorithm CC, priority scheduling, and NDP-style
 // trimming.

@@ -24,12 +24,20 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep, ccsweep")
+		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep, ccsweep, scale, scalesweep")
 		duration = flag.Duration("duration", 0, "override simulated duration (fig2/3/5/7)")
-		messages = flag.Int("messages", 0, "override message count (fig6)")
+		messages = flag.Int("messages", 0, "override message count (fig6) or per-sender messages (scale)")
 		maxSize  = flag.Int("maxsize", 0, "override max message size in bytes (fig6)")
 		samples  = flag.Bool("samples", false, "dump raw throughput series (fig5)")
 		wl       = flag.String("workload", "", "fig6 workload: papermix (default) or websearch")
+
+		topoName = flag.String("topo", "", "scale topology: leafspine (default) or fattree")
+		leaves   = flag.Int("leaves", 0, "scale: leaf (ToR) switch count")
+		spines   = flag.Int("spines", 0, "scale: spine switch count")
+		perLeaf  = flag.Int("hostsperleaf", 0, "scale: hosts per leaf")
+		radix    = flag.Int("k", 0, "scale: fat-tree radix (with -topo fattree)")
+		pattern  = flag.String("pattern", "", "scale traffic: permutation (default), incast, shuffle")
+		msgSize  = flag.Int("msgsize", 0, "scale: message size in bytes")
 		verbose  = flag.Bool("v", false, "verbose output (table1 evidence)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 1, "sweep workers: 1 sequential, 0 = all CPUs, N fixed (results are identical regardless)")
@@ -138,6 +146,24 @@ func main() {
 		ran = true
 		r := exp.RunFig7(exp.Fig7Config{Duration: *duration, Seed: *seed})
 		fmt.Println(r.String())
+	}
+	// The at-scale fabric runs are explicit-only (like the sweeps): 128-host
+	// fabrics are a step up in runtime from the paper figures.
+	scaleCfg := exp.ScaleConfig{
+		Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
+		K: *radix, Pattern: *pattern, MsgSize: *msgSize, Messages: *messages,
+		Seed: *seed, Workers: *parallel,
+	}
+	if *duration > 0 {
+		scaleCfg.Timeout = *duration
+	}
+	if *which == "scale" {
+		ran = true
+		fmt.Println(exp.RunScale(scaleCfg).String())
+	}
+	if *which == "scalesweep" {
+		ran = true
+		fmt.Println(exp.ScaleSweepString(exp.RunScaleHostSweep(*parallel, nil, scaleCfg)))
 	}
 	if run("ext") {
 		ran = true

@@ -265,6 +265,10 @@ func (e *Endpoint) flush(to Addr, b *ackBatch) {
 		AckPathFeedback: b.feedback,
 		SACK:            b.sack,
 		NACK:            b.nack,
+		// ACKs honor the endpoint's path exclusions like any other traffic:
+		// a receiver that is also sending knows which of its pathlets are
+		// dead, and its feedback must not be routed into them.
+		PathExclude: e.table.ExcludeList(),
 	}
 	e.Stats.AcksSent++
 	e.trace(trace.KindSendAck, 0, 0, uint64(len(b.sack)), uint64(len(b.nack)))

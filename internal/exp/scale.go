@@ -1,0 +1,481 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mtp/internal/baseline"
+	"mtp/internal/core"
+	"mtp/internal/simhost"
+	"mtp/internal/simnet"
+	"mtp/internal/stats"
+	"mtp/internal/topo"
+	"mtp/internal/workload"
+)
+
+// ScaleConfig parameterizes the at-scale fabric experiments: a declarative
+// datacenter topology (internal/topo), a traffic pattern over all hosts, and
+// the two systems under comparison — MTP (per-pathlet CC + message-aware LB
+// in every switch) against DCTCP over ECMP.
+type ScaleConfig struct {
+	// Topo selects the fabric: "leafspine" (default) or "fattree".
+	Topo string
+	// Leaves/Spines/HostsPerLeaf shape the leaf-spine. Default 16/4/8
+	// (128 hosts, 2:1 oversubscribed at the rack with equal link rates).
+	Leaves, Spines, HostsPerLeaf int
+	// K is the fat-tree radix when Topo == "fattree". Default 8 (128 hosts).
+	K int
+
+	// Pattern is the traffic matrix: "permutation" (default, every host
+	// streams to a random derangement partner), "incast" (Incast senders
+	// converge on host 0), or "shuffle" (all-to-all, each host sends
+	// MsgSize/(hosts-1) to every peer).
+	Pattern string
+	// MsgSize is the per-message size for permutation/incast and the
+	// per-sender total for shuffle. Default 1 MB.
+	MsgSize int
+	// Messages is how many messages each sender sends back to back
+	// (permutation/incast). Default 4.
+	Messages int
+	// Incast is the incast fan-in (clamped to hosts-1). Default 32.
+	Incast int
+
+	HostRate   float64       // host access link rate, default 10 Gbps
+	FabricRate float64       // trunk rate, default 10 Gbps
+	Delay      time.Duration // per-hop propagation, default 1 µs
+	QueueCap   int           // per-port queue, default 256 pkts
+	ECNK       int           // ECN mark threshold, default 64 pkts
+
+	RTO            time.Duration // endpoint RTO, default 1 ms
+	Seed           int64         // default 1
+	Timeout        time.Duration // simulation cap, default 2 s
+	SampleInterval time.Duration // queue-occupancy sampling, default 100 µs
+	// Workers fans the per-system runs out via Sweep; results are identical
+	// regardless (each run owns its engine and RNG).
+	Workers int
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Topo == "" {
+		c.Topo = "leafspine"
+	}
+	if c.Leaves == 0 {
+		c.Leaves = 16
+	}
+	if c.Spines == 0 {
+		c.Spines = 4
+	}
+	if c.HostsPerLeaf == 0 {
+		c.HostsPerLeaf = 8
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.Pattern == "" {
+		c.Pattern = "permutation"
+	}
+	if c.MsgSize == 0 {
+		c.MsgSize = 1 << 20
+	}
+	if c.Messages == 0 {
+		c.Messages = 4
+	}
+	if c.Incast == 0 {
+		c.Incast = 32
+	}
+	if c.HostRate == 0 {
+		c.HostRate = 10e9
+	}
+	if c.FabricRate == 0 {
+		c.FabricRate = 10e9
+	}
+	if c.Delay == 0 {
+		c.Delay = time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 256
+	}
+	if c.ECNK == 0 {
+		c.ECNK = 64
+	}
+	if c.RTO == 0 {
+		c.RTO = time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 100 * time.Microsecond
+	}
+	return c
+}
+
+// ScaleRow is one system's results over the whole fabric.
+type ScaleRow struct {
+	System    string
+	Completed int
+	Expected  int
+	P50us     float64
+	P99us     float64
+	// GoodputGbps is aggregate delivered application bytes over the
+	// makespan (first send to last completion).
+	GoodputGbps float64
+	// QueuePeak / QueueP99 summarize the worst trunk occupancy (packets)
+	// sampled every SampleInterval across all fabric trunks.
+	QueuePeak int
+	QueueP99  float64
+	Retx      uint64
+}
+
+// ScaleResult holds both systems' rows for one configuration.
+type ScaleResult struct {
+	Config ScaleConfig
+	Hosts  int
+	Rows   []ScaleRow
+}
+
+// scaleMsg is one planned message: destination host index and size.
+type scaleMsg struct {
+	dst  int
+	size int
+}
+
+// scalePlan derives each host's message sequence from the pattern. The plan
+// is a pure function of (config, host count), so the MTP and DCTCP runs —
+// and any re-run with the same seed — see byte-identical traffic.
+func scalePlan(cfg ScaleConfig, n int) [][]scaleMsg {
+	plan := make([][]scaleMsg, n)
+	switch cfg.Pattern {
+	case "incast":
+		fan := cfg.Incast
+		if fan > n-1 {
+			fan = n - 1
+		}
+		for s := 1; s <= fan; s++ {
+			for k := 0; k < cfg.Messages; k++ {
+				plan[s] = append(plan[s], scaleMsg{dst: 0, size: cfg.MsgSize})
+			}
+		}
+	case "shuffle":
+		size := cfg.MsgSize / (n - 1)
+		if size < 1460 {
+			size = 1460
+		}
+		for s := 0; s < n; s++ {
+			// Walk peers starting after ourselves so the shuffle begins
+			// spread out instead of synchronized onto host 0.
+			for k := 1; k < n; k++ {
+				plan[s] = append(plan[s], scaleMsg{dst: (s + k) % n, size: size})
+			}
+		}
+	case "permutation":
+		perm := workload.Permutation(rand.New(rand.NewSource(cfg.Seed)), n)
+		for s := 0; s < n; s++ {
+			for k := 0; k < cfg.Messages; k++ {
+				plan[s] = append(plan[s], scaleMsg{dst: perm[s], size: cfg.MsgSize})
+			}
+		}
+	default:
+		panic(fmt.Sprintf("exp: unknown scale pattern %q", cfg.Pattern))
+	}
+	return plan
+}
+
+// buildScaleFabric instantiates the configured topology with per-switch
+// policies from mk (nil = ECMP).
+func buildScaleFabric(cfg ScaleConfig, mk topo.PolicyFunc) *topo.Fabric {
+	host := topo.LinkSpec{Rate: cfg.HostRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK}
+	fabric := topo.LinkSpec{Rate: cfg.FabricRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK}
+	switch cfg.Topo {
+	case "fattree":
+		return topo.NewFatTree(topo.FatTreeConfig{
+			K: cfg.K, HostLink: host, FabricLink: fabric, Policy: mk, Seed: cfg.Seed,
+		})
+	case "leafspine":
+		return topo.NewLeafSpine(topo.LeafSpineConfig{
+			Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,
+			HostLink: host, FabricLink: fabric, Policy: mk, Seed: cfg.Seed,
+		})
+	default:
+		panic(fmt.Sprintf("exp: unknown topology %q", cfg.Topo))
+	}
+}
+
+// scaleProbe samples the worst per-trunk queue occupancy on a fixed cadence.
+type scaleProbe struct {
+	fab     *topo.Fabric
+	samples []float64
+	peak    int
+}
+
+func (p *scaleProbe) start(cfg ScaleConfig) {
+	var tick func()
+	tick = func() {
+		max := 0
+		for _, tr := range p.fab.Trunks() {
+			if q := tr.Link.QueueLen(); q > max {
+				max = q
+			}
+		}
+		p.samples = append(p.samples, float64(max))
+		if max > p.peak {
+			p.peak = max
+		}
+		p.fab.Eng.Schedule(cfg.SampleInterval, tick)
+	}
+	p.fab.Eng.Schedule(cfg.SampleInterval, tick)
+}
+
+// RunScale runs the configured pattern under MTP and under DCTCP/ECMP on
+// identical fabrics and traffic, fanning the two runs out via Sweep.
+func RunScale(cfg ScaleConfig) ScaleResult {
+	cfg = cfg.withDefaults()
+	systems := []string{"MTP", "DCTCP/ECMP"}
+	rows := Sweep(cfg.Workers, systems, func(sys string) ScaleRow {
+		if sys == "MTP" {
+			return runScaleMTP(cfg)
+		}
+		return runScaleDCTCP(cfg)
+	})
+	res := ScaleResult{Config: cfg, Rows: rows}
+	if len(rows) > 0 {
+		f := buildScaleFabric(cfg, nil)
+		res.Hosts = f.NumHosts()
+	}
+	return res
+}
+
+func runScaleMTP(cfg ScaleConfig) ScaleRow {
+	fab := buildScaleFabric(cfg, func() simnet.ForwardPolicy { return simnet.NewMessageLB() })
+	n := fab.NumHosts()
+	plan := scalePlan(cfg, n)
+
+	var (
+		fcts      []float64
+		delivered uint64
+		lastDone  time.Duration
+		retx      uint64
+	)
+	expected := 0
+	type sender struct {
+		mh     *simhost.MTPHost
+		next   int
+		starts map[uint64]time.Duration
+	}
+	senders := make([]*sender, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s := &sender{starts: make(map[uint64]time.Duration)}
+		senders[i] = s
+		expected += len(plan[i])
+		var sendNext func()
+		sendNext = func() {
+			if s.next >= len(plan[i]) {
+				return
+			}
+			msg := plan[i][s.next]
+			s.next++
+			m := s.mh.EP.SendSynthetic(fab.Host(msg.dst).ID(), uint16(1000+msg.dst), msg.size, core.SendOptions{})
+			s.starts[m.ID] = fab.Eng.Now()
+		}
+		s.mh = simhost.AttachMTP(fab.Net, fab.Host(i), core.Config{
+			LocalPort: uint16(1000 + i), RTO: cfg.RTO,
+			OnMessageSent: func(m *core.OutMessage) {
+				now := fab.Eng.Now()
+				fcts = append(fcts, float64((now - s.starts[m.ID]).Microseconds()))
+				delete(s.starts, m.ID)
+				delivered += uint64(m.Size)
+				lastDone = now
+				sendNext()
+			},
+		})
+		// Closed loop: one message outstanding per sender.
+		fab.Eng.Schedule(0, sendNext)
+	}
+
+	probe := &scaleProbe{fab: fab}
+	probe.start(cfg)
+	fab.Eng.Run(cfg.Timeout)
+	for _, s := range senders {
+		retx += s.mh.EP.Stats.PktsRetx
+	}
+	return scaleRow(cfg, "MTP", fcts, expected, delivered, lastDone, probe, retx)
+}
+
+func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
+	fab := buildScaleFabric(cfg, nil) // ECMP everywhere
+	n := fab.NumHosts()
+	plan := scalePlan(cfg, n)
+
+	var (
+		fcts      []float64
+		delivered uint64
+		lastDone  time.Duration
+		retx      uint64
+	)
+	expected := 0
+	demux := make([]*baseline.Demux, n)
+	for i := 0; i < n; i++ {
+		demux[i] = baseline.NewDemux()
+		fab.Host(i).SetHandler(demux[i].Handle)
+	}
+	nextConn := uint64(1)
+	// Closed loop matching the MTP run: each message is one fresh DCTCP
+	// connection (connection setup skipped; both systems start in
+	// established state), the next starting when the previous is fully
+	// acknowledged.
+	var startMsg func(src, idx int)
+	startMsg = func(src, idx int) {
+		if idx >= len(plan[src]) {
+			return
+		}
+		msg := plan[src][idx]
+		conn := nextConn
+		nextConn++
+		start := fab.Eng.Now()
+		var snd *baseline.Sender
+		snd = baseline.NewSender(fab.Eng, fab.Host(src).Send, baseline.SenderConfig{
+			Conn: conn, Dst: fab.Host(msg.dst).ID(), RTO: cfg.RTO, SkipHandshake: true,
+			OnComplete: func(now time.Duration) {
+				fcts = append(fcts, float64((now - start).Microseconds()))
+				delivered += uint64(msg.size)
+				lastDone = now
+				retx += snd.SegsRetx
+				startMsg(src, idx+1)
+			},
+		})
+		rcv := baseline.NewReceiver(fab.Eng, fab.Host(msg.dst).Send, baseline.ReceiverConfig{
+			Conn: conn, Src: fab.Host(src).ID(),
+		})
+		demux[src].Add(conn, snd.OnPacket)
+		demux[msg.dst].Add(conn, rcv.OnPacket)
+		snd.Write(msg.size)
+		snd.Close()
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		expected += len(plan[i])
+		if len(plan[i]) > 0 {
+			fab.Eng.Schedule(0, func() { startMsg(i, 0) })
+		}
+	}
+
+	probe := &scaleProbe{fab: fab}
+	probe.start(cfg)
+	fab.Eng.Run(cfg.Timeout)
+	return scaleRow(cfg, "DCTCP/ECMP", fcts, expected, delivered, lastDone, probe, retx)
+}
+
+func scaleRow(cfg ScaleConfig, sys string, fcts []float64, expected int, delivered uint64, lastDone time.Duration, probe *scaleProbe, retx uint64) ScaleRow {
+	// Queue statistics cover the busy period only: samples after the last
+	// completion are idle fabric, not workload behavior.
+	samples := probe.samples
+	if lastDone > 0 {
+		if n := int(lastDone/cfg.SampleInterval) + 1; n < len(samples) {
+			samples = samples[:n]
+		}
+	}
+	row := ScaleRow{
+		System:    sys,
+		Completed: len(fcts),
+		Expected:  expected,
+		P50us:     stats.Percentile(fcts, 50),
+		P99us:     stats.Percentile(fcts, 99),
+		QueuePeak: probe.peak,
+		QueueP99:  stats.Percentile(samples, 99),
+		Retx:      retx,
+	}
+	if lastDone > 0 {
+		row.GoodputGbps = float64(delivered) * 8 / lastDone.Seconds() / 1e9
+	}
+	return row
+}
+
+// String renders the comparison.
+func (r ScaleResult) String() string {
+	var b strings.Builder
+	c := r.Config
+	shape := fmt.Sprintf("%d leaves x %d spines x %d", c.Leaves, c.Spines, c.HostsPerLeaf)
+	if c.Topo == "fattree" {
+		shape = fmt.Sprintf("k=%d fat-tree", c.K)
+	}
+	fmt.Fprintf(&b, "Scale: %s on %s (%d hosts, %s links, %s pattern, %s msgs)\n",
+		strings.Join(systemNames(r.Rows), " vs "), shape, r.Hosts,
+		gbpsStr(c.HostRate), c.Pattern, scaleSizeStr(c.MsgSize))
+	fmt.Fprintf(&b, "  %-10s %9s %12s %12s %9s %7s %8s %8s\n",
+		"system", "completed", "p50 FCT(us)", "p99 FCT(us)", "goodput", "queue", "q-p99", "retx")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %4d/%4d %12.0f %12.0f %7.1fG %7d %8.0f %8d\n",
+			row.System, row.Completed, row.Expected, row.P50us, row.P99us,
+			row.GoodputGbps, row.QueuePeak, row.QueueP99, row.Retx)
+	}
+	return b.String()
+}
+
+// scaleSizeStr renders one fixed message size (unlike fig6's sizeStr, which
+// labels a distribution's range).
+func scaleSizeStr(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func systemNames(rows []ScaleRow) []string {
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.System
+	}
+	return names
+}
+
+// ScalePoint is one host count's p99 FCT and goodput per system.
+type ScalePoint struct {
+	Hosts   int
+	P99     map[string]float64
+	Goodput map[string]float64
+}
+
+// RunScaleHostSweep sweeps the fabric size (leaf-spine host counts, keeping
+// the configured leaf/spine shape and growing hosts per leaf) through the
+// parallel Sweep runner. Each point runs both systems sequentially inside
+// its worker, so worker count never changes results.
+func RunScaleHostSweep(workers int, hosts []int, base ScaleConfig) []ScalePoint {
+	if len(hosts) == 0 {
+		hosts = []int{32, 64, 128}
+	}
+	base = base.withDefaults()
+	return Sweep(workers, hosts, func(n int) ScalePoint {
+		cfg := base
+		cfg.Workers = 1 // the sweep already fans out
+		cfg.HostsPerLeaf = (n + cfg.Leaves - 1) / cfg.Leaves
+		r := RunScale(cfg)
+		pt := ScalePoint{Hosts: r.Hosts, P99: make(map[string]float64), Goodput: make(map[string]float64)}
+		for _, row := range r.Rows {
+			pt.P99[row.System] = row.P99us
+			pt.Goodput[row.System] = row.GoodputGbps
+		}
+		return pt
+	})
+}
+
+// ScaleSweepString renders the host-count sweep.
+func ScaleSweepString(points []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale sweep: p99 FCT (us) / goodput (Gbps) vs host count\n")
+	fmt.Fprintf(&b, "  %-6s %10s %12s %10s %12s\n", "hosts", "MTP p99", "DCTCP p99", "MTP gbps", "DCTCP gbps")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-6d %10.0f %12.0f %10.1f %12.1f\n",
+			p.Hosts, p.P99["MTP"], p.P99["DCTCP/ECMP"], p.Goodput["MTP"], p.Goodput["DCTCP/ECMP"])
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package exp
+
+import "testing"
+
+// smallScale keeps unit runs cheap: 8 hosts, short messages.
+func smallScale(pattern string) ScaleConfig {
+	return ScaleConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		Pattern: pattern, MsgSize: 64 << 10, Messages: 2, Incast: 3,
+		Seed: 3,
+	}
+}
+
+// TestScalePatternsComplete checks every traffic pattern drains fully on
+// both systems and produces sane statistics.
+func TestScalePatternsComplete(t *testing.T) {
+	for _, pattern := range []string{"permutation", "incast", "shuffle"} {
+		r := RunScale(smallScale(pattern))
+		if len(r.Rows) != 2 {
+			t.Fatalf("%s: %d rows", pattern, len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if row.Completed != row.Expected || row.Expected == 0 {
+				t.Fatalf("%s/%s: completed %d of %d", pattern, row.System, row.Completed, row.Expected)
+			}
+			if row.P99us < row.P50us || row.P50us <= 0 {
+				t.Fatalf("%s/%s: bad FCTs p50=%f p99=%f", pattern, row.System, row.P50us, row.P99us)
+			}
+			if row.GoodputGbps <= 0 {
+				t.Fatalf("%s/%s: no goodput", pattern, row.System)
+			}
+		}
+	}
+}
+
+// TestScaleDeterministic pins the determinism guarantee end to end: the
+// rendered result is byte-identical across repeat runs and across Sweep
+// worker counts.
+func TestScaleDeterministic(t *testing.T) {
+	cfg := smallScale("permutation")
+	base := RunScale(cfg).String()
+	for _, workers := range []int{1, 2, 0} {
+		c := cfg
+		c.Workers = workers
+		if got := RunScale(c).String(); got != base {
+			t.Fatalf("workers=%d changed results:\n%s\nvs\n%s", workers, got, base)
+		}
+	}
+}
+
+// TestScaleFatTree runs the permutation on a k=4 fat-tree.
+func TestScaleFatTree(t *testing.T) {
+	cfg := smallScale("permutation")
+	cfg.Topo = "fattree"
+	cfg.K = 4
+	r := RunScale(cfg)
+	if r.Hosts != 16 {
+		t.Fatalf("hosts = %d, want 16", r.Hosts)
+	}
+	for _, row := range r.Rows {
+		if row.Completed != row.Expected {
+			t.Fatalf("%s: completed %d of %d", row.System, row.Completed, row.Expected)
+		}
+	}
+}
+
+// TestScaleHostSweep checks the parallel host-count sweep: every point
+// carries both systems, and worker count does not change the results.
+func TestScaleHostSweep(t *testing.T) {
+	base := smallScale("permutation")
+	seq := RunScaleHostSweep(1, []int{4, 8}, base)
+	par := RunScaleHostSweep(3, []int{4, 8}, base)
+	if len(seq) != 2 || len(par) != 2 {
+		t.Fatalf("point counts: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Hosts != par[i].Hosts {
+			t.Fatalf("point %d hosts differ", i)
+		}
+		for _, sys := range []string{"MTP", "DCTCP/ECMP"} {
+			if seq[i].P99[sys] != par[i].P99[sys] || seq[i].Goodput[sys] != par[i].Goodput[sys] {
+				t.Fatalf("point %d system %s differs between worker counts", i, sys)
+			}
+		}
+	}
+}

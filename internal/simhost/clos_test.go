@@ -9,11 +9,11 @@ import (
 	"mtp/internal/core"
 	"mtp/internal/sim"
 	"mtp/internal/simnet"
+	"mtp/internal/topo"
 )
 
-// clos builds a 2-tier Clos: nTor ToR switches, 2 spines, hostsPerTor hosts
-// per ToR. ToRs spread uplink traffic across spines per message (ECMP);
-// every inter-ToR path crosses a distinct pathlet-stamped spine link.
+// closFabric adapts a declarative topo.Fabric leaf-spine to the rack-major
+// host grouping these tests index by.
 type closFabric struct {
 	eng    *sim.Engine
 	net    *simnet.Network
@@ -21,62 +21,22 @@ type closFabric struct {
 	mhosts [][]*MTPHost
 }
 
+// buildClos builds a 2-tier Clos via internal/topo: nTor ToR switches, 2
+// spines, hostsPerTor hosts per ToR. ToRs spread uplink traffic across
+// spines per message (ECMP); every inter-ToR path crosses a distinct
+// pathlet-stamped spine trunk.
 func buildClos(t *testing.T, seed int64, nTor, hostsPerTor int, linkRate float64) *closFabric {
 	t.Helper()
-	eng := sim.NewEngine(seed)
-	net := simnet.NewNetwork(eng)
-	f := &closFabric{eng: eng, net: net}
-
-	tors := make([]*simnet.Switch, nTor)
-	spines := make([]*simnet.Switch, 2)
-	for i := range spines {
-		spines[i] = simnet.NewSwitch(net, nil)
-	}
-	for i := range tors {
-		tors[i] = simnet.NewSwitch(net, simnet.ECMP{})
-	}
-
-	lc := func(pathlet uint32) simnet.LinkConfig {
-		p := pathlet
-		return simnet.LinkConfig{
-			Rate: linkRate, Delay: time.Microsecond, QueueCap: 256, ECNThreshold: 40,
-			Pathlet: &p, StampECN: true,
-		}
-	}
-
-	// Hosts under each ToR.
+	spec := topo.LinkSpec{Rate: linkRate, Delay: time.Microsecond, QueueCap: 256, ECNThreshold: 40}
+	fab := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Leaves: nTor, Spines: 2, HostsPerLeaf: hostsPerTor,
+		HostLink: spec, FabricLink: spec, Seed: seed,
+	})
+	f := &closFabric{eng: fab.Eng, net: fab.Net}
 	f.hosts = make([][]*simnet.Host, nTor)
-	for ti := range tors {
-		for h := 0; h < hostsPerTor; h++ {
-			host := simnet.NewHost(net)
-			host.SetUplink(net.Connect(tors[ti], simnet.LinkConfig{
-				Rate: linkRate, Delay: time.Microsecond, QueueCap: 256, ECNThreshold: 40,
-			}, "host-up"))
-			tors[ti].AddRoute(host.ID(), net.Connect(host, simnet.LinkConfig{
-				Rate: linkRate, Delay: time.Microsecond, QueueCap: 256, ECNThreshold: 40,
-			}, "host-down"))
-			f.hosts[ti] = append(f.hosts[ti], host)
-		}
-	}
-	// ToR <-> spine links; pathlet IDs encode (tor, spine, direction).
-	for ti, tor := range tors {
-		for si, spine := range spines {
-			up := net.Connect(spine, lc(uint32(100+ti*10+si)), "tor-up")
-			down := net.Connect(tor, lc(uint32(200+ti*10+si)), "spine-down")
-			// ToR routes to every remote host via both spines (ECMP picks).
-			for tj := range tors {
-				if tj == ti {
-					continue
-				}
-				for _, h := range f.hosts[tj] {
-					tor.AddRoute(h.ID(), up)
-				}
-			}
-			// Spine routes back down to this ToR's hosts.
-			for _, h := range f.hosts[ti] {
-				spine.AddRoute(h.ID(), down)
-			}
-		}
+	for i := 0; i < fab.NumHosts(); i++ {
+		ti := fab.HostPod(i)
+		f.hosts[ti] = append(f.hosts[ti], fab.Host(i))
 	}
 	return f
 }

@@ -10,6 +10,7 @@ import (
 	"mtp/internal/core"
 	"mtp/internal/sim"
 	"mtp/internal/simnet"
+	"mtp/internal/wire"
 )
 
 // MTPHost is an MTP endpoint attached to a simulated host.
@@ -25,6 +26,9 @@ type MTPHost struct {
 	eng   *sim.Engine
 	net   *simnet.Network
 	timer sim.Timer
+	// ackFlow numbers outgoing control packets so their flow identity varies
+	// (see Output); deterministic because sends are.
+	ackFlow uint64
 }
 
 // AttachMTP creates an MTP endpoint on host. Peer addresses are
@@ -62,6 +66,16 @@ func (mh *MTPHost) Output(pkt *core.Outbound) {
 	// Flow identity groups the packets of one message so ECMP keeps a
 	// message on one path while different messages spread.
 	flow := pkt.Hdr.MsgID<<16 | uint64(pkt.Hdr.SrcPort)
+	if pkt.Hdr.Type == wire.TypeAck || pkt.Hdr.Type == wire.TypeNack {
+		// Control packets have no intra-message ordering constraint, so each
+		// gets a fresh flow identity and ECMP spreads them across paths. A
+		// constant identity would pin the whole feedback channel to one hash
+		// bucket: if that path dies, data escapes via its exclude list but
+		// the acks proving the detour works never return, and the sender
+		// retransmits forever.
+		mh.ackFlow++
+		flow = mh.ackFlow<<16 | uint64(pkt.Hdr.SrcPort)
+	}
 	sp := mh.net.AllocPacket()
 	sp.Dst = dst
 	sp.Size = pkt.Size

@@ -1,0 +1,115 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mtp/internal/sim"
+	"mtp/internal/wire"
+)
+
+// choiceRecorder wraps a policy and logs every egress decision by link name.
+type choiceRecorder struct {
+	inner   ForwardPolicy
+	choices []string
+}
+
+func (r *choiceRecorder) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
+	l := r.inner.Choose(sw, pkt, c)
+	r.choices = append(r.choices, l.Name())
+	return l
+}
+
+// runMessageLBTrace drives a seeded stream of multi-packet MTP messages
+// through a switch with four identical egress links (so score ties are the
+// common case, not the corner case) and returns the sequence of links the
+// MessageLB picked.
+func runMessageLBTrace(t *testing.T, seed int64) []string {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	net := NewNetwork(eng)
+	snd := NewHost(net)
+	rcv := NewHost(net)
+	rec := &choiceRecorder{inner: NewMessageLB()}
+	sw := NewSwitch(net, rec)
+
+	snd.SetUplink(net.Connect(sw, LinkConfig{Rate: 40e9, Delay: time.Microsecond, QueueCap: 4096}, "up"))
+	for i := 0; i < 4; i++ {
+		id := uint32(i + 1)
+		sw.AddRoute(rcv.ID(), net.Connect(rcv, LinkConfig{
+			Rate: 10e9, Delay: time.Microsecond, QueueCap: 256,
+			ECNThreshold: 64, Pathlet: &id, StampECN: true,
+		}, "path"+string(rune('0'+i))))
+	}
+	rcv.SetUplink(net.Connect(snd, LinkConfig{Rate: 40e9, Delay: time.Microsecond, QueueCap: 4096}, "down"))
+
+	r := rand.New(rand.NewSource(seed))
+	var msgID uint64
+	var emit func()
+	emit = func() {
+		msgID++
+		pkts := uint32(1 + r.Intn(6))
+		for n := uint32(0); n < pkts; n++ {
+			pkt := net.AllocPacket()
+			pkt.Dst = rcv.ID()
+			pkt.Size = 200 + r.Intn(1261)
+			pkt.Hdr = &wire.Header{
+				Type: wire.TypeData, SrcPort: 1, DstPort: 2,
+				MsgID: msgID, MsgPkts: pkts, PktNum: n,
+				PktLen: uint16(pkt.Size),
+			}
+			pkt.FlowID = msgID
+			snd.Send(pkt)
+		}
+		if msgID < 200 {
+			eng.Schedule(time.Duration(r.Intn(5))*time.Microsecond, emit)
+		}
+	}
+	emit()
+	eng.Run(10 * time.Millisecond)
+	if len(rec.choices) == 0 {
+		t.Fatal("load balancer made no choices")
+	}
+	return rec.choices
+}
+
+// TestMessageLBDeterministicChoices is the regression test for the map-order
+// nondeterminism the MTP-aware balancer used to have: two identical seeded
+// runs must pick byte-identical link sequences, including for tied scores.
+func TestMessageLBDeterministicChoices(t *testing.T) {
+	a := runMessageLBTrace(t, 7)
+	b := runMessageLBTrace(t, 7)
+	if len(a) != len(b) {
+		t.Fatalf("choice counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("choice %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMessageLBTieBreaksInLinkOrder pins the tie-break rule: with every
+// candidate idle and identical, the first candidate in route order wins.
+func TestMessageLBTieBreaksInLinkOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := NewNetwork(eng)
+	snd := NewHost(net)
+	rcv := NewHost(net)
+	lb := NewMessageLB()
+	sw := NewSwitch(net, lb)
+	snd.SetUplink(net.Connect(sw, LinkConfig{Rate: 10e9, Delay: time.Microsecond}, "up"))
+	var links []*Link
+	for i := 0; i < 3; i++ {
+		l := net.Connect(rcv, LinkConfig{Rate: 10e9, Delay: time.Microsecond}, "eq")
+		sw.AddRoute(rcv.ID(), l)
+		links = append(links, l)
+	}
+	pkt := &Packet{Dst: rcv.ID(), Size: 1000, Hdr: &wire.Header{
+		Type: wire.TypeData, SrcPort: 1, DstPort: 2, MsgID: 1, MsgPkts: 1,
+	}}
+	if got := lb.Choose(sw, pkt, links); got != links[0] {
+		t.Fatalf("tie broke to %s, want first candidate %s", got.Name(), links[0].Name())
+	}
+}

@@ -142,6 +142,10 @@ func newLink(n *Network, dst Node, cfg LinkConfig, name string) *Link {
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
 
+// Dst returns the node this link delivers to (route inspection, path
+// enumeration over generated topologies).
+func (l *Link) Dst() Node { return l.dst }
+
 // Config returns the link configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
 

@@ -69,6 +69,10 @@ func (s *Switch) AddRoute(dst NodeID, l *Link) {
 // order.
 func (s *Switch) EgressLinks() []*Link { return s.egress }
 
+// Routes returns the candidate egress links toward dst in AddRoute order.
+// Callers must not mutate the returned slice.
+func (s *Switch) Routes(dst NodeID) []*Link { return s.routes[dst] }
+
 // SetDown sets the switch's crash state. Going down drops every packet
 // sitting in the egress port queues (they are the crashed switch's buffers)
 // in addition to all packets that transit while down.
@@ -217,10 +221,20 @@ func (m *MessageRR) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
 // an MTP header fall back to ECMP.
 type MessageLB struct {
 	assignments map[msgKey]*Link
-	// pendingBytes tracks bytes assigned to each link that have not yet
-	// been serialized, giving the LB visibility beyond the queue itself.
-	pendingBytes map[*Link]float64
-	lastDrain    time.Duration
+	// pending tracks bytes assigned to each link that have not yet been
+	// serialized, giving the LB visibility beyond the queue itself. It is
+	// a slice in first-use order (with an index map alongside) rather than
+	// a map keyed by link: every walk over it is deterministic, so tied
+	// scores resolve identically run to run regardless of map iteration
+	// order.
+	pending   []pendingLink
+	pendingIx map[*Link]int
+	lastDrain time.Duration
+}
+
+type pendingLink struct {
+	link  *Link
+	bytes float64
 }
 
 type msgKey struct {
@@ -232,8 +246,8 @@ type msgKey struct {
 // NewMessageLB returns an empty message-aware load balancer.
 func NewMessageLB() *MessageLB {
 	return &MessageLB{
-		assignments:  make(map[msgKey]*Link),
-		pendingBytes: make(map[*Link]float64),
+		assignments: make(map[msgKey]*Link),
+		pendingIx:   make(map[*Link]int),
 	}
 }
 
@@ -253,11 +267,12 @@ func (m *MessageLB) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
 	}
 	// Pick the candidate that would finish this message soonest: queued
 	// bytes plus our own pending estimate, normalized by link rate, plus
-	// propagation delay.
+	// propagation delay. Strict less-than means ties go to the earliest
+	// candidate in route order — a deterministic choice.
 	var best *Link
 	bestScore := 0.0
 	for _, l := range c {
-		backlog := float64(l.QueueBytes()) + m.pendingBytes[l]
+		backlog := float64(l.QueueBytes()) + m.pendingFor(l)
 		score := backlog*8/l.cfg.Rate + l.cfg.Delay.Seconds()
 		if best == nil || score < bestScore {
 			best, bestScore = l, score
@@ -270,8 +285,21 @@ func (m *MessageLB) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
 	return best
 }
 
+func (m *MessageLB) pendingFor(l *Link) float64 {
+	if i, ok := m.pendingIx[l]; ok {
+		return m.pending[i].bytes
+	}
+	return 0
+}
+
 func (m *MessageLB) account(l *Link, pkt *Packet) {
-	m.pendingBytes[l] += float64(pkt.Size)
+	i, ok := m.pendingIx[l]
+	if !ok {
+		i = len(m.pending)
+		m.pendingIx[l] = i
+		m.pending = append(m.pending, pendingLink{link: l})
+	}
+	m.pending[i].bytes += float64(pkt.Size)
 }
 
 // drain decays the pending-bytes estimate at line rate so the score tracks
@@ -282,11 +310,11 @@ func (m *MessageLB) drain(now time.Duration) {
 		return
 	}
 	m.lastDrain = now
-	for l, b := range m.pendingBytes {
-		b -= l.cfg.Rate / 8 * dt
+	for i := range m.pending {
+		b := m.pending[i].bytes - m.pending[i].link.cfg.Rate/8*dt
 		if b < 0 {
 			b = 0
 		}
-		m.pendingBytes[l] = b
+		m.pending[i].bytes = b
 	}
 }

@@ -1,0 +1,134 @@
+package topo
+
+import (
+	"fmt"
+
+	"mtp/internal/simnet"
+)
+
+// FatTreeConfig parameterizes a k-ary fat-tree (Al-Fares et al.): k pods,
+// each with k/2 edge and k/2 aggregation switches, (k/2)² core switches,
+// and k³/4 hosts. With uniform link rates the fabric is fully non-blocking
+// (1:1 at every tier).
+type FatTreeConfig struct {
+	// K is the switch radix; must be even and ≥ 2. Default 4 (16 hosts).
+	K int
+
+	HostLink   LinkSpec // host↔edge links
+	FabricLink LinkSpec // edge↔agg and agg↔core trunks
+
+	// Policy builds the forwarding policy per switch (nil = ECMP). Edges
+	// and aggs choose among k/2 uplinks; downward routing is single-path.
+	Policy PolicyFunc
+
+	// Seed seeds the fabric's discrete-event engine.
+	Seed int64
+}
+
+func (c FatTreeConfig) withDefaults() FatTreeConfig {
+	if c.K == 0 {
+		c.K = 4
+	}
+	c.HostLink = c.HostLink.withDefaults()
+	c.FabricLink = c.FabricLink.withDefaults()
+	return c
+}
+
+// NewFatTree builds a k-ary fat-tree. Hosts are ordered pod-major, then
+// edge, then port: host index ((pod·k/2)+edge)·k/2+port. Upward routing
+// offers every uplink as an equal-cost candidate; downward routing is
+// deterministic single-path, giving the canonical path counts: 1 for
+// same-edge pairs, k/2 within a pod across edges, and (k/2)² across pods.
+func NewFatTree(cfg FatTreeConfig) *Fabric {
+	cfg = cfg.withDefaults()
+	k := cfg.K
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree radix must be even and >= 2, got %d", k))
+	}
+	half := k / 2
+	f := newFabric(cfg.Seed)
+
+	// Switches first — cores, then per pod aggs and edges — so node IDs and
+	// pathlet assignment are stable for a given config. Core a*half+c is
+	// the c-th core attached to the a-th agg of every pod.
+	for i := 0; i < half*half; i++ {
+		f.addSwitch(TierSpine, -1, cfg.Policy)
+	}
+	aggs := make([][]*simnet.Switch, k)  // [pod][a]
+	edges := make([][]*simnet.Switch, k) // [pod][e]
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			aggs[p] = append(aggs[p], f.addSwitch(TierAgg, p, cfg.Policy))
+		}
+		for e := 0; e < half; e++ {
+			edges[p] = append(edges[p], f.addSwitch(TierLeaf, p, cfg.Policy))
+		}
+	}
+	cores := f.switches[TierSpine]
+
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				f.addHost(p, edges[p][e], cfg.HostLink)
+			}
+		}
+	}
+
+	// Trunks: edge↔agg inside each pod, agg↔core across pods.
+	edgeUp := make(map[[3]int]*Trunk)  // (pod, edge, agg)
+	aggDown := make(map[[3]int]*Trunk) // (pod, agg, edge)
+	aggUp := make(map[[3]int]*Trunk)   // (pod, agg, c)
+	coreDown := make(map[[2]int]*Trunk) // (core, pod)
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				edgeUp[[3]int{p, e, a}] = f.addTrunk(edges[p][e], aggs[p][a], TierLeaf, TierAgg, p,
+					cfg.FabricLink, fmt.Sprintf("p%d-edge%d-agg%d", p, e, a))
+				aggDown[[3]int{p, a, e}] = f.addTrunk(aggs[p][a], edges[p][e], TierAgg, TierLeaf, p,
+					cfg.FabricLink, fmt.Sprintf("p%d-agg%d-edge%d", p, a, e))
+			}
+		}
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				ci := a*half + c
+				aggUp[[3]int{p, a, c}] = f.addTrunk(aggs[p][a], cores[ci], TierAgg, TierSpine, p,
+					cfg.FabricLink, fmt.Sprintf("p%d-agg%d-core%d", p, a, ci))
+				coreDown[[2]int{ci, p}] = f.addTrunk(cores[ci], aggs[p][a], TierSpine, TierAgg, p,
+					cfg.FabricLink, fmt.Sprintf("core%d-p%d-agg%d", ci, p, a))
+			}
+		}
+	}
+
+	// Routes. Host index layout: ((p*half)+e)*half + h.
+	for hi, h := range f.hosts {
+		hp := f.hostPod[hi]
+		he := (hi / half) % half
+		for p := 0; p < k; p++ {
+			for e := 0; e < half; e++ {
+				if p == hp && e == he {
+					continue // local access route installed by addHost
+				}
+				// Edges send everything non-local up to every agg.
+				for a := 0; a < half; a++ {
+					edges[p][e].AddRoute(h.ID(), edgeUp[[3]int{p, e, a}].Link)
+				}
+			}
+			for a := 0; a < half; a++ {
+				if p == hp {
+					// In the host's pod, aggs go straight down to its edge.
+					aggs[p][a].AddRoute(h.ID(), aggDown[[3]int{p, a, he}].Link)
+					continue
+				}
+				// Elsewhere, aggs spread across their k/2 cores.
+				for c := 0; c < half; c++ {
+					aggs[p][a].AddRoute(h.ID(), aggUp[[3]int{p, a, c}].Link)
+				}
+			}
+		}
+		// Each core has exactly one downlink into the host's pod.
+		for ci := range cores {
+			cores[ci].AddRoute(h.ID(), coreDown[[2]int{ci, hp}].Link)
+		}
+	}
+	return f
+}

@@ -1,0 +1,101 @@
+package topo
+
+import "fmt"
+
+// LeafSpineConfig parameterizes a two-tier leaf-spine fabric: Leaves ToR
+// switches each hosting HostsPerLeaf hosts, fully meshed to Spines spine
+// switches. Every inter-rack host pair has exactly Spines equal-cost paths;
+// with FabricLink.Rate == HostLink.Rate the rack oversubscription ratio is
+// HostsPerLeaf : Spines.
+type LeafSpineConfig struct {
+	Leaves       int // number of ToR switches, default 2
+	Spines       int // number of spine switches, default 2
+	HostsPerLeaf int // hosts under each ToR, default 2
+
+	HostLink   LinkSpec // host↔leaf links
+	FabricLink LinkSpec // leaf↔spine trunks
+
+	// Policy builds the forwarding policy per switch (nil = ECMP). Only
+	// leaves face a choice (spines have a single downlink per host), but
+	// the policy is installed uniformly.
+	Policy PolicyFunc
+
+	// Seed seeds the fabric's discrete-event engine.
+	Seed int64
+}
+
+func (c LeafSpineConfig) withDefaults() LeafSpineConfig {
+	if c.Leaves == 0 {
+		c.Leaves = 2
+	}
+	if c.Spines == 0 {
+		c.Spines = 2
+	}
+	if c.HostsPerLeaf == 0 {
+		c.HostsPerLeaf = 2
+	}
+	c.HostLink = c.HostLink.withDefaults()
+	c.FabricLink = c.FabricLink.withDefaults()
+	return c
+}
+
+// NewLeafSpine builds a leaf-spine fabric. Hosts are ordered leaf-major:
+// host i sits under leaf i/HostsPerLeaf. Each leaf routes local hosts via
+// their access link and every remote host via all Spines uplinks (the
+// policy picks among them); each spine routes every host via its one
+// downlink to the host's leaf — exactly the equal-cost shortest paths, so
+// routing is loop-free by construction and CountPaths(i,j) == Spines for
+// inter-rack pairs.
+func NewLeafSpine(cfg LeafSpineConfig) *Fabric {
+	cfg = cfg.withDefaults()
+	if cfg.Leaves < 1 || cfg.Spines < 1 || cfg.HostsPerLeaf < 1 {
+		panic("topo: leaf-spine needs at least one leaf, spine, and host per leaf")
+	}
+	f := newFabric(cfg.Seed)
+
+	// Switches first, in tier order, so IDs and pathlets are stable.
+	for s := 0; s < cfg.Spines; s++ {
+		f.addSwitch(TierSpine, -1, cfg.Policy)
+	}
+	for l := 0; l < cfg.Leaves; l++ {
+		f.addSwitch(TierLeaf, l, cfg.Policy)
+	}
+	spines := f.switches[TierSpine]
+	leaves := f.switches[TierLeaf]
+
+	for li, leaf := range leaves {
+		for h := 0; h < cfg.HostsPerLeaf; h++ {
+			f.addHost(li, leaf, cfg.HostLink)
+		}
+	}
+
+	// Full leaf↔spine mesh.
+	ups := make([][]*Trunk, cfg.Leaves)   // [leaf][spine]
+	downs := make([][]*Trunk, cfg.Leaves) // [leaf][spine]
+	for li, leaf := range leaves {
+		for si, spine := range spines {
+			ups[li] = append(ups[li], f.addTrunk(leaf, spine, TierLeaf, TierSpine, li,
+				cfg.FabricLink, fmt.Sprintf("leaf%d-spine%d", li, si)))
+			downs[li] = append(downs[li], f.addTrunk(spine, leaf, TierSpine, TierLeaf, li,
+				cfg.FabricLink, fmt.Sprintf("spine%d-leaf%d", si, li)))
+		}
+	}
+
+	// Routes: leaves spread remote traffic across every spine; spines have
+	// one way down to each leaf.
+	for hi, h := range f.hosts {
+		hl := f.hostPod[hi]
+		for li := range leaves {
+			if li == hl {
+				continue // local access route installed by addHost
+			}
+			for si := range spines {
+				leaves[li].AddRoute(h.ID(), ups[li][si].Link)
+			}
+		}
+		for si := range spines {
+			spines[si].AddRoute(h.ID(), downs[hl][si].Link)
+		}
+	}
+	return f
+}

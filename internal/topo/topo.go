@@ -1,0 +1,304 @@
+// Package topo declaratively constructs datacenter fabrics on top of
+// internal/simnet: a two-tier leaf-spine and a k-ary fat-tree, parameterized
+// by radix, link rate/delay, queue depth, and ECN threshold. The builders
+// instantiate switches and links, install hop-by-hop routes whose candidate
+// sets are exactly the equal-cost shortest paths, assign a stable pathlet ID
+// to every switch-to-switch trunk, and return a Fabric handle that attaches
+// endpoints (internal/simhost) and exposes per-pod/per-tier fault targets
+// (internal/fault). Construction is purely deterministic: the same config
+// always yields the same wiring, the same pathlet IDs, and the same route
+// candidate order, which is what makes fabric-scale experiments replayable
+// from a seed.
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"mtp/internal/sim"
+	"mtp/internal/simnet"
+)
+
+// LinkSpec parameterizes one class of fabric links.
+type LinkSpec struct {
+	// Rate is the line rate in bits per second. Zero means 10 Gbps.
+	Rate float64
+	// Delay is the propagation delay. Zero means 1 µs.
+	Delay time.Duration
+	// QueueCap is the per-queue capacity in packets. Zero means 256.
+	QueueCap int
+	// ECNThreshold marks CE at this instantaneous queue length. Zero means
+	// QueueCap/4 (disable explicitly with a negative value).
+	ECNThreshold int
+}
+
+func (s LinkSpec) withDefaults() LinkSpec {
+	if s.Rate == 0 {
+		s.Rate = 10e9
+	}
+	if s.Delay == 0 {
+		s.Delay = time.Microsecond
+	}
+	if s.QueueCap == 0 {
+		s.QueueCap = 256
+	}
+	if s.ECNThreshold == 0 {
+		s.ECNThreshold = s.QueueCap / 4
+	}
+	if s.ECNThreshold < 0 {
+		s.ECNThreshold = 0
+	}
+	return s
+}
+
+// PolicyFunc builds a fresh forwarding-policy instance for one switch.
+// Stateful policies (MessageLB, MessageRR, Spray) must not be shared between
+// switches, so the fabric calls this once per switch. Nil means ECMP.
+type PolicyFunc func() simnet.ForwardPolicy
+
+// Tier identifies a switch layer in a fabric.
+type Tier int
+
+const (
+	// TierLeaf is the host-facing layer (ToR / fat-tree edge).
+	TierLeaf Tier = iota
+	// TierAgg is the fat-tree aggregation layer (absent in leaf-spine).
+	TierAgg
+	// TierSpine is the top layer (leaf-spine spine / fat-tree core).
+	TierSpine
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierLeaf:
+		return "leaf"
+	case TierAgg:
+		return "agg"
+	case TierSpine:
+		return "spine"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Trunk is one directed switch-to-switch link with its place in the fabric —
+// the unit of pathlet identity and the natural fault-injection target.
+type Trunk struct {
+	Link     *simnet.Link
+	From, To *simnet.Switch
+	// FromTier/ToTier locate the trunk (leaf→spine is an uplink,
+	// spine→leaf a downlink, and so on).
+	FromTier, ToTier Tier
+	// Pod is the pod of the pod-side endpoint (leaf index in a leaf-spine),
+	// or -1 for trunks that touch no pod.
+	Pod int
+	// Pathlet is the stable ID stamped into MTP headers on this trunk. IDs
+	// are unique per (switch, egress) fabric-wide and assigned in
+	// construction order, so rebuilding the same config reproduces them.
+	Pathlet uint32
+}
+
+// Fabric is a constructed topology: the engine and network it lives on, the
+// hosts in deterministic order, and the switch/trunk inventory grouped the
+// way fault-injection experiments want to target it.
+type Fabric struct {
+	Eng *sim.Engine
+	Net *simnet.Network
+
+	hosts    []*simnet.Host
+	hostPod  []int // pod (leaf-spine: leaf index) per host
+	hostUp   []*simnet.Link
+	hostDown []*simnet.Link
+
+	switches  map[Tier][]*simnet.Switch
+	switchPod map[*simnet.Switch]int
+
+	trunks      []*Trunk
+	nextPathlet uint32
+}
+
+func newFabric(seed int64) *Fabric {
+	eng := sim.NewEngine(seed)
+	return &Fabric{
+		Eng:         eng,
+		Net:         simnet.NewNetwork(eng),
+		switches:    make(map[Tier][]*simnet.Switch),
+		switchPod:   make(map[*simnet.Switch]int),
+		nextPathlet: 1,
+	}
+}
+
+// NumHosts returns the number of hosts in the fabric.
+func (f *Fabric) NumHosts() int { return len(f.hosts) }
+
+// Host returns host i (construction order: pod-major, then leaf, then port).
+func (f *Fabric) Host(i int) *simnet.Host { return f.hosts[i] }
+
+// Hosts returns all hosts in construction order.
+func (f *Fabric) Hosts() []*simnet.Host { return f.hosts }
+
+// HostPod returns the pod (leaf-spine: leaf index) of host i.
+func (f *Fabric) HostPod(i int) int { return f.hostPod[i] }
+
+// HostLinks returns host i's uplink (host→leaf) and downlink (leaf→host) —
+// edge fault targets.
+func (f *Fabric) HostLinks(i int) (up, down *simnet.Link) {
+	return f.hostUp[i], f.hostDown[i]
+}
+
+// Switches returns the switches of one tier in construction order.
+func (f *Fabric) Switches(t Tier) []*simnet.Switch { return f.switches[t] }
+
+// SwitchPod returns the pod a switch belongs to, or -1 for spine/core.
+func (f *Fabric) SwitchPod(sw *simnet.Switch) int {
+	if pod, ok := f.switchPod[sw]; ok {
+		return pod
+	}
+	return -1
+}
+
+// Trunks returns every switch-to-switch link in construction order.
+func (f *Fabric) Trunks() []*Trunk { return f.trunks }
+
+// TierTrunks returns the trunks whose transmitting side is the given tier
+// (TierLeaf selects uplinks into the fabric, TierSpine the downlinks out of
+// it) — per-tier fault targets.
+func (f *Fabric) TierTrunks(from Tier) []*Trunk {
+	var out []*Trunk
+	for _, tr := range f.trunks {
+		if tr.FromTier == from {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// PodTrunks returns the trunks touching the given pod — per-pod fault
+// targets (draining or degrading one rack or one fat-tree pod).
+func (f *Fabric) PodTrunks(pod int) []*Trunk {
+	var out []*Trunk
+	for _, tr := range f.trunks {
+		if tr.Pod == pod {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// --- construction helpers ---
+
+func (f *Fabric) addSwitch(t Tier, pod int, policy PolicyFunc) *simnet.Switch {
+	var p simnet.ForwardPolicy
+	if policy != nil {
+		p = policy()
+	} else {
+		p = simnet.ECMP{}
+	}
+	sw := simnet.NewSwitch(f.Net, p)
+	f.switches[t] = append(f.switches[t], sw)
+	if pod >= 0 {
+		f.switchPod[sw] = pod
+	}
+	return sw
+}
+
+func (f *Fabric) addHost(pod int, leaf *simnet.Switch, spec LinkSpec) *simnet.Host {
+	h := simnet.NewHost(f.Net)
+	i := len(f.hosts)
+	up := f.Net.Connect(leaf, simnet.LinkConfig{
+		Rate: spec.Rate, Delay: spec.Delay,
+		QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
+	}, fmt.Sprintf("host%d-up", i))
+	down := f.Net.Connect(h, simnet.LinkConfig{
+		Rate: spec.Rate, Delay: spec.Delay,
+		QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
+	}, fmt.Sprintf("host%d-down", i))
+	h.SetUplink(up)
+	leaf.AddRoute(h.ID(), down)
+	f.hosts = append(f.hosts, h)
+	f.hostPod = append(f.hostPod, pod)
+	f.hostUp = append(f.hostUp, up)
+	f.hostDown = append(f.hostDown, down)
+	return h
+}
+
+// addTrunk wires from→to with a fresh pathlet ID and ECN-feedback stamping,
+// so per-(pathlet, TC) congestion state forms at MTP senders for every hop.
+func (f *Fabric) addTrunk(from, to *simnet.Switch, fromTier, toTier Tier, pod int, spec LinkSpec, name string) *Trunk {
+	id := f.nextPathlet
+	f.nextPathlet++
+	pathlet := id
+	l := f.Net.Connect(to, simnet.LinkConfig{
+		Rate: spec.Rate, Delay: spec.Delay,
+		QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
+		Pathlet: &pathlet, StampECN: true,
+	}, name)
+	tr := &Trunk{
+		Link: l, From: from, To: to,
+		FromTier: fromTier, ToTier: toTier,
+		Pod: pod, Pathlet: id,
+	}
+	f.trunks = append(f.trunks, tr)
+	return tr
+}
+
+// --- path verification (property tests, experiment sanity) ---
+
+// CountPaths returns the number of distinct forwarding paths from host src
+// to host dst, following every route candidate at every hop. It panics on a
+// forwarding loop (see CheckLoopFree for the error-returning sweep).
+func (f *Fabric) CountPaths(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	first := f.hosts[src].Uplink()
+	n, err := f.countFrom(first.Dst(), f.hosts[dst].ID(), map[simnet.NodeID]bool{})
+	if err != nil {
+		panic(err.Error())
+	}
+	return n
+}
+
+func (f *Fabric) countFrom(node simnet.Node, dst simnet.NodeID, onStack map[simnet.NodeID]bool) (int, error) {
+	if node.ID() == dst {
+		return 1, nil
+	}
+	sw, ok := node.(*simnet.Switch)
+	if !ok {
+		return 0, fmt.Errorf("topo: path reached host %d instead of %d", node.ID(), dst)
+	}
+	if onStack[sw.ID()] {
+		return 0, fmt.Errorf("topo: forwarding loop through switch %d toward host %d", sw.ID(), dst)
+	}
+	onStack[sw.ID()] = true
+	defer delete(onStack, sw.ID())
+	total := 0
+	for _, l := range sw.Routes(dst) {
+		n, err := f.countFrom(l.Dst(), dst, onStack)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("topo: switch %d has no route toward host %d", sw.ID(), dst)
+	}
+	return total, nil
+}
+
+// CheckLoopFree walks every host pair's full candidate route tree and
+// returns the first forwarding loop or routing dead end found, or nil.
+func (f *Fabric) CheckLoopFree() error {
+	for s := range f.hosts {
+		for d := range f.hosts {
+			if s == d {
+				continue
+			}
+			first := f.hosts[s].Uplink()
+			if _, err := f.countFrom(first.Dst(), f.hosts[d].ID(), map[simnet.NodeID]bool{}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

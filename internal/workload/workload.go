@@ -172,6 +172,35 @@ func (e *Empirical) Sample(r *rand.Rand) int {
 // Mean implements SizeDist.
 func (e *Empirical) Mean() float64 { return e.mean }
 
+// Permutation returns a uniform random derangement of [0,n): a permutation
+// with perm[i] != i for every i, so each host gets exactly one partner and
+// nobody talks to itself — the classic random-permutation traffic matrix for
+// fabric experiments. Fisher–Yates shuffles until fixed-point free (a draw
+// succeeds with probability ~1/e, so the loop terminates quickly); the result
+// depends only on r's state, keeping seeded experiments reproducible.
+func Permutation(r *rand.Rand, n int) []int {
+	if n < 2 {
+		panic("workload: permutation needs n >= 2")
+	}
+	perm := make([]int, n)
+	for {
+		for i := range perm {
+			perm[i] = i
+		}
+		r.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		fixed := false
+		for i, p := range perm {
+			if p == i {
+				fixed = true
+				break
+			}
+		}
+		if !fixed {
+			return perm
+		}
+	}
+}
+
 // Zipf samples key indexes with a Zipfian popularity skew — the access
 // pattern that makes in-network caches effective (NetCache's motivation).
 type Zipf struct {

@@ -196,3 +196,30 @@ func TestQuickDiscreteSamplesAreValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPermutationDerangement checks validity (a true permutation), the
+// no-self-traffic property, and seed determinism.
+func TestPermutationDerangement(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 128} {
+		perm := Permutation(rand.New(rand.NewSource(11)), n)
+		if len(perm) != n {
+			t.Fatalf("n=%d: len %d", n, len(perm))
+		}
+		seen := make([]bool, n)
+		for i, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("n=%d: not a permutation at %d", n, i)
+			}
+			seen[p] = true
+			if p == i {
+				t.Fatalf("n=%d: fixed point at %d", n, i)
+			}
+		}
+		again := Permutation(rand.New(rand.NewSource(11)), n)
+		for i := range perm {
+			if perm[i] != again[i] {
+				t.Fatalf("n=%d: same seed produced different permutations", n)
+			}
+		}
+	}
+}
