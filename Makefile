@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify exp bench
+.PHONY: build test race vet verify exp bench cover scenario fuzz
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,24 @@ vet:
 
 # verify is the gate a change must pass before it ships.
 verify: vet race
+
+# cover runs the whole suite with coverage and enforces the committed
+# baseline (ci/coverage_baseline.txt).
+cover:
+	sh ci/covergate.sh
+
+# scenario runs seeded random scenarios under the invariant harness; override
+# SCENARIO_SEEDS for a deeper sweep (the nightly job uses 500).
+SCENARIO_SEEDS ?=
+scenario:
+	SCENARIO_SEEDS=$(SCENARIO_SEEDS) $(GO) test ./internal/scenario -run Scenario -count=1 -v
+
+# fuzz runs both native fuzz targets (reassembly state machine, wire decoder)
+# for FUZZTIME each.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzReassembly -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/wire
 
 # exp regenerates the paper's figures on the simulator.
 exp: build

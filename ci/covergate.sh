@@ -1,0 +1,17 @@
+#!/bin/sh
+# Coverage gate: total statement coverage must not fall below the committed
+# baseline in ci/coverage_baseline.txt (with a 0.2-point tolerance for churn
+# in generated corners). When a PR legitimately raises coverage, update the
+# baseline in the same PR so the gate ratchets upward.
+set -eu
+cd "$(dirname "$0")/.."
+go test -count=1 -coverprofile=coverage.out ./...
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+base=$(cat ci/coverage_baseline.txt)
+awk -v t="$total" -v b="$base" 'BEGIN {
+    if (t + 0.2 < b) {
+        printf "FAIL: coverage %.1f%% fell below baseline %.1f%%\n", t, b
+        exit 1
+    }
+    printf "coverage %.1f%% (baseline %.1f%%)\n", t, b
+}'

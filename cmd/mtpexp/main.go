@@ -20,11 +20,12 @@ import (
 	"time"
 
 	"mtp/internal/exp"
+	"mtp/internal/scenario"
 )
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep, ccsweep, scale, scalesweep")
+		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep, ccsweep, scale, scalesweep, scenario")
 		duration = flag.Duration("duration", 0, "override simulated duration (fig2/3/5/7)")
 		messages = flag.Int("messages", 0, "override message count (fig6) or per-sender messages (scale)")
 		maxSize  = flag.Int("maxsize", 0, "override max message size in bytes (fig6)")
@@ -40,6 +41,9 @@ func main() {
 		msgSize  = flag.Int("msgsize", 0, "scale: message size in bytes")
 		verbose  = flag.Bool("v", false, "verbose output (table1 evidence)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		chkOn    = flag.Bool("check", false, "run scale/failover under the protocol invariant harness (internal/check)")
+		nScen    = flag.Int("scenarios", 1, "scenario: number of seeds to run, starting at -seed")
+		faults   = flag.Int("faults", -1, "scenario: cap the sampled fault count (-1 = unlimited)")
 		parallel = flag.Int("parallel", 1, "sweep workers: 1 sequential, 0 = all CPUs, N fixed (results are identical regardless)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -132,7 +136,7 @@ func main() {
 	}
 	if run("failover") {
 		ran = true
-		fr := exp.FailoverConfig{Seed: *seed}
+		fr := exp.FailoverConfig{Seed: *seed, Check: *chkOn}
 		if *duration > 0 {
 			fr.Duration = *duration
 		}
@@ -152,7 +156,7 @@ func main() {
 	scaleCfg := exp.ScaleConfig{
 		Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
 		K: *radix, Pattern: *pattern, MsgSize: *msgSize, Messages: *messages,
-		Seed: *seed, Workers: *parallel,
+		Seed: *seed, Workers: *parallel, Check: *chkOn,
 	}
 	if *duration > 0 {
 		scaleCfg.Timeout = *duration
@@ -164,6 +168,38 @@ func main() {
 	if *which == "scalesweep" {
 		ran = true
 		fmt.Println(exp.ScaleSweepString(exp.RunScaleHostSweep(*parallel, nil, scaleCfg)))
+	}
+	// Seeded random scenarios under the invariant harness (internal/scenario):
+	// run -scenarios seeds starting at -seed; any violating seed is shrunk to
+	// a minimal repro and the exit status is non-zero. The topology/size flags
+	// act as caps on the sampled dimensions, so a shrunken repro line replays
+	// exactly.
+	if *which == "scenario" {
+		ran = true
+		ov := scenario.Overrides{
+			Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
+			Messages: *messages, MaxFaults: *faults, Horizon: *duration,
+		}
+		failed := false
+		for s := *seed; s < *seed+int64(*nScen); s++ {
+			r := scenario.Run(s, ov)
+			if r.Count == 0 {
+				if *nScen == 1 {
+					fmt.Print(r.String())
+				} else {
+					fmt.Printf("scenario seed=%d: ok (%d/%d delivered, %d events)\n",
+						s, r.Delivered, r.Expected, r.Events)
+				}
+				continue
+			}
+			failed = true
+			min, res := scenario.Shrink(s, ov)
+			fmt.Print(res.String())
+			fmt.Printf("shrunken repro: %s\n", scenario.ReproLine(s, min))
+		}
+		if failed {
+			os.Exit(1)
+		}
 	}
 	if run("ext") {
 		ran = true

@@ -78,6 +78,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Normalized returns the config with defaults applied — the effective
+// bounds an algorithm built from c enforces. Exposed for the invariant
+// checker (internal/check) and bound-asserting tests.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 func (c Config) clamp(w float64) float64 {
 	if w < c.MinWindow {
 		w = c.MinWindow

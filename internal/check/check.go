@@ -1,0 +1,454 @@
+// Package check is the protocol invariant harness: a Checker observes every
+// packet event in a simulated network (via the simnet Observer hooks) and
+// every protocol event in attached MTP endpoints (via the core Observer
+// hooks) and asserts protocol-wide properties on each step:
+//
+//   - packet conservation: every enqueued packet is delivered, dropped, or
+//     faulted — never duplicated (outside an injected duplication fault) and
+//     never silently lost;
+//   - exactly-once message delivery with intact payload (size and CRC
+//     cross-checked against the submitted message);
+//   - congestion window and rate within the configured bounds for every
+//     (pathlet, traffic class);
+//   - queue occupancy never exceeding capacity, with ECN marks applied
+//     exactly when the enqueue-time queue length crosses the threshold;
+//   - a monotone virtual clock with stable (FIFO-among-equal-timestamps)
+//     event ordering;
+//   - failover sanity: switches never forward onto an excluded pathlet while
+//     alternatives remain, and dead pathlets are readmitted only on feedback
+//     that proves them alive.
+//
+// Violations are recorded, not panicked, so a scenario runner can shrink a
+// failing configuration to a minimal seed (internal/scenario).
+package check
+
+import (
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"mtp/internal/core"
+	"mtp/internal/pathlet"
+	"mtp/internal/sim"
+	"mtp/internal/simnet"
+	"mtp/internal/wire"
+)
+
+// Violation is one invariant failure.
+type Violation struct {
+	// At is the virtual time the violation was detected.
+	At time.Duration
+	// Rule names the violated invariant family (e.g. "conservation",
+	// "delivery", "cc-bounds", "queue", "ecn", "clock", "failover",
+	// "exclude").
+	Rule string
+	// Detail describes the specific failure.
+	Detail string
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("%12v [%s] %s", v.At, v.Rule, v.Detail)
+}
+
+// maxRecorded caps how many violations are kept; past it only the count
+// grows (one bug often fires on every subsequent packet).
+const maxRecorded = 128
+
+// pktPhase tracks where a packet is in its life.
+type pktPhase uint8
+
+const (
+	phaseQueued  pktPhase = iota // in a link's egress queue or serializer
+	phaseWire                    // serialized, propagating to the link's dst
+	phaseNode                    // handed to a node's Receive
+	phaseDropped                 // discarded; awaiting release
+)
+
+type pktState struct {
+	phase pktPhase
+	link  *simnet.Link
+}
+
+type msgKey struct {
+	node simnet.NodeID
+	port uint16
+	id   uint64
+}
+
+type msgRec struct {
+	size       int
+	crc        uint32
+	hasData    bool
+	deliveries int
+}
+
+type epInfo struct {
+	node     simnet.NodeID
+	haveNode bool
+
+	// Window/rate bounds derived from the endpoint's cc.Config; boundsKnown
+	// is false under a custom CCFactory (bounds are then the factory's
+	// business).
+	boundsKnown bool
+	minWin      float64
+	maxWin      float64
+	lineRate    float64
+
+	// Failover bookkeeping.
+	dead map[wire.PathTC]bool
+	// feedbackFrom is the pathlet whose feedback is being processed right
+	// now; readmissions are legal only for it.
+	feedbackFrom    wire.PathTC
+	hasFeedbackFrom bool
+}
+
+// Checker is one invariant-checking session over one engine + network.
+// Attach it before the simulation runs, run the simulation, then call
+// Finalize. The zero value is not usable; use New.
+type Checker struct {
+	eng *sim.Engine
+	net *simnet.Network
+
+	violations []Violation
+	total      int
+
+	pkts map[*simnet.Packet]pktState
+	msgs map[msgKey]*msgRec
+	eps  map[*core.Endpoint]*epInfo
+
+	stepped bool
+	lastAt  time.Duration
+	lastSeq uint64
+}
+
+// New builds a checker and installs it as the network's observer and the
+// engine's step hook. Endpoint-level invariants additionally require
+// core.Config.Observer to point at the checker and AttachEndpoint to be
+// called per endpoint.
+func New(eng *sim.Engine, net *simnet.Network) *Checker {
+	c := &Checker{
+		eng:  eng,
+		net:  net,
+		pkts: make(map[*simnet.Packet]pktState),
+		msgs: make(map[msgKey]*msgRec),
+		eps:  make(map[*core.Endpoint]*epInfo),
+	}
+	net.SetObserver(c)
+	eng.SetStepHook(c.step)
+	return c
+}
+
+// AttachEndpoint registers an endpoint and its network address, enabling the
+// delivery and congestion-bound invariants for it. Call it right after the
+// endpoint is built, before any message is submitted.
+func (c *Checker) AttachEndpoint(ep *core.Endpoint, node simnet.NodeID) {
+	info := c.info(ep)
+	info.node = node
+	info.haveNode = true
+
+	cfg := ep.Config()
+	if cfg.CCFactory == nil {
+		ccCfg := cfg.CCConfig
+		ccCfg.MSS = cfg.MSS
+		norm := ccCfg.Normalized()
+		info.boundsKnown = true
+		info.minWin = norm.MinWindow
+		info.maxWin = norm.MaxWindow
+		info.lineRate = norm.LineRate
+	}
+}
+
+func (c *Checker) info(ep *core.Endpoint) *epInfo {
+	info := c.eps[ep]
+	if info == nil {
+		info = &epInfo{dead: make(map[wire.PathTC]bool)}
+		c.eps[ep] = info
+	}
+	return info
+}
+
+// Violations returns the violations recorded so far (capped; Count has the
+// true total).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Count returns the total number of violations detected, including ones
+// past the recording cap.
+func (c *Checker) Count() int { return c.total }
+
+// Err returns nil when no invariant was violated, otherwise an error
+// summarizing the first violation and the total count.
+func (c *Checker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("check: %d invariant violation(s), first: %s", c.total, c.violations[0])
+}
+
+// Finalize runs the end-of-simulation conservation audit and returns all
+// recorded violations. Packets still queued or on the wire are legal (the
+// horizon cut them mid-flight); packets a node consumed without releasing or
+// forwarding are leaks.
+func (c *Checker) Finalize() []Violation {
+	for pkt, st := range c.pkts {
+		switch st.phase {
+		case phaseNode:
+			c.violate("conservation", "packet %p (src %d dst %d) retained by a node: neither forwarded, delivered, nor dropped", pkt, pkt.Src, pkt.Dst)
+		case phaseDropped:
+			c.violate("conservation", "packet %p (src %d dst %d) dropped but never released", pkt, pkt.Src, pkt.Dst)
+		}
+	}
+	return c.violations
+}
+
+func (c *Checker) violate(rule, format string, args ...any) {
+	c.total++
+	if len(c.violations) >= maxRecorded {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		At:     c.eng.Now(),
+		Rule:   rule,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// --- sim.Engine step hook: monotone clock, stable event ordering ---
+
+func (c *Checker) step(at time.Duration, seq uint64) {
+	if c.stepped {
+		if at < c.lastAt {
+			c.violate("clock", "virtual clock moved backwards: %v after %v", at, c.lastAt)
+		} else if at == c.lastAt && seq <= c.lastSeq {
+			c.violate("clock", "event ordering unstable at %v: seq %d fired after seq %d", at, seq, c.lastSeq)
+		}
+	}
+	c.stepped = true
+	c.lastAt = at
+	c.lastSeq = seq
+}
+
+// --- simnet.Observer: conservation, queue occupancy, ECN, exclude audit ---
+
+// PacketEnqueued implements simnet.Observer.
+func (c *Checker) PacketEnqueued(l *simnet.Link, pkt *simnet.Packet, qi, qlenBefore int, ecnMarked bool) {
+	if st, ok := c.pkts[pkt]; ok && st.phase != phaseNode {
+		c.violate("conservation", "packet %p enqueued on %s while already %s", pkt, l.Name(), phaseName(st.phase))
+	}
+	c.pkts[pkt] = pktState{phase: phaseQueued, link: l}
+
+	cfg := l.Config()
+	if cfg.PauseThreshold == 0 {
+		limit := cfg.QueueCap
+		if cfg.Trim {
+			// Trimmed headers get 4x dedicated headroom beyond the payload
+			// queue (see Link.enqueue).
+			limit = cfg.QueueCap * 5
+		}
+		if qlenBefore >= limit {
+			c.violate("queue", "link %s queue %d held %d packets at enqueue, capacity %d", l.Name(), qi, qlenBefore, limit)
+		}
+	}
+	if k := cfg.ECNThreshold; k > 0 {
+		if want := qlenBefore >= k; ecnMarked != want {
+			c.violate("ecn", "link %s queue length %d vs threshold %d: marked=%v", l.Name(), qlenBefore, k, ecnMarked)
+		}
+	} else if ecnMarked {
+		c.violate("ecn", "link %s marked ECN with marking disabled", l.Name())
+	}
+}
+
+// PacketDropped implements simnet.Observer.
+func (c *Checker) PacketDropped(l *simnet.Link, pkt *simnet.Packet, reason simnet.DropReason) {
+	if st, ok := c.pkts[pkt]; ok && st.phase == phaseWire {
+		c.violate("conservation", "packet %p dropped (%s) while on the wire of %s", pkt, reason, st.link.Name())
+	}
+	c.pkts[pkt] = pktState{phase: phaseDropped, link: l}
+}
+
+// PacketTrimmed implements simnet.Observer: trimming mutates, not moves.
+func (c *Checker) PacketTrimmed(*simnet.Link, *simnet.Packet) {}
+
+// PacketDuplicated implements simnet.Observer.
+func (c *Checker) PacketDuplicated(l *simnet.Link, pkt, dup *simnet.Packet) {
+	if _, ok := c.pkts[dup]; ok {
+		c.violate("conservation", "duplicate packet %p on %s aliases a live packet", dup, l.Name())
+	}
+}
+
+// PacketTxDone implements simnet.Observer.
+func (c *Checker) PacketTxDone(l *simnet.Link, pkt *simnet.Packet) {
+	st, ok := c.pkts[pkt]
+	if !ok || st.phase != phaseQueued || st.link != l {
+		c.violate("conservation", "packet %p serialized by %s without being queued there", pkt, l.Name())
+	}
+	c.pkts[pkt] = pktState{phase: phaseWire, link: l}
+}
+
+// PacketDelivered implements simnet.Observer.
+func (c *Checker) PacketDelivered(l *simnet.Link, pkt *simnet.Packet) {
+	st, ok := c.pkts[pkt]
+	if !ok || st.phase != phaseWire || st.link != l {
+		c.violate("conservation", "packet %p delivered by %s without transiting its wire", pkt, l.Name())
+	}
+	c.pkts[pkt] = pktState{phase: phaseNode, link: l}
+}
+
+// SwitchDropped implements simnet.Observer.
+func (c *Checker) SwitchDropped(sw *simnet.Switch, pkt *simnet.Packet) {
+	c.pkts[pkt] = pktState{phase: phaseDropped}
+}
+
+// PacketReleased implements simnet.Observer.
+func (c *Checker) PacketReleased(pkt *simnet.Packet) {
+	if st, ok := c.pkts[pkt]; ok {
+		if st.phase == phaseQueued || st.phase == phaseWire {
+			c.violate("conservation", "packet %p released while %s on %s: silent loss", pkt, phaseName(st.phase), st.link.Name())
+		}
+		delete(c.pkts, pkt)
+	}
+}
+
+// ForwardChosen implements simnet.Observer: audits the egress choice against
+// the header's path-exclude list. Choosing an excluded pathlet is legal only
+// when every candidate is excluded (the documented fallback).
+func (c *Checker) ForwardChosen(sw *simnet.Switch, pkt *simnet.Packet, chosen *simnet.Link, candidates []*simnet.Link) {
+	hdr := pkt.Hdr
+	if hdr == nil || len(hdr.PathExclude) == 0 {
+		return
+	}
+	cp := chosen.Config().Pathlet
+	if cp == nil || !hdr.Excludes(wire.PathTC{PathID: *cp, TC: hdr.TC}) {
+		return
+	}
+	for _, cand := range candidates {
+		p := cand.Config().Pathlet
+		if p == nil || !hdr.Excludes(wire.PathTC{PathID: *p, TC: hdr.TC}) {
+			c.violate("exclude", "switch %d forwarded msg %d pkt %d onto excluded pathlet %d while pathlet alternatives remained",
+				sw.ID(), hdr.MsgID, hdr.PktNum, *cp)
+			return
+		}
+	}
+}
+
+func phaseName(p pktPhase) string {
+	switch p {
+	case phaseQueued:
+		return "queued"
+	case phaseWire:
+		return "on the wire"
+	case phaseNode:
+		return "at a node"
+	case phaseDropped:
+		return "dropped"
+	default:
+		return "unknown"
+	}
+}
+
+// --- core.Observer: delivery, cc bounds, failover sanity ---
+
+// MessageQueued implements core.Observer.
+func (c *Checker) MessageQueued(e *core.Endpoint, m *core.OutMessage) {
+	info := c.info(e)
+	if !info.haveNode {
+		return
+	}
+	key := msgKey{node: info.node, port: e.Config().LocalPort, id: m.ID}
+	if _, dup := c.msgs[key]; dup {
+		c.violate("delivery", "endpoint %d reused message ID %d", info.node, m.ID)
+	}
+	rec := &msgRec{size: m.Size}
+	if data := m.Data(); data != nil {
+		rec.hasData = true
+		rec.crc = crc32.ChecksumIEEE(data)
+	}
+	c.msgs[key] = rec
+}
+
+// MessageDelivered implements core.Observer.
+func (c *Checker) MessageDelivered(e *core.Endpoint, m *core.InMessage) {
+	from, ok := m.From.(simnet.NodeID)
+	if !ok {
+		return
+	}
+	key := msgKey{node: from, port: m.SrcPort, id: m.MsgID}
+	rec := c.msgs[key]
+	if rec == nil {
+		c.violate("delivery", "message %d from node %d port %d delivered but never sent", m.MsgID, from, m.SrcPort)
+		return
+	}
+	rec.deliveries++
+	if rec.deliveries > 1 {
+		c.violate("delivery", "message %d from node %d delivered %d times", m.MsgID, from, rec.deliveries)
+	}
+	if m.Size != rec.size {
+		c.violate("delivery", "message %d from node %d delivered %d bytes, sent %d", m.MsgID, from, m.Size, rec.size)
+	}
+	if rec.hasData {
+		if m.Data == nil {
+			c.violate("delivery", "message %d from node %d delivered without its payload", m.MsgID, from)
+		} else if crc := crc32.ChecksumIEEE(m.Data); crc != rec.crc {
+			c.violate("delivery", "message %d from node %d payload CRC %08x, sent %08x", m.MsgID, from, crc, rec.crc)
+		}
+	}
+}
+
+// PathletUpdated implements core.Observer: window/rate bound audit.
+func (c *Checker) PathletUpdated(e *core.Endpoint, st *pathlet.State) {
+	info := c.info(e)
+	if !info.boundsKnown {
+		return
+	}
+	w := st.Algo.Window()
+	if w < info.minWin {
+		c.violate("cc-bounds", "pathlet %d/%d window %.0f below floor %.0f", st.Path.PathID, st.Path.TC, w, info.minWin)
+	}
+	if info.maxWin > 0 && w > info.maxWin {
+		c.violate("cc-bounds", "pathlet %d/%d window %.0f above cap %.0f", st.Path.PathID, st.Path.TC, w, info.maxWin)
+	}
+	if rate, rateBased := st.Algo.Rate(); rateBased {
+		if rate <= 0 {
+			c.violate("cc-bounds", "pathlet %d/%d rate %.0f not positive", st.Path.PathID, st.Path.TC, rate)
+		}
+		if info.lineRate > 0 && rate > info.lineRate {
+			c.violate("cc-bounds", "pathlet %d/%d rate %.0f above line rate %.0f", st.Path.PathID, st.Path.TC, rate, info.lineRate)
+		}
+	}
+	if st.Inflight < 0 {
+		c.violate("cc-bounds", "pathlet %d/%d negative inflight %d", st.Path.PathID, st.Path.TC, st.Inflight)
+	}
+}
+
+// PathletFailed implements core.Observer.
+func (c *Checker) PathletFailed(e *core.Endpoint, p wire.PathTC) {
+	c.info(e).dead[p] = true
+}
+
+// FeedbackReceived implements core.Observer.
+func (c *Checker) FeedbackReceived(e *core.Endpoint, p wire.PathTC) {
+	info := c.info(e)
+	info.feedbackFrom = p
+	info.hasFeedbackFrom = true
+}
+
+// PathletReadmitted implements core.Observer: a dead pathlet may only come
+// back when feedback from that very pathlet is being processed — the probe
+// (or any rerouted packet) made it across and back.
+func (c *Checker) PathletReadmitted(e *core.Endpoint, p wire.PathTC) {
+	info := c.info(e)
+	if !info.dead[p] {
+		c.violate("failover", "pathlet %d/%d readmitted but was never declared dead", p.PathID, p.TC)
+	}
+	delete(info.dead, p)
+	if !info.hasFeedbackFrom || info.feedbackFrom != p {
+		c.violate("failover", "pathlet %d/%d readmitted without feedback from it", p.PathID, p.TC)
+	}
+}
+
+// ProbeSent implements core.Observer.
+func (c *Checker) ProbeSent(e *core.Endpoint, p wire.PathTC) {
+	if !c.info(e).dead[p] {
+		c.violate("failover", "probe sent toward pathlet %d/%d, which is not dead", p.PathID, p.TC)
+	}
+}

@@ -90,6 +90,10 @@ type Config struct {
 	// Trace, when non-nil, records protocol events (sends, acks,
 	// retransmissions, deliveries, exclusions) into the ring for debugging.
 	Trace *trace.Ring
+
+	// Observer, when non-nil, receives protocol-level events for invariant
+	// checking (internal/check). Nil in normal operation.
+	Observer Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +148,10 @@ type OutMessage struct {
 
 // Done reports whether every packet has been acknowledged.
 func (m *OutMessage) Done() bool { return m.done && !m.canceled }
+
+// Data returns the message's application payload (nil for synthetic
+// messages). Exposed for invariant checking; callers must not mutate it.
+func (m *OutMessage) Data() []byte { return m.data }
 
 // Canceled reports whether the message was aborted with Cancel.
 func (m *OutMessage) Canceled() bool { return m.canceled }
@@ -400,6 +408,9 @@ func (e *Endpoint) push(m *OutMessage) {
 	e.active = append(e.active, m)
 	e.byID[m.ID] = m
 	e.Stats.MsgsSent++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.MessageQueued(e, m)
+	}
 	e.trySend()
 }
 

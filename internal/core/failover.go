@@ -69,6 +69,9 @@ func (e *Endpoint) failPathlet(p wire.PathTC) {
 	e.table.SetExcluded(p, true)
 	e.Stats.Failovers++
 	e.trace(trace.KindFailover, 0, 0, uint64(p.PathID), uint64(p.TC))
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.PathletFailed(e, p)
+	}
 
 	// Fail surviving messages over: every packet still unacknowledged on the
 	// dead pathlet is presumed lost and queued for retransmission on whatever
@@ -104,6 +107,9 @@ func (e *Endpoint) noteFeedbackPath(p wire.PathTC) {
 	if f == nil {
 		return
 	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.FeedbackReceived(e, p)
+	}
 	delete(f.rtoRuns, p)
 	for i, d := range f.dead {
 		if d.path != p {
@@ -113,6 +119,9 @@ func (e *Endpoint) noteFeedbackPath(p wire.PathTC) {
 		e.table.SetExcluded(p, false)
 		e.Stats.Readmissions++
 		e.trace(trace.KindReadmit, 0, 0, uint64(p.PathID), uint64(p.TC))
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.PathletReadmitted(e, p)
+		}
 		return
 	}
 }
@@ -138,6 +147,9 @@ func (e *Endpoint) sendExcludeList() []wire.PathTC {
 		d.nextProbeAt = now + e.cfg.ProbeInterval
 		e.Stats.ProbesSent++
 		e.trace(trace.KindProbe, 0, 0, uint64(d.path.PathID), uint64(d.path.TC))
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.ProbeSent(e, d.path)
+		}
 		kept := make([]wire.PathTC, 0, len(list))
 		for _, p := range list {
 			if p != d.path {

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"mtp/internal/pathlet"
+	"mtp/internal/wire"
+)
+
+// Observer sees protocol-level endpoint events. It exists for the invariant
+// checker in internal/check, which uses it to assert exactly-once delivery
+// with intact payloads, per-(pathlet, class) congestion-window and rate
+// bounds, and failover sanity (dead pathlets readmitted only on returning
+// feedback). All hook sites are nil-guarded; normal operation pays nothing.
+type Observer interface {
+	// MessageQueued fires when the application submits an outbound message.
+	MessageQueued(e *Endpoint, m *OutMessage)
+	// MessageDelivered fires once per completed inbound message, just
+	// before the OnMessage callback.
+	MessageDelivered(e *Endpoint, m *InMessage)
+	// PathletUpdated fires for each pathlet state an acknowledgement
+	// updated, after its algorithm consumed the feedback. The state must
+	// not be retained.
+	PathletUpdated(e *Endpoint, st *pathlet.State)
+	// PathletFailed fires when failover declares pathlet p dead.
+	PathletFailed(e *Endpoint, p wire.PathTC)
+	// FeedbackReceived fires when feedback attributed to pathlet p arrives
+	// (failover's proof of life), before any readmission it triggers.
+	FeedbackReceived(e *Endpoint, p wire.PathTC)
+	// PathletReadmitted fires when a dead pathlet is readmitted.
+	PathletReadmitted(e *Endpoint, p wire.PathTC)
+	// ProbeSent fires when an outgoing packet omits dead pathlet p from its
+	// exclude list, making it a readmission probe.
+	ProbeSent(e *Endpoint, p wire.PathTC)
+}

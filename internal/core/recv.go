@@ -105,7 +105,15 @@ func (e *Endpoint) onDataPacket(in *Inbound) {
 				copy(grown, f.data)
 				f.data = grown
 			}
-			copy(f.data[hdr.PktOffset:], in.Data)
+			if int(hdr.PktOffset) <= len(f.data) {
+				copy(f.data[hdr.PktOffset:], in.Data)
+			} else {
+				// The offset lies beyond the advertised message length — a
+				// malformed header or an in-network resize that shrank
+				// MsgBytes after earlier packets were cut. The bytes cannot
+				// be placed; fall back to size-only delivery.
+				f.synthtic = true
+			}
 		} else {
 			f.synthtic = true
 		}
@@ -150,8 +158,14 @@ func (e *Endpoint) onDataPacket(in *Inbound) {
 			Size:     f.bytes,
 			Complete: now,
 		}
-		if !f.synthtic {
+		if !f.synthtic && f.bytes <= len(f.data) {
+			// Inconsistent PktLen sums (malformed or mutated headers) can
+			// claim more bytes than the reassembly buffer holds; deliver
+			// size-only rather than a slice that does not exist.
 			msg.Data = f.data[:f.bytes]
+		}
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.MessageDelivered(e, msg)
 		}
 		if e.cfg.OnMessage != nil {
 			e.cfg.OnMessage(msg)

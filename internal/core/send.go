@@ -180,6 +180,11 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 				e.noteFeedbackPath(st.Path)
 			}
 		}
+		if e.cfg.Observer != nil {
+			for _, st := range updated {
+				e.cfg.Observer.PathletUpdated(e, st)
+			}
+		}
 	}
 	if e.excluder != nil {
 		e.excluder.observe(e, now, hdr.AckPathFeedback)

@@ -7,6 +7,7 @@ import (
 
 	"mtp/internal/baseline"
 	"mtp/internal/cc"
+	"mtp/internal/check"
 	"mtp/internal/core"
 	"mtp/internal/fault"
 	"mtp/internal/sim"
@@ -36,6 +37,11 @@ type FailoverConfig struct {
 	SampleInterval     time.Duration // 100 µs
 	Seed               int64
 	MaxWindow          float64 // socket-buffer cap, default 256 KiB
+	// Check runs the MTP side under the protocol invariant harness
+	// (internal/check) — the failover invariants (no sends onto excluded
+	// pathlets, readmission only on live feedback) are this experiment's
+	// whole subject.
+	Check bool
 }
 
 func (c FailoverConfig) withDefaults() FailoverConfig {
@@ -113,6 +119,11 @@ type FailoverResult struct {
 	Failovers, ProbesSent, Readmissions uint64
 	// Faults is the injector's event log.
 	Faults []fault.Event
+	// Checked/Violations report the invariant harness outcome over the MTP
+	// run when Config.Check is set.
+	Checked        bool
+	Violations     []check.Violation
+	ViolationCount int
 }
 
 // failoverTopo builds the two-path topology. Unlike fig5Topo the switch uses
@@ -182,6 +193,10 @@ func RunFailover(cfg FailoverConfig) FailoverResult {
 	// --- MTP run: pathlet failover around the blackhole ---
 	{
 		eng, net, snd, rcv, fastLink := failoverTopo(cfg, true)
+		var chk *check.Checker
+		if cfg.Check {
+			chk = check.New(eng, net)
+		}
 		in := fault.NewInjector(eng, cfg.Seed)
 		in.Blackhole(fastLink, cfg.FaultAt, cfg.FaultFor)
 
@@ -189,14 +204,24 @@ func RunFailover(cfg FailoverConfig) FailoverResult {
 		refill := func(m *core.OutMessage) {
 			sender.EP.SendSynthetic(rcv.ID(), 2, 1<<20, core.SendOptions{})
 		}
-		sender = simhost.AttachMTP(net, snd, core.Config{
+		sndCfg := core.Config{
 			LocalPort: 1, OnMessageSent: refill,
 			RTO:           cfg.RTO,
 			FailoverRTOs:  cfg.FailoverRTOs,
 			ProbeInterval: cfg.ProbeInterval,
 			CCConfig:      cc.Config{MaxWindow: cfg.MaxWindow, LineRate: cfg.FastRate},
-		})
-		receiver := simhost.AttachMTP(net, rcv, core.Config{LocalPort: 2})
+		}
+		rcvCfg := core.Config{LocalPort: 2}
+		if chk != nil {
+			sndCfg.Observer = chk
+			rcvCfg.Observer = chk
+		}
+		sender = simhost.AttachMTP(net, snd, sndCfg)
+		receiver := simhost.AttachMTP(net, rcv, rcvCfg)
+		if chk != nil {
+			chk.AttachEndpoint(sender.EP, snd.ID())
+			chk.AttachEndpoint(receiver.EP, rcv.ID())
+		}
 		series, buckets := byteMeter(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
 			return receiver.EP.Stats.PayloadBytes
 		})
@@ -210,6 +235,12 @@ func RunFailover(cfg FailoverConfig) FailoverResult {
 		res.ProbesSent = sender.EP.Stats.ProbesSent
 		res.Readmissions = sender.EP.Stats.Readmissions
 		res.Faults = in.Events()
+		if chk != nil {
+			chk.Finalize()
+			res.Checked = true
+			res.Violations = chk.Violations()
+			res.ViolationCount = chk.Count()
+		}
 	}
 
 	// --- DCTCP run: one connection pinned to the blackholed path ---
@@ -290,6 +321,20 @@ func (r FailoverResult) String() string {
 	fmt.Fprintf(&b, "  fault timeline:\n")
 	for _, e := range r.Faults {
 		fmt.Fprintf(&b, "    %v\n", e)
+	}
+	if r.Checked {
+		if r.ViolationCount == 0 {
+			fmt.Fprintf(&b, "  invariants: ok\n")
+		} else {
+			fmt.Fprintf(&b, "  invariants: %d violation(s)\n", r.ViolationCount)
+			for i, v := range r.Violations {
+				if i >= 8 {
+					fmt.Fprintf(&b, "    ... %d more\n", len(r.Violations)-i)
+					break
+				}
+				fmt.Fprintf(&b, "    %s\n", v)
+			}
+		}
 	}
 	return b.String()
 }

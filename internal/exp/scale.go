@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mtp/internal/baseline"
+	"mtp/internal/check"
 	"mtp/internal/core"
 	"mtp/internal/simhost"
 	"mtp/internal/simnet"
@@ -55,6 +56,10 @@ type ScaleConfig struct {
 	// Workers fans the per-system runs out via Sweep; results are identical
 	// regardless (each run owns its engine and RNG).
 	Workers int
+	// Check runs both systems under the protocol invariant harness
+	// (internal/check): network-wide packet conservation, queue/ECN, and —
+	// for the MTP run — delivery, congestion-bound, and failover invariants.
+	Check bool
 }
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
@@ -130,6 +135,12 @@ type ScaleRow struct {
 	QueuePeak int
 	QueueP99  float64
 	Retx      uint64
+	// Checked/Violations report the invariant harness outcome when
+	// ScaleConfig.Check is set.
+	Checked    bool
+	Violations []check.Violation
+	// ViolationCount is the true violation total (Violations is capped).
+	ViolationCount int
 }
 
 // ScaleResult holds both systems' rows for one configuration.
@@ -254,6 +265,10 @@ func runScaleMTP(cfg ScaleConfig) ScaleRow {
 	fab := buildScaleFabric(cfg, func() simnet.ForwardPolicy { return simnet.NewMessageLB() })
 	n := fab.NumHosts()
 	plan := scalePlan(cfg, n)
+	var chk *check.Checker
+	if cfg.Check {
+		chk = check.New(fab.Eng, fab.Net)
+	}
 
 	var (
 		fcts      []float64
@@ -283,7 +298,7 @@ func runScaleMTP(cfg ScaleConfig) ScaleRow {
 			m := s.mh.EP.SendSynthetic(fab.Host(msg.dst).ID(), uint16(1000+msg.dst), msg.size, core.SendOptions{})
 			s.starts[m.ID] = fab.Eng.Now()
 		}
-		s.mh = simhost.AttachMTP(fab.Net, fab.Host(i), core.Config{
+		epCfg := core.Config{
 			LocalPort: uint16(1000 + i), RTO: cfg.RTO,
 			OnMessageSent: func(m *core.OutMessage) {
 				now := fab.Eng.Now()
@@ -293,7 +308,14 @@ func runScaleMTP(cfg ScaleConfig) ScaleRow {
 				lastDone = now
 				sendNext()
 			},
-		})
+		}
+		if chk != nil {
+			epCfg.Observer = chk
+		}
+		s.mh = simhost.AttachMTP(fab.Net, fab.Host(i), epCfg)
+		if chk != nil {
+			chk.AttachEndpoint(s.mh.EP, fab.Host(i).ID())
+		}
 		// Closed loop: one message outstanding per sender.
 		fab.Eng.Schedule(0, sendNext)
 	}
@@ -304,13 +326,33 @@ func runScaleMTP(cfg ScaleConfig) ScaleRow {
 	for _, s := range senders {
 		retx += s.mh.EP.Stats.PktsRetx
 	}
-	return scaleRow(cfg, "MTP", fcts, expected, delivered, lastDone, probe, retx)
+	row := scaleRow(cfg, "MTP", fcts, expected, delivered, lastDone, probe, retx)
+	applyCheck(&row, chk)
+	return row
+}
+
+// applyCheck finalizes the invariant harness into one system's row.
+func applyCheck(row *ScaleRow, chk *check.Checker) {
+	if chk == nil {
+		return
+	}
+	chk.Finalize()
+	row.Checked = true
+	row.Violations = chk.Violations()
+	row.ViolationCount = chk.Count()
 }
 
 func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
 	fab := buildScaleFabric(cfg, nil) // ECMP everywhere
 	n := fab.NumHosts()
 	plan := scalePlan(cfg, n)
+	// The network-level invariants (conservation, queue occupancy, ECN)
+	// apply to the DCTCP baseline too; the MTP-specific ones simply never
+	// fire without attached endpoints.
+	var chk *check.Checker
+	if cfg.Check {
+		chk = check.New(fab.Eng, fab.Net)
+	}
 
 	var (
 		fcts      []float64
@@ -368,7 +410,9 @@ func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
 	probe := &scaleProbe{fab: fab}
 	probe.start(cfg)
 	fab.Eng.Run(cfg.Timeout)
-	return scaleRow(cfg, "DCTCP/ECMP", fcts, expected, delivered, lastDone, probe, retx)
+	row := scaleRow(cfg, "DCTCP/ECMP", fcts, expected, delivered, lastDone, probe, retx)
+	applyCheck(&row, chk)
+	return row
 }
 
 func scaleRow(cfg ScaleConfig, sys string, fcts []float64, expected int, delivered uint64, lastDone time.Duration, probe *scaleProbe, retx uint64) ScaleRow {
@@ -413,6 +457,23 @@ func (r ScaleResult) String() string {
 		fmt.Fprintf(&b, "  %-10s %4d/%4d %12.0f %12.0f %7.1fG %7d %8.0f %8d\n",
 			row.System, row.Completed, row.Expected, row.P50us, row.P99us,
 			row.GoodputGbps, row.QueuePeak, row.QueueP99, row.Retx)
+	}
+	for _, row := range r.Rows {
+		if !row.Checked {
+			continue
+		}
+		if row.ViolationCount == 0 {
+			fmt.Fprintf(&b, "  invariants %-10s ok\n", row.System)
+			continue
+		}
+		fmt.Fprintf(&b, "  invariants %-10s %d violation(s)\n", row.System, row.ViolationCount)
+		for i, v := range row.Violations {
+			if i >= 8 {
+				fmt.Fprintf(&b, "    ... %d more\n", len(row.Violations)-i)
+				break
+			}
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegressions replays shrunken scenario seeds that exposed real protocol
+// violations when the invariant harness was first dry-run against the tree.
+// Each entry is the minimal (seed, overrides) pair the shrinker produced;
+// the expectation is always zero violations.
+//
+// The msglb-sticky-exclude cases caught MessageLB/MessageRR forwarding
+// pinned messages onto a pathlet after the sender had excluded it: the
+// sticky per-message assignment ignored the filtered candidate set, so a
+// failed-over message's retransmissions were steered straight back onto the
+// dead pathlet until its final packet index happened to transit. Fixed in
+// internal/simnet/switch.go by re-assigning whenever the pinned egress
+// drops out of the candidates.
+func TestRegressions(t *testing.T) {
+	cases := []struct {
+		name string
+		seed int64
+		ov   Overrides
+	}{
+		{
+			// mtpexp -exp scenario -seed=51 -topo=leafspine -leaves=4
+			//   -spines=2 -hostsperleaf=1 -messages=2 -faults=2 -duration=31ms
+			name: "msglb-sticky-exclude-51",
+			seed: 51,
+			ov: Overrides{
+				Topo: "leafspine", Leaves: 4, Spines: 2, HostsPerLeaf: 1,
+				Messages: 2, MaxFaults: 2, Horizon: 31 * time.Millisecond,
+			},
+		},
+		{
+			// mtpexp -exp scenario -seed=58 -topo=leafspine -leaves=4
+			//   -spines=2 -hostsperleaf=2 -messages=4 -faults=1 -duration=19ms
+			name: "msglb-sticky-exclude-58",
+			seed: 58,
+			ov: Overrides{
+				Topo: "leafspine", Leaves: 4, Spines: 2, HostsPerLeaf: 2,
+				Messages: 4, MaxFaults: 1, Horizon: 19 * time.Millisecond,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Run(tc.seed, tc.ov)
+			if r.Count > 0 {
+				t.Errorf("regression reappeared:\n  %s\n%s", ReproLine(tc.seed, tc.ov), r)
+			}
+		})
+	}
+}

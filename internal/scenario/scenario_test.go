@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"mtp/internal/simnet"
+)
+
+// TestScenarioSweep runs a batch of seeded random scenarios — fabric,
+// workload, and fault schedule all sampled — under the full invariant set
+// and requires zero violations. SCENARIO_SEEDS overrides the seed count
+// (the nightly CI job runs 500).
+func TestScenarioSweep(t *testing.T) {
+	n := 60
+	if s := os.Getenv("SCENARIO_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad SCENARIO_SEEDS %q", s)
+		}
+		n = v
+	}
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		r := Run(seed, NoOverrides())
+		if r.Count > 0 {
+			min, res := Shrink(seed, NoOverrides())
+			t.Errorf("seed %d violated invariants; shrunk repro:\n  %s\n%s",
+				seed, ReproLine(seed, min), res)
+		}
+	}
+}
+
+// TestScenarioDeterministic re-runs one seed and requires bit-identical
+// outcomes — the property that makes a shrunken seed a usable repro.
+func TestScenarioDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := Run(seed, NoOverrides())
+		b := Run(seed, NoOverrides())
+		if a.Count != b.Count || a.Delivered != b.Delivered ||
+			a.Completed != b.Completed || a.Events != b.Events {
+			t.Fatalf("seed %d not deterministic: %+v vs %+v", seed,
+				[4]int{a.Count, a.Delivered, a.Completed, int(a.Events)},
+				[4]int{b.Count, b.Delivered, b.Completed, int(b.Events)})
+		}
+	}
+}
+
+// TestScenarioShrinksInjectedBug proves the harness catches a deliberately
+// injected protocol bug and shrinks it to a small repro: with the switch
+// exclude-list filter disabled (the bug class PR 3 fixed), the checker's
+// forwarding audit must flag traffic steered onto excluded pathlets, and the
+// shrinker must reduce the scenario to at most 8 hosts.
+func TestScenarioShrinksInjectedBug(t *testing.T) {
+	simnet.SetBrokenExcludeFilter(true)
+	defer simnet.SetBrokenExcludeFilter(false)
+
+	seed, min, res, ok := Search(1, 200, NoOverrides())
+	if !ok {
+		t.Fatal("injected exclude-filter bug escaped 200 seeded scenarios")
+	}
+	exclude := false
+	for _, v := range res.Violations {
+		if v.Rule == "exclude" {
+			exclude = true
+			break
+		}
+	}
+	if !exclude {
+		t.Fatalf("seed %d caught rules other than \"exclude\":\n%s", seed, res)
+	}
+	if res.Spec.Hosts > 8 {
+		t.Errorf("shrunk repro still has %d hosts, want <= 8\n%s", res.Spec.Hosts, res)
+	}
+	t.Logf("caught and shrunk: %s\n%s", ReproLine(seed, min), res)
+}

@@ -85,6 +85,11 @@ type Engine struct {
 
 	processed uint64
 	running   bool
+
+	// step, when non-nil, observes every event execution (internal/check's
+	// clock-monotonicity and ordering invariants). Nil in normal operation so
+	// the hot loop pays one predictable branch.
+	step func(at Time, seq uint64)
 }
 
 // NewEngine returns an engine with the clock at zero and randomness derived
@@ -98,6 +103,11 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetStepHook installs fn to be called immediately before each event
+// executes, with the event's firing time and scheduling sequence number.
+// Passing nil removes the hook.
+func (e *Engine) SetStepHook(fn func(at Time, seq uint64)) { e.step = fn }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -268,10 +278,13 @@ func (e *Engine) Run(until Time) Time {
 			return e.now
 		}
 		e.now = ev.at
-		fn, afn, a1, a2 := ev.fn, ev.afn, ev.a1, ev.a2
+		fn, afn, a1, a2, at, seq := ev.fn, ev.afn, ev.a1, ev.a2, ev.at, ev.seq
 		e.removeAt(0)
 		e.release(slot)
 		e.processed++
+		if e.step != nil {
+			e.step(at, seq)
+		}
 		if fn != nil {
 			fn()
 		} else {
@@ -300,10 +313,13 @@ func (e *Engine) RunAll(maxEvents uint64) {
 		slot := e.order[0]
 		ev := &e.arena[slot]
 		e.now = ev.at
-		fn, afn, a1, a2 := ev.fn, ev.afn, ev.a1, ev.a2
+		fn, afn, a1, a2, at, seq := ev.fn, ev.afn, ev.a1, ev.a2, ev.at, ev.seq
 		e.removeAt(0)
 		e.release(slot)
 		e.processed++
+		if e.step != nil {
+			e.step(at, seq)
+		}
 		if fn != nil {
 			fn()
 		} else {

@@ -240,6 +240,9 @@ func (l *Link) FlushQueues() int {
 	for i, q := range l.queues {
 		n += len(q)
 		for j := range q {
+			if l.net.obs != nil {
+				l.net.obs.PacketDropped(l, q[j], DropFault)
+			}
 			l.net.ReleasePacket(q[j])
 			q[j] = nil
 		}
@@ -287,6 +290,9 @@ func (l *Link) resumeUpstream() {
 func (l *Link) Enqueue(pkt *Packet) {
 	if l.down || l.blackhole {
 		l.stats.FaultDrops++
+		if l.net.obs != nil {
+			l.net.obs.PacketDropped(l, pkt, DropFault)
+		}
 		l.net.ReleasePacket(pkt)
 		return
 	}
@@ -300,6 +306,9 @@ func (l *Link) Enqueue(pkt *Packet) {
 			dup.Hdr = pkt.Hdr.Clone()
 		}
 		l.stats.Duplicated++
+		if l.net.obs != nil {
+			l.net.obs.PacketDuplicated(l, pkt, dup)
+		}
 		l.enqueue(pkt)
 		l.enqueue(dup)
 		return
@@ -319,6 +328,9 @@ func (l *Link) enqueue(pkt *Packet) {
 		switch l.cfg.Policer.Admit(now, pkt, l) {
 		case PolicerDrop:
 			l.stats.PoliceDrop++
+			if l.net.obs != nil {
+				l.net.obs.PacketDropped(l, pkt, DropPolicer)
+			}
 			l.net.ReleasePacket(pkt)
 			return
 		case PolicerMark:
@@ -347,23 +359,34 @@ func (l *Link) enqueue(pkt *Packet) {
 			l.trim(pkt)
 			if len(q) >= l.cfg.QueueCap+l.cfg.QueueCap*4 {
 				l.stats.Drops++
+				if l.net.obs != nil {
+					l.net.obs.PacketDropped(l, pkt, DropQueueFull)
+				}
 				l.net.ReleasePacket(pkt)
 				return
 			}
 		} else {
 			l.stats.Drops++
+			if l.net.obs != nil {
+				l.net.obs.PacketDropped(l, pkt, DropQueueFull)
+			}
 			l.net.ReleasePacket(pkt)
 			return
 		}
 	}
 
+	ecnMarked := false
 	if l.cfg.ECNThreshold > 0 && len(q) >= l.cfg.ECNThreshold {
 		l.markPacket(pkt)
+		ecnMarked = true
 	}
 
 	pkt.enqueuedAt = now
 	pkt.queueLenAtEnqueue = len(q)
 	l.trackFlow(pkt, now)
+	if l.net.obs != nil {
+		l.net.obs.PacketEnqueued(l, pkt, qi, len(q), ecnMarked)
+	}
 	l.queues[qi] = append(q, pkt)
 	if l.cfg.PauseThreshold > 0 && l.QueueLen() >= l.cfg.PauseThreshold {
 		l.pauseUpstream()
@@ -387,6 +410,9 @@ func (l *Link) markPacket(pkt *Packet) {
 
 func (l *Link) trim(pkt *Packet) {
 	l.stats.Trims++
+	if l.net.obs != nil {
+		l.net.obs.PacketTrimmed(l, pkt)
+	}
 	pkt.Trimmed = true
 	pkt.Data = nil
 	if pkt.Hdr != nil {
@@ -456,6 +482,9 @@ func linkTxDone(a1, a2 any) {
 	pkt := a2.(*Packet)
 	l.stats.TxPackets++
 	l.stats.TxBytes += uint64(pkt.Size)
+	if l.net.obs != nil {
+		l.net.obs.PacketTxDone(l, pkt)
+	}
 	l.stampOnDequeue(pkt)
 	if l.cfg.PauseThreshold > 0 && l.QueueLen() <= l.cfg.PauseThreshold/2 {
 		l.resumeUpstream()
@@ -466,7 +495,11 @@ func linkTxDone(a1, a2 any) {
 
 func linkDeliver(a1, a2 any) {
 	l := a1.(*Link)
-	l.dst.Receive(a2.(*Packet), l)
+	pkt := a2.(*Packet)
+	if l.net.obs != nil {
+		l.net.obs.PacketDelivered(l, pkt)
+	}
+	l.dst.Receive(pkt, l)
 }
 
 // stampOnDequeue writes feedback types that need dequeue-time information

@@ -25,6 +25,10 @@ type Network struct {
 	// the steady-state forwarding path allocates nothing. The engine is
 	// single-threaded, so no locking.
 	pktFree []*Packet
+
+	// obs, when non-nil, sees every packet event (see Observer). Nil in
+	// normal operation.
+	obs Observer
 }
 
 // poisonFreed enables the debug mode toggled by SetPoisonFreed.
@@ -54,7 +58,13 @@ func (n *Network) AllocPacket() *Packet {
 // ReleasePacket returns a pooled packet to the free-list. Packets not built
 // by AllocPacket are ignored, so callers may release unconditionally.
 func (n *Network) ReleasePacket(p *Packet) {
-	if p == nil || !p.pooled {
+	if p == nil {
+		return
+	}
+	if n.obs != nil && !p.released {
+		n.obs.PacketReleased(p)
+	}
+	if !p.pooled {
 		return
 	}
 	if p.released {

@@ -97,6 +97,9 @@ func (s *Switch) SetPolicy(p ForwardPolicy) { s.policy = p }
 func (s *Switch) Receive(pkt *Packet, from *Link) {
 	if s.down {
 		s.FaultDrops++
+		if s.net.obs != nil {
+			s.net.obs.SwitchDropped(s, pkt)
+		}
 		s.net.ReleasePacket(pkt)
 		return
 	}
@@ -113,12 +116,27 @@ func (s *Switch) Forward(pkt *Packet) {
 		panic(fmt.Sprintf("simnet: switch %d has no route to %d", s.id, pkt.Dst))
 	}
 	l := s.policy.Choose(s, pkt, s.filterExcluded(pkt, candidates))
+	if s.net.obs != nil {
+		s.net.obs.ForwardChosen(s, pkt, l, candidates)
+	}
 	l.Enqueue(pkt)
 }
+
+// brokenExcludeFilter disables filterExcluded. It exists only so the
+// invariant harness (internal/scenario) can prove it catches and shrinks the
+// PR 3 class of bug — a switch that stops honoring header exclude lists —
+// and must never be set outside those tests.
+var brokenExcludeFilter bool
+
+// SetBrokenExcludeFilter toggles the deliberate-bug test hook above.
+func SetBrokenExcludeFilter(on bool) { brokenExcludeFilter = on }
 
 // filterExcluded honors the header's path-exclude list when alternatives
 // remain: the end-host has told the network these pathlets are congested.
 func (s *Switch) filterExcluded(pkt *Packet, candidates []*Link) []*Link {
+	if brokenExcludeFilter {
+		return candidates
+	}
 	if pkt.Hdr == nil || len(pkt.Hdr.PathExclude) == 0 || len(candidates) == 1 {
 		return candidates
 	}
@@ -202,10 +220,17 @@ func (m *MessageRR) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
 	}
 	key := msgKey{src: pkt.Src, port: pkt.Hdr.SrcPort, msgID: pkt.Hdr.MsgID}
 	if l, ok := m.assignments[key]; ok {
-		if pkt.Hdr.PktNum+1 >= pkt.Hdr.MsgPkts {
-			delete(m.assignments, key)
+		if linkIn(c, l) {
+			if pkt.Hdr.PktNum+1 >= pkt.Hdr.MsgPkts {
+				delete(m.assignments, key)
+			}
+			return l
 		}
-		return l
+		// The pinned egress is no longer a candidate — the sender excluded
+		// its pathlet (failover, auto-exclude) after the message was
+		// assigned. Honoring the stale pin would defeat the exclude list, so
+		// drop it and re-assign among the survivors.
+		delete(m.assignments, key)
 	}
 	l := c[m.next%len(c)]
 	m.next++
@@ -259,11 +284,17 @@ func (m *MessageLB) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
 	m.drain(sw.net.eng.Now())
 	key := msgKey{src: pkt.Src, port: pkt.Hdr.SrcPort, msgID: pkt.Hdr.MsgID}
 	if l, ok := m.assignments[key]; ok {
-		m.account(l, pkt)
-		if pkt.Hdr.PktNum+1 >= pkt.Hdr.MsgPkts {
-			delete(m.assignments, key)
+		if linkIn(c, l) {
+			m.account(l, pkt)
+			if pkt.Hdr.PktNum+1 >= pkt.Hdr.MsgPkts {
+				delete(m.assignments, key)
+			}
+			return l
 		}
-		return l
+		// Pinned egress excluded mid-message (see MessageRR.Choose): message
+		// atomicity yields to the end-host's exclude request, which is the
+		// whole point of the failover machinery. Re-assign below.
+		delete(m.assignments, key)
 	}
 	// Pick the candidate that would finish this message soonest: queued
 	// bytes plus our own pending estimate, normalized by link rate, plus
@@ -283,6 +314,16 @@ func (m *MessageLB) Choose(sw *Switch, pkt *Packet, c []*Link) *Link {
 	}
 	m.account(best, pkt)
 	return best
+}
+
+// linkIn reports whether l is among the candidates.
+func linkIn(c []*Link, l *Link) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *MessageLB) pendingFor(l *Link) float64 {
