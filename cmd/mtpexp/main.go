@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, table1, ext, fig5sweep, fig6sweep, ccsweep, scale, scalesweep, scenario")
+		which    = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig5, fig6, fig7, failover, offfail, table1, ext, fig5sweep, fig6sweep, ccsweep, scale, scalesweep, scenario")
 		duration = flag.Duration("duration", 0, "override simulated duration (fig2/3/5/7)")
 		messages = flag.Int("messages", 0, "override message count (fig6) or per-sender messages (scale)")
 		maxSize  = flag.Int("maxsize", 0, "override max message size in bytes (fig6)")
@@ -44,6 +44,7 @@ func main() {
 		chkOn    = flag.Bool("check", false, "run scale/failover under the protocol invariant harness (internal/check)")
 		nScen    = flag.Int("scenarios", 1, "scenario: number of seeds to run, starting at -seed")
 		faults   = flag.Int("faults", -1, "scenario: cap the sampled fault count (-1 = unlimited)")
+		offOn    = flag.Bool("offload", false, "scenario: place a sampled in-network device (cache or IDS) on the fabric")
 		parallel = flag.Int("parallel", 1, "sweep workers: 1 sequential, 0 = all CPUs, N fixed (results are identical regardless)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -146,6 +147,15 @@ func main() {
 			fmt.Println(r.Samples())
 		}
 	}
+	if run("offfail") {
+		ran = true
+		oc := exp.OffFailConfig{Seed: *seed, Check: *chkOn}
+		if *duration > 0 {
+			oc.Duration = *duration
+		}
+		r := exp.RunOffFail(oc)
+		fmt.Println(r.String())
+	}
 	if run("fig7") {
 		ran = true
 		r := exp.RunFig7(exp.Fig7Config{Duration: *duration, Seed: *seed})
@@ -179,6 +189,7 @@ func main() {
 		ov := scenario.Overrides{
 			Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
 			Messages: *messages, MaxFaults: *faults, Horizon: *duration,
+			Offload: *offOn,
 		}
 		failed := false
 		for s := *seed; s < *seed+int64(*nScen); s++ {

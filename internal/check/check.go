@@ -16,7 +16,11 @@
 //     event ordering;
 //   - failover sanity: switches never forward onto an excluded pathlet while
 //     alternatives remain, and dead pathlets are readmitted only on feedback
-//     that proves them alive.
+//     that proves them alive;
+//   - offload exactly-once (opt-in via EnableOffloadAudit): every worker
+//     gradient contribution is counted exactly once in some delivered
+//     aggregate — in-network or host-side fallback — never dropped and never
+//     double-counted across the in-network/host boundary.
 //
 // Violations are recorded, not panicked, so a scenario runner can shrink a
 // failing configuration to a minimal seed (internal/scenario).
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"mtp/internal/core"
+	"mtp/internal/offload"
 	"mtp/internal/pathlet"
 	"mtp/internal/sim"
 	"mtp/internal/simnet"
@@ -117,6 +122,11 @@ type Checker struct {
 	msgs map[msgKey]*msgRec
 	eps  map[*core.Endpoint]*epInfo
 
+	// Offload exactly-once audit (EnableOffloadAudit).
+	offloadAudit bool
+	offContrib   map[uint64]map[simnet.NodeID][]int64
+	offCredited  map[uint64]map[simnet.NodeID]bool
+
 	stepped bool
 	lastAt  time.Duration
 	lastSeq uint64
@@ -185,10 +195,73 @@ func (c *Checker) Err() error {
 	return fmt.Errorf("check: %d invariant violation(s), first: %s", c.total, c.violations[0])
 }
 
+// EnableOffloadAudit turns on the offload exactly-once invariant: the
+// checker records every queued message whose payload parses as a worker
+// gradient (offload.EncodeGradient), and the application reports each
+// completed aggregation round via OffloadRound (the PSAggregator.Audit
+// callback has the matching signature). Finalize then flags contributions
+// that were never counted. Opt-in because gradient detection is structural —
+// enable it only in setups where the traffic is aggregation traffic.
+func (c *Checker) EnableOffloadAudit() {
+	c.offloadAudit = true
+	c.offContrib = make(map[uint64]map[simnet.NodeID][]int64)
+	c.offCredited = make(map[uint64]map[simnet.NodeID]bool)
+}
+
+// OffloadRound verifies one delivered aggregate: every credited worker must
+// have submitted a contribution for the round, none may have been credited
+// before (in-network or fallback), and the sum must equal the distinct
+// workers' submitted vectors added exactly once each.
+func (c *Checker) OffloadRound(round uint64, workers []simnet.NodeID, sum []int64) {
+	if !c.offloadAudit {
+		return
+	}
+	credited := c.offCredited[round]
+	if credited == nil {
+		credited = make(map[simnet.NodeID]bool)
+		c.offCredited[round] = credited
+	}
+	var want []int64
+	for _, w := range workers {
+		if credited[w] {
+			c.violate("offload", "round %d contribution from node %d counted twice", round, w)
+			continue
+		}
+		credited[w] = true
+		vec := c.offContrib[round][w]
+		if vec == nil {
+			c.violate("offload", "round %d credits node %d, which never contributed", round, w)
+			continue
+		}
+		if want == nil {
+			want = make([]int64, len(vec))
+		}
+		for i, v := range vec {
+			if i < len(want) {
+				want[i] += v
+			}
+		}
+	}
+	if want == nil {
+		return
+	}
+	if len(sum) != len(want) {
+		c.violate("offload", "round %d aggregate has %d elements, contributions have %d", round, len(sum), len(want))
+		return
+	}
+	for i := range want {
+		if sum[i] != want[i] {
+			c.violate("offload", "round %d aggregate[%d] = %d, expected %d from %d distinct contributions", round, i, sum[i], want[i], len(workers))
+			return
+		}
+	}
+}
+
 // Finalize runs the end-of-simulation conservation audit and returns all
 // recorded violations. Packets still queued or on the wire are legal (the
 // horizon cut them mid-flight); packets a node consumed without releasing or
-// forwarding are leaks.
+// forwarding are leaks. With the offload audit enabled, contributions never
+// counted in any delivered aggregate are losses.
 func (c *Checker) Finalize() []Violation {
 	for pkt, st := range c.pkts {
 		switch st.phase {
@@ -196,6 +269,15 @@ func (c *Checker) Finalize() []Violation {
 			c.violate("conservation", "packet %p (src %d dst %d) retained by a node: neither forwarded, delivered, nor dropped", pkt, pkt.Src, pkt.Dst)
 		case phaseDropped:
 			c.violate("conservation", "packet %p (src %d dst %d) dropped but never released", pkt, pkt.Src, pkt.Dst)
+		}
+	}
+	if c.offloadAudit {
+		for round, byWorker := range c.offContrib {
+			for w := range byWorker {
+				if !c.offCredited[round][w] {
+					c.violate("offload", "round %d contribution from node %d never counted in any delivered aggregate", round, w)
+				}
+			}
 		}
 	}
 	return c.violations
@@ -362,14 +444,47 @@ func (c *Checker) MessageQueued(e *core.Endpoint, m *core.OutMessage) {
 	if data := m.Data(); data != nil {
 		rec.hasData = true
 		rec.crc = crc32.ChecksumIEEE(data)
+		if c.offloadAudit {
+			c.recordContribution(info.node, data)
+		}
 	}
 	c.msgs[key] = rec
+}
+
+// recordContribution notes a worker gradient submission for the offload
+// exactly-once audit. Aggregate payloads (device- or fallback-format) are
+// structurally distinct from gradients, so a false positive would require
+// non-aggregation traffic — which the audit's opt-in contract excludes.
+func (c *Checker) recordContribution(node simnet.NodeID, data []byte) {
+	if _, _, _, isAgg := offload.DecodeAggregate(data); isAgg {
+		return
+	}
+	round, vec, ok := offload.DecodeGradient(data)
+	if !ok {
+		return
+	}
+	byWorker := c.offContrib[round]
+	if byWorker == nil {
+		byWorker = make(map[simnet.NodeID][]int64)
+		c.offContrib[round] = byWorker
+	}
+	if _, dup := byWorker[node]; dup {
+		c.violate("offload", "node %d submitted two contributions for round %d", node, round)
+		return
+	}
+	byWorker[node] = vec
 }
 
 // MessageDelivered implements core.Observer.
 func (c *Checker) MessageDelivered(e *core.Endpoint, m *core.InMessage) {
 	from, ok := m.From.(simnet.NodeID)
 	if !ok {
+		return
+	}
+	if m.MsgID >= offload.SpoofMsgIDBase {
+		// Device-originated message (cache response, aggregated gradient):
+		// no endpoint queued it, so the sent-message cross-checks do not
+		// apply. The offload audit covers aggregate correctness instead.
 		return
 	}
 	key := msgKey{node: from, port: m.SrcPort, id: m.MsgID}

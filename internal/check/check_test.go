@@ -1,0 +1,186 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/core"
+	"mtp/internal/offload"
+	"mtp/internal/sim"
+	"mtp/internal/simhost"
+	"mtp/internal/simnet"
+)
+
+// star builds a checker-observed single-switch topology with n hosts.
+func star(seed int64, n int) (*sim.Engine, *simnet.Network, *Checker, *simnet.Switch, []*simnet.Host) {
+	eng := sim.NewEngine(seed)
+	net := simnet.NewNetwork(eng)
+	chk := New(eng, net)
+	sw := simnet.NewSwitch(net, nil)
+	lc := simnet.LinkConfig{Rate: 10e9, Delay: time.Microsecond, QueueCap: 128}
+	hosts := make([]*simnet.Host, n)
+	for i := range hosts {
+		h := simnet.NewHost(net)
+		h.SetUplink(net.Connect(sw, lc, "h->sw"))
+		sw.AddRoute(h.ID(), net.Connect(h, lc, "sw->h"))
+		hosts[i] = h
+	}
+	return eng, net, chk, sw, hosts
+}
+
+// TestCheckerCleanRunNoViolations runs plain multi-packet message traffic
+// under the full invariant set and requires a clean bill: every packet
+// conserved, every message delivered exactly once with an intact payload.
+func TestCheckerCleanRunNoViolations(t *testing.T) {
+	eng, net, chk, _, hosts := star(1, 2)
+
+	got := 0
+	cfg := func(port uint16) core.Config {
+		return core.Config{
+			LocalPort: port,
+			RTO:       time.Millisecond,
+			Observer:  chk,
+			CCConfig:  cc.Config{LineRate: 10e9},
+		}
+	}
+	bCfg := cfg(1)
+	bCfg.OnMessage = func(m *core.InMessage) { got++ }
+	bh := simhost.AttachMTP(net, hosts[1], bCfg)
+	chk.AttachEndpoint(bh.EP, hosts[1].ID())
+	ah := simhost.AttachMTP(net, hosts[0], cfg(1))
+	chk.AttachEndpoint(ah.EP, hosts[0].ID())
+
+	for i := 0; i < 10; i++ {
+		payload := make([]byte, 3000)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		ah.EP.Send(hosts[1].ID(), 1, payload, core.SendOptions{})
+	}
+	eng.Run(10 * time.Millisecond)
+
+	chk.Finalize()
+	if got != 10 {
+		t.Fatalf("delivered %d/10 messages", got)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("clean run violated invariants: %v\n%v", err, chk.Violations())
+	}
+}
+
+// TestCheckerCleanAggregationAudit runs an in-network aggregation workload —
+// workers through a switch-resident aggregator to a parameter server with
+// the host-side PSAggregator wired into the offload exactly-once audit — and
+// requires zero violations: every contribution recorded at submission is
+// credited exactly once by a delivered aggregate.
+func TestCheckerCleanAggregationAudit(t *testing.T) {
+	eng, net, chk, sw, hosts := star(2, 3)
+	chk.EnableOffloadAudit()
+
+	const workers, rounds, dim = 2, 3, 4
+	ps := hosts[workers]
+	agg := offload.NewAggregator(sw, ps.ID(), workers)
+	agg.EmitContributors = true
+
+	psagg := offload.NewPSAggregator(workers)
+	psagg.Audit = chk.OffloadRound
+	done := 0
+	psagg.OnRound = func(round uint64, sum []int64) { done++ }
+
+	psCfg := core.Config{
+		LocalPort: 2,
+		RTO:       time.Millisecond,
+		Observer:  chk,
+		CCConfig:  cc.Config{LineRate: 10e9},
+		OnMessage: func(m *core.InMessage) {
+			from, _ := m.From.(simnet.NodeID)
+			psagg.Ingest(from, m.Data)
+		},
+	}
+	psh := simhost.AttachMTP(net, ps, psCfg)
+	chk.AttachEndpoint(psh.EP, ps.ID())
+	_ = psh
+
+	whs := make([]*simhost.MTPHost, workers)
+	for w := 0; w < workers; w++ {
+		whs[w] = simhost.AttachMTP(net, hosts[w], core.Config{
+			LocalPort: 1,
+			RTO:       time.Millisecond,
+			Observer:  chk,
+			CCConfig:  cc.Config{LineRate: 10e9},
+		})
+		chk.AttachEndpoint(whs[w].EP, hosts[w].ID())
+	}
+	for round := 1; round <= rounds; round++ {
+		for w := 0; w < workers; w++ {
+			w, round := w, round
+			eng.Schedule(time.Duration(round*100+w*7)*time.Microsecond, func() {
+				vec := make([]int64, dim)
+				for i := range vec {
+					vec[i] = int64(round*100 + w*10 + i)
+				}
+				whs[w].EP.Send(ps.ID(), 2, offload.EncodeGradient(uint64(round), vec), core.SendOptions{})
+			})
+		}
+	}
+	eng.Run(10 * time.Millisecond)
+
+	chk.Finalize()
+	if done != rounds {
+		t.Fatalf("completed %d/%d rounds", done, rounds)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("aggregation run violated invariants: %v\n%v", err, chk.Violations())
+	}
+}
+
+// TestOffloadAuditFlagsMiscounting drives OffloadRound and the submission
+// recorder directly with every defect class the audit exists to catch:
+// double-crediting, crediting a node that never contributed, a wrong
+// aggregate sum, a length mismatch, a duplicate submission, and a
+// contribution silently lost (never credited by Finalize).
+func TestOffloadAuditFlagsMiscounting(t *testing.T) {
+	eng := sim.NewEngine(3)
+	net := simnet.NewNetwork(eng)
+	chk := New(eng, net)
+	chk.EnableOffloadAudit()
+	if err := chk.Err(); err != nil {
+		t.Fatalf("fresh checker reports violations: %v", err)
+	}
+
+	// A correct round is clean.
+	chk.offContrib[1] = map[simnet.NodeID][]int64{3: {1, 2}, 4: {10, 20}}
+	chk.OffloadRound(1, []simnet.NodeID{3, 4}, []int64{11, 22})
+	if chk.Count() != 0 {
+		t.Fatalf("clean round flagged: %v", chk.Violations())
+	}
+
+	chk.OffloadRound(1, []simnet.NodeID{3}, []int64{1, 2}) // counted twice
+	chk.OffloadRound(2, []simnet.NodeID{9}, []int64{0})    // never contributed
+	chk.offContrib[3] = map[simnet.NodeID][]int64{5: {5}}
+	chk.OffloadRound(3, []simnet.NodeID{5}, []int64{6}) // wrong sum
+	chk.offContrib[4] = map[simnet.NodeID][]int64{6: {1}}
+	chk.OffloadRound(4, []simnet.NodeID{6}, []int64{1, 2}) // length mismatch
+	chk.recordContribution(7, offload.EncodeGradient(5, []int64{1}))
+	chk.recordContribution(7, offload.EncodeGradient(5, []int64{1})) // duplicate submission
+	chk.offContrib[6] = map[simnet.NodeID][]int64{8: {9}}
+	chk.Finalize() // rounds 5 and 6 hold contributions never credited
+
+	const want = 7 // 5 direct + 2 never-counted (nodes 7 and 8)
+	if chk.Count() != want {
+		t.Fatalf("got %d violations, want %d:\n%v", chk.Count(), want, chk.Violations())
+	}
+	for _, v := range chk.Violations() {
+		if v.Rule != "offload" {
+			t.Errorf("violation filed under rule %q, want \"offload\": %s", v.Rule, v)
+		}
+		if !strings.Contains(v.String(), "[offload]") {
+			t.Errorf("rendered violation missing rule tag: %s", v)
+		}
+	}
+	if chk.Err() == nil {
+		t.Error("Err() nil despite recorded violations")
+	}
+}

@@ -36,7 +36,29 @@ type Config struct {
 	CCFactory pathlet.Factory
 
 	// RTO is the retransmission timeout. Default 1ms (datacenter scale).
+	// With MaxRTO set it is only the initial value; the effective timeout
+	// then adapts to measured RTT (RFC 6298).
 	RTO time.Duration
+
+	// MaxRTO, when positive, enables adaptive retransmission: the effective
+	// RTO is driven by SRTT/RTTVAR estimates (RFC 6298: srtt + 4*rttvar,
+	// alpha=1/8, beta=1/4) with exponential backoff on consecutive timeout
+	// rounds, clamped to [MinRTO, MaxRTO]. Retransmitted packets never feed
+	// the estimator (Karn's rule). Zero keeps the fixed Config.RTO.
+	MaxRTO time.Duration
+	// MinRTO floors the adaptive RTO. Defaults to RTO/4 when MaxRTO is set.
+	MinRTO time.Duration
+
+	// DelegateTimeout, when positive, enables delegated-ACK semantics: an
+	// ACK carrying wire.FlagDelegatedAck (spoofed by an in-network device)
+	// opens the window like any ACK but leaves the message resendable. If no
+	// end-to-end confirmation arrives within this duration — a final
+	// (non-delegated) ACK, or the application observing the result and
+	// calling Release — the delegated packets are retransmitted with
+	// wire.FlagBypassOffload set, so the raw payload reaches the true
+	// destination even if the delegating device has crashed. Zero (the
+	// default) treats delegated ACKs as final, like any other ACK.
+	DelegateTimeout time.Duration
 
 	// AckEvery acknowledges every Nth data packet (plus message
 	// completions). Default 1 (per-packet acks).
@@ -118,6 +140,14 @@ func (c Config) withDefaults() Config {
 	if c.FailoverRTOs > 0 && c.ProbeInterval <= 0 {
 		c.ProbeInterval = 8 * c.RTO
 	}
+	if c.MaxRTO > 0 {
+		if c.MinRTO <= 0 {
+			c.MinRTO = c.RTO / 4
+		}
+		if c.MaxRTO < c.MinRTO {
+			c.MaxRTO = c.MinRTO
+		}
+	}
 	return c
 }
 
@@ -141,6 +171,10 @@ type OutMessage struct {
 	rtxQueue []int
 	done     bool
 	canceled bool
+	// bypass marks retransmissions with wire.FlagBypassOffload: a delegated
+	// ACK went unconfirmed, so in-network devices must pass the raw payload
+	// through to the true destination.
+	bypass bool
 	// pkts1 inlines the packet-state slot for single-packet messages (the
 	// common RPC case), saving the separate slice allocation.
 	pkts1 [1]outPkt
@@ -167,6 +201,15 @@ type outPkt struct {
 	sentAt  time.Duration
 	path    wire.PathTC
 	retxPkt bool // true once retransmitted: skip RTT sampling (Karn)
+	// delegated marks a packet acknowledged only by an in-network device:
+	// the window reopened, but end-to-end confirmation is still pending and
+	// the packet stays resendable. delegAt is when the delegated ACK landed.
+	delegated bool
+	delegAt   time.Duration
+	// attributed tracks whether the packet's bytes currently count against
+	// its pathlet's in-flight window (cleared on ack, delegation, or
+	// cancellation so nothing is double-removed).
+	attributed bool
 }
 
 // InMessage is a completed inbound message.
@@ -236,6 +279,12 @@ type Endpoint struct {
 	dataHdr   wire.Header // scratch header for data packets (reuseHdrs only)
 	ackHdr    wire.Header // scratch header for ACK packets (reuseHdrs only)
 
+	// Adaptive retransmission state (Config.MaxRTO > 0): RFC 6298 smoothed
+	// RTT estimators and the current (possibly backed-off) timeout.
+	srtt   time.Duration
+	rttvar time.Duration
+	curRTO time.Duration
+
 	// Stats counts protocol events.
 	Stats EndpointStats
 
@@ -268,6 +317,18 @@ type EndpointStats struct {
 	ProbesSent uint64
 	// Readmissions counts dead pathlets revived by returning feedback.
 	Readmissions uint64
+	// DelegatedAcks counts packets acknowledged provisionally by an
+	// in-network device (wire.FlagDelegatedAck).
+	DelegatedAcks uint64
+	// DelegateTimeouts counts delegated packets whose end-to-end
+	// confirmation never arrived and that were queued for bypass
+	// retransmission.
+	DelegateTimeouts uint64
+	// MsgsReleased counts messages completed by an explicit Release call
+	// (application-level end-to-end confirmation).
+	MsgsReleased uint64
+	// RTOBackoffs counts exponential RTO doublings (adaptive mode only).
+	RTOBackoffs uint64
 }
 
 type inKey struct {
@@ -316,6 +377,7 @@ func NewEndpoint(env Env, cfg Config) *Endpoint {
 		doneRing:    make([]inKey, 4096),
 		pendingAcks: make(map[Addr]*ackBatch),
 		nextID:      1,
+		curRTO:      cfg.RTO,
 	}
 	factory := cfg.CCFactory
 	if factory == nil {
@@ -431,8 +493,9 @@ func (e *Endpoint) Cancel(m *OutMessage) bool {
 	}
 	for i := range m.pkts {
 		p := &m.pkts[i]
-		if p.sent && !p.acked {
+		if p.attributed {
 			e.table.RemoveInflight(p.path, int(p.length))
+			p.attributed = false
 		}
 	}
 	m.rtxQueue = nil
@@ -441,6 +504,96 @@ func (e *Endpoint) Cancel(m *OutMessage) bool {
 	e.removeCompleted()
 	e.trySend()
 	return true
+}
+
+// Release completes an outbound message on application-level end-to-end
+// confirmation. With delegated ACKs (Config.DelegateTimeout) a message
+// acknowledged only by an in-network device stays resendable until the
+// application observes the result it delegated for — an aggregated round
+// broadcast, a cache response — and calls Release. Remaining packets are
+// treated as delivered: nothing is retransmitted and in-flight attribution
+// is dropped. It reports whether the message was still pending.
+func (e *Endpoint) Release(m *OutMessage) bool {
+	if m == nil || m.done {
+		return false
+	}
+	if _, ok := e.byID[m.ID]; !ok {
+		return false
+	}
+	for i := range m.pkts {
+		p := &m.pkts[i]
+		if p.attributed {
+			e.table.RemoveInflight(p.path, int(p.length))
+			p.attributed = false
+		}
+		if !p.acked {
+			p.acked = true
+			p.delegated = false
+			p.inRtx = false
+			m.ackedPkts++
+		}
+	}
+	m.rtxQueue = nil
+	m.done = true
+	e.removeCompleted()
+	e.Stats.MsgsReleased++
+	e.Stats.MsgsCompleted++
+	e.trace(trace.KindComplete, m.ID, 0, uint64(m.Size), 0)
+	if e.cfg.OnMessageSent != nil {
+		e.cfg.OnMessageSent(m)
+	}
+	e.trySend()
+	return true
+}
+
+// rto returns the effective retransmission timeout: the adaptive estimate
+// when Config.MaxRTO is set, the fixed Config.RTO otherwise.
+func (e *Endpoint) rto() time.Duration {
+	if e.cfg.MaxRTO <= 0 {
+		return e.cfg.RTO
+	}
+	return e.curRTO
+}
+
+// sampleRTT feeds one fresh (never-retransmitted) RTT measurement into the
+// RFC 6298 estimator and recomputes the effective RTO, collapsing any
+// exponential backoff.
+func (e *Endpoint) sampleRTT(s time.Duration) {
+	if e.cfg.MaxRTO <= 0 || s <= 0 {
+		return
+	}
+	if e.srtt == 0 {
+		e.srtt = s
+		e.rttvar = s / 2
+	} else {
+		d := e.srtt - s
+		if d < 0 {
+			d = -d
+		}
+		e.rttvar = (3*e.rttvar + d) / 4
+		e.srtt = (7*e.srtt + s) / 8
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.cfg.MinRTO {
+		rto = e.cfg.MinRTO
+	}
+	if rto > e.cfg.MaxRTO {
+		rto = e.cfg.MaxRTO
+	}
+	e.curRTO = rto
+}
+
+// backoffRTO doubles the effective RTO after a timeout round (adaptive mode
+// only), up to MaxRTO.
+func (e *Endpoint) backoffRTO() {
+	if e.cfg.MaxRTO <= 0 || e.curRTO >= e.cfg.MaxRTO {
+		return
+	}
+	e.curRTO *= 2
+	if e.curRTO > e.cfg.MaxRTO {
+		e.curRTO = e.cfg.MaxRTO
+	}
+	e.Stats.RTOBackoffs++
 }
 
 // rememberDone records completed inbound message identity with bounded

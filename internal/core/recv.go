@@ -196,7 +196,7 @@ func (e *Endpoint) collectNacks(now time.Duration, f *inMsg, batch *ackBatch) {
 			e.setTimer(first + e.cfg.NackDelay)
 			continue
 		}
-		if t, ok := f.nacked[pkt]; ok && now-t < e.cfg.RTO/2 {
+		if t, ok := f.nacked[pkt]; ok && now-t < e.rto()/2 {
 			continue
 		}
 		if f.nacked == nil {
@@ -255,7 +255,7 @@ func (e *Endpoint) maybeFlush(to Addr, b *ackBatch) {
 		return
 	}
 	if len(b.sack) > 0 {
-		e.setTimer(e.env.Now() + e.cfg.RTO/4)
+		e.setTimer(e.env.Now() + e.rto()/4)
 	}
 }
 

@@ -45,7 +45,7 @@ func (e *Endpoint) trySend() {
 	// Blocked with work outstanding: make sure some timer is armed so the
 	// endpoint cannot deadlock if every in-flight packet is lost.
 	if e.timerAt == 0 || e.timerAt <= now {
-		e.setTimer(now + e.cfg.RTO)
+		e.setTimer(now + e.rto())
 	}
 }
 
@@ -55,9 +55,10 @@ func (e *Endpoint) trySend() {
 func (e *Endpoint) nextPacket() (*OutMessage, int, bool) {
 	var best *OutMessage
 	for _, m := range e.active {
-		// Drop retransmission entries that were acknowledged after being
-		// queued — resending them would leak in-flight accounting.
-		for len(m.rtxQueue) > 0 && m.pkts[m.rtxQueue[0]].acked {
+		// Drop retransmission entries that were acknowledged (fully or by a
+		// delegated ACK) after being queued — resending them would leak
+		// in-flight accounting.
+		for len(m.rtxQueue) > 0 && (m.pkts[m.rtxQueue[0]].acked || m.pkts[m.rtxQueue[0]].delegated) {
 			m.pkts[m.rtxQueue[0]].inRtx = false
 			m.rtxQueue = m.rtxQueue[1:]
 		}
@@ -99,6 +100,11 @@ func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC
 		PktLen:      p.length,
 		PathExclude: e.sendExcludeList(),
 	}
+	if m.bypass {
+		// A delegated ACK for this message went unconfirmed: ask in-network
+		// devices to pass the raw payload through to the true destination.
+		hdr.Flags |= wire.FlagBypassOffload
+	}
 	var data []byte
 	if m.data != nil {
 		data = m.data[p.offset : int(p.offset)+int(p.length)]
@@ -113,7 +119,7 @@ func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC
 	} else {
 		m.nextNew = idx + 1
 	}
-	if p.sent && !p.acked {
+	if p.attributed {
 		// Re-transmission of a packet still counted in flight: release the
 		// old attribution before re-attributing.
 		e.table.RemoveInflight(p.path, int(p.length))
@@ -122,6 +128,7 @@ func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC
 	p.sentAt = now
 	p.path = path
 	e.table.AddInflight(path, int(p.length))
+	p.attributed = true
 	e.Stats.PktsSent++
 	if isRtx {
 		e.trace(trace.KindRetransmit, m.ID, uint32(idx), uint64(p.length), uint64(path.PathID))
@@ -130,7 +137,7 @@ func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC
 	}
 
 	e.output(m.Dst, hdr, data, hdr.EncodedLen()+e.cfg.HeaderOverhead+int(p.length))
-	e.setTimer(now + e.cfg.RTO)
+	e.setTimer(now + e.rto())
 }
 
 // onAckPacket processes an arriving ACK/NACK packet at the sender.
@@ -145,6 +152,13 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 	var rttSample time.Duration
 	completed := e.completed[:0]
 
+	// A delegated ACK (spoofed by an in-network device) is provisional when
+	// delegation is enabled: it opens the window but leaves the packet
+	// resendable until end-to-end confirmation. With delegation disabled it
+	// is treated like any final ACK.
+	provisional := hdr.Flags&wire.FlagDelegatedAck != 0 && e.cfg.DelegateTimeout > 0
+	delegArmed := false
+
 	for _, ref := range hdr.SACK {
 		m := e.byID[ref.MsgID]
 		if m == nil || int(ref.PktNum) >= len(m.pkts) {
@@ -154,20 +168,52 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 		if p.acked || !p.sent {
 			continue
 		}
+		if provisional {
+			if p.delegated {
+				continue
+			}
+			p.delegated = true
+			p.delegAt = now
+			e.Stats.DelegatedAcks++
+			ackedBytes += int(p.length)
+			if p.attributed {
+				e.table.RemoveInflight(p.path, int(p.length))
+				p.attributed = false
+			}
+			if !p.retxPkt {
+				if s := now - p.sentAt; s > rttSample {
+					rttSample = s
+				}
+			}
+			delegArmed = true
+			continue
+		}
+		wasDelegated := p.delegated
+		p.delegated = false
 		p.acked = true
 		m.ackedPkts++
-		ackedBytes += int(p.length)
-		e.table.RemoveInflight(p.path, int(p.length))
-		if !p.retxPkt {
-			s := now - p.sentAt
-			if s > rttSample {
-				rttSample = s
+		if !wasDelegated {
+			// A packet confirmed after a delegated ACK already fed the
+			// window and the RTT estimator once; don't credit it twice.
+			ackedBytes += int(p.length)
+			if !p.retxPkt {
+				if s := now - p.sentAt; s > rttSample {
+					rttSample = s
+				}
 			}
+		}
+		if p.attributed {
+			e.table.RemoveInflight(p.path, int(p.length))
+			p.attributed = false
 		}
 		if m.ackedPkts == len(m.pkts) {
 			m.done = true
 			completed = append(completed, m)
 		}
+	}
+	e.sampleRTT(rttSample)
+	if delegArmed {
+		e.setTimer(now + e.cfg.DelegateTimeout)
 	}
 
 	// Feed pathlet congestion control with the echoed network feedback.
@@ -201,7 +247,7 @@ func (e *Endpoint) onAckPacket(in *Inbound) {
 			continue
 		}
 		p := &m.pkts[ref.PktNum]
-		if p.acked || !p.sent || p.inRtx {
+		if p.acked || p.delegated || !p.sent || p.inRtx {
 			continue
 		}
 		p.inRtx = true
@@ -258,8 +304,10 @@ func (e *Endpoint) removeCompleted() {
 func (e *Endpoint) OnTimer(now time.Duration) {
 	e.timerAt = 0
 
-	// Retransmission timeouts.
+	// Retransmission timeouts. Delegated packets are exempt: they wait on
+	// the separate delegate-confirmation deadline below.
 	var next time.Duration
+	timedOut := false
 	lossPaths := e.lossPaths[:0]
 	for _, m := range e.active {
 		for i := range m.pkts {
@@ -267,11 +315,30 @@ func (e *Endpoint) OnTimer(now time.Duration) {
 			if !p.sent || p.acked || p.inRtx {
 				continue
 			}
-			deadline := p.sentAt + e.cfg.RTO
+			if p.delegated {
+				deadline := p.delegAt + e.cfg.DelegateTimeout
+				if deadline <= now {
+					// The device that acknowledged on the destination's
+					// behalf never confirmed end to end — presume it dead.
+					// Revert to unacknowledged and retransmit with the
+					// bypass flag so no device absorbs the payload again.
+					p.delegated = false
+					p.inRtx = true
+					m.rtxQueue = append(m.rtxQueue, i)
+					m.bypass = true
+					e.Stats.DelegateTimeouts++
+					e.trace(trace.KindTimeout, m.ID, uint32(i), 1, 0)
+				} else if next == 0 || deadline < next {
+					next = deadline
+				}
+				continue
+			}
+			deadline := p.sentAt + e.rto()
 			if deadline <= now {
 				p.inRtx = true
 				m.rtxQueue = append(m.rtxQueue, i)
 				e.Stats.Timeouts++
+				timedOut = true
 				e.trace(trace.KindTimeout, m.ID, uint32(i), 0, 0)
 				if !pathSeen(lossPaths, p.path) {
 					lossPaths = append(lossPaths, p.path)
@@ -290,6 +357,11 @@ func (e *Endpoint) OnTimer(now time.Duration) {
 		}
 	}
 	e.lossPaths = lossPaths[:0]
+	if timedOut {
+		// One exponential backoff per timer firing, however many packets
+		// expired together (adaptive mode only).
+		e.backoffRTO()
+	}
 
 	// Emit NACKs whose reordering-tolerance delay has expired, scanning
 	// partial messages in arrival order (not map order) for determinism.

@@ -1,0 +1,432 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mtp/internal/cc"
+	"mtp/internal/check"
+	"mtp/internal/core"
+	"mtp/internal/fault"
+	"mtp/internal/offload"
+	"mtp/internal/sim"
+	"mtp/internal/simhost"
+	"mtp/internal/simnet"
+)
+
+// OffFailConfig parameterizes the offload-failure experiment: N workers run
+// synchronous gradient rounds through an in-network aggregator whose switch
+// crashes mid-round and later recovers. Two configurations of the same
+// system are compared:
+//
+//   - fallback: delegated-ACK semantics on, host-side PSAggregator fallback
+//     on. The crash turns into delegate timeouts → bypass retransmissions →
+//     pathlet failover around the dead switch → the parameter server
+//     completes rounds from raw contributions, then in-network aggregation
+//     resumes after probe readmission.
+//   - no-fallback: spoofed ACKs are final (the pre-delegation protocol).
+//     Contributions absorbed by the crashed switch are gone, the open round
+//     can never complete, and training wedges forever.
+//
+// One worker is a deliberate straggler so every round has a long window in
+// which the aggregator holds partial state — the crash is guaranteed to land
+// mid-round rather than between rounds.
+type OffFailConfig struct {
+	Workers        int           // 4 gradient sources
+	VecDim         int           // 8 elements per gradient
+	LinkRate       float64       // 10 Gbps
+	LinkDelay      time.Duration // 5 µs
+	QueueCap       int           // 128 packets
+	ECNThreshold   int           // 20 packets
+	RTO            time.Duration // 500 µs initial RTO
+	MaxRTO         time.Duration // 4 ms adaptive-RTO cap
+	DelegateTimeout time.Duration // 1.5 ms: delegated-ACK confirmation deadline
+	FailoverRTOs   int           // 2 consecutive RTOs declare a pathlet dead
+	ProbeInterval  time.Duration // 3 ms between readmission probes
+	RoundTimeout   time.Duration // 2 ms: aggregator straggler flush
+	StragglerDelay time.Duration // 200 µs: last worker's extra think time
+	CrashAt        time.Duration // 4 ms: aggregator switch crash onset
+	CrashFor       time.Duration // 8 ms: outage duration
+	Duration       time.Duration // 40 ms
+	Seed           int64
+	// Check runs the fallback configuration under the invariant harness with
+	// the offload exactly-once audit enabled.
+	Check bool
+}
+
+func (c OffFailConfig) withDefaults() OffFailConfig {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.VecDim == 0 {
+		c.VecDim = 8
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = 10e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 5 * time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 128
+	}
+	if c.ECNThreshold == 0 {
+		c.ECNThreshold = 20
+	}
+	if c.RTO == 0 {
+		c.RTO = 500 * time.Microsecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 4 * time.Millisecond
+	}
+	if c.DelegateTimeout == 0 {
+		c.DelegateTimeout = 1500 * time.Microsecond
+	}
+	if c.FailoverRTOs == 0 {
+		c.FailoverRTOs = 2
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 3 * time.Millisecond
+	}
+	if c.RoundTimeout == 0 {
+		c.RoundTimeout = 2 * time.Millisecond
+	}
+	if c.StragglerDelay == 0 {
+		c.StragglerDelay = 200 * time.Microsecond
+	}
+	if c.CrashAt == 0 {
+		c.CrashAt = 4 * time.Millisecond
+	}
+	if c.CrashFor == 0 {
+		c.CrashFor = 8 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = 40 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// OffFailSeries is one configuration's outcome.
+type OffFailSeries struct {
+	Name string
+	// RoundsCompleted is how many aggregation rounds the parameter server
+	// finished (each verified to carry every worker's contribution once).
+	RoundsCompleted uint64
+	// LastRoundAt is when the final round completed — for a wedged run it
+	// freezes at the crash.
+	LastRoundAt time.Duration
+	// Wedged reports a round left permanently incomplete at the horizon.
+	Wedged bool
+	// SumErrors counts completed rounds whose aggregate differed from the
+	// workers' true sum (must be zero in both configurations).
+	SumErrors uint64
+
+	// Transport-side counters summed over the workers.
+	DelegatedAcks, DelegateTimeouts, MsgsReleased uint64
+	Timeouts, RTOBackoffs                         uint64
+	Failovers, Readmissions                       uint64
+
+	// Device and fallback counters.
+	AggConsumed, AggEmitted, AggPartialFlushes, AggResets uint64
+	PSRaw, PSAggregates, PSOverlapsDropped                uint64
+}
+
+// OffFailResult holds both configurations' outcomes.
+type OffFailResult struct {
+	Config     OffFailConfig
+	Fallback   OffFailSeries
+	NoFallback OffFailSeries
+	Faults     []fault.Event
+	// Checked/Violations report the invariant harness (with the offload
+	// exactly-once audit) over the fallback run when Config.Check is set.
+	Checked        bool
+	Violations     []check.Violation
+	ViolationCount int
+}
+
+// offFailLeg runs one configuration; fallback selects delegated-ACK +
+// host-side fallback semantics.
+func offFailLeg(cfg OffFailConfig, fallback bool) (OffFailSeries, []fault.Event, *check.Checker) {
+	name := "no-fallback"
+	if fallback {
+		name = "fallback"
+	}
+	s := OffFailSeries{Name: name}
+
+	eng := sim.NewEngine(cfg.Seed)
+	net := simnet.NewNetwork(eng)
+	var chk *check.Checker
+	if cfg.Check && fallback {
+		chk = check.New(eng, net)
+		chk.EnableOffloadAudit()
+	}
+
+	// Topology: workers → E → {A (aggregator, pathlet 1) | B (plain,
+	// pathlet 2)} → PS; the return path PS → R → workers never crosses the
+	// aggregator, so round-result broadcasts survive the crash. A also
+	// reaches the workers via R for its spoofed ACKs.
+	workers := make([]*simnet.Host, cfg.Workers)
+	for i := range workers {
+		workers[i] = simnet.NewHost(net)
+	}
+	ps := simnet.NewHost(net)
+	edge := simnet.NewSwitch(net, simnet.SingleRoute{})
+	aggSw := simnet.NewSwitch(net, simnet.SingleRoute{})
+	plain := simnet.NewSwitch(net, simnet.SingleRoute{})
+	ret := simnet.NewSwitch(net, simnet.SingleRoute{})
+
+	lc := func(pathlet uint32) simnet.LinkConfig {
+		c := simnet.LinkConfig{
+			Rate: cfg.LinkRate, Delay: cfg.LinkDelay,
+			QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNThreshold,
+		}
+		if pathlet != 0 {
+			p := pathlet
+			c.Pathlet = &p
+			c.StampECN = true
+		}
+		return c
+	}
+	for i, w := range workers {
+		w.SetUplink(net.Connect(edge, lc(0), fmt.Sprintf("w%d->edge", i)))
+	}
+	viaAgg := net.Connect(aggSw, lc(1), "edge->agg")
+	viaPlain := net.Connect(plain, lc(2), "edge->plain")
+	edge.AddRoute(ps.ID(), viaAgg)
+	edge.AddRoute(ps.ID(), viaPlain)
+	aggToPS := net.Connect(ps, lc(0), "agg->ps")
+	aggSw.AddRoute(ps.ID(), aggToPS)
+	plain.AddRoute(ps.ID(), net.Connect(ps, lc(0), "plain->ps"))
+	ps.SetUplink(net.Connect(ret, lc(0), "ps->ret"))
+	aggToRet := net.Connect(ret, lc(0), "agg->ret")
+	for i, w := range workers {
+		down := net.Connect(w, lc(0), fmt.Sprintf("ret->w%d", i))
+		ret.AddRoute(w.ID(), down)
+		aggSw.AddRoute(w.ID(), aggToRet) // spoofed ACKs
+	}
+
+	// The device emits contributor-tagged aggregates in both configurations
+	// (a device property); straggler flushing likewise. The configurations
+	// differ only in the workers' transport semantics below.
+	agg := offload.NewAggregator(aggSw, ps.ID(), cfg.Workers)
+	agg.EmitContributors = true
+	agg.SetRoundTimeout(cfg.RoundTimeout)
+
+	// Parameter server: the host-side fallback completes rounds from
+	// whatever arrives (in-network aggregates, partial flushes, raw bypass
+	// retransmissions) and broadcasts each result. In the no-fallback
+	// configuration it still understands both formats but, with nothing ever
+	// retransmitted past a dead device, lost contributions stay lost.
+	psagg := offload.NewPSAggregator(cfg.Workers)
+	gradient := func(worker int, round uint64) []int64 {
+		vec := make([]int64, cfg.VecDim)
+		for i := range vec {
+			vec[i] = int64(round)*1000 + int64(worker)*10 + int64(i)
+		}
+		return vec
+	}
+	var psHost *simhost.MTPHost
+	psagg.OnRound = func(round uint64, sum []int64) {
+		s.RoundsCompleted++
+		s.LastRoundAt = eng.Now()
+		for i := range sum {
+			var want int64
+			for w := 0; w < cfg.Workers; w++ {
+				want += gradient(w, round)[i]
+			}
+			if sum[i] != want {
+				s.SumErrors++
+				break
+			}
+		}
+		payload := offload.EncodeResult(round, sum)
+		for _, w := range workers {
+			psHost.EP.Send(w.ID(), 1, payload, core.SendOptions{})
+		}
+	}
+	if chk != nil {
+		psagg.Audit = chk.OffloadRound
+	}
+
+	psCfg := core.Config{
+		LocalPort: 2,
+		RTO:       cfg.RTO,
+		OnMessage: func(m *core.InMessage) {
+			from, _ := m.From.(simnet.NodeID)
+			psagg.Ingest(from, m.Data)
+		},
+		CCConfig: cc.Config{LineRate: cfg.LinkRate},
+	}
+	if chk != nil {
+		psCfg.Observer = chk
+	}
+	psHost = simhost.AttachMTP(net, ps, psCfg)
+	if chk != nil {
+		chk.AttachEndpoint(psHost.EP, ps.ID())
+	}
+
+	// Workers: send round r, release on the round-r result broadcast, then
+	// send round r+1 (the straggler after its think time). New rounds stop
+	// 5ms before the horizon so in-flight work drains.
+	stopAt := cfg.Duration - 5*time.Millisecond
+	type workerState struct {
+		host    *simhost.MTPHost
+		pending map[uint64]*core.OutMessage
+		round   uint64
+	}
+	ws := make([]*workerState, cfg.Workers)
+	for i := range ws {
+		i := i
+		w := &workerState{pending: make(map[uint64]*core.OutMessage)}
+		ws[i] = w
+		sendRound := func(round uint64) {
+			w.round = round
+			w.pending[round] = w.host.EP.Send(ps.ID(), 2,
+				offload.EncodeGradient(round, gradient(i, round)), core.SendOptions{})
+		}
+		wCfg := core.Config{
+			LocalPort:     1,
+			RTO:           cfg.RTO,
+			FailoverRTOs:  cfg.FailoverRTOs,
+			ProbeInterval: cfg.ProbeInterval,
+			CCConfig:      cc.Config{LineRate: cfg.LinkRate},
+			OnMessage: func(m *core.InMessage) {
+				round, _, ok := offload.DecodeResult(m.Data)
+				if !ok {
+					return
+				}
+				if msg := w.pending[round]; msg != nil {
+					w.host.EP.Release(msg)
+					delete(w.pending, round)
+				}
+				if round != w.round {
+					return
+				}
+				if eng.Now() >= stopAt {
+					// Drain window: no new rounds near the horizon, so every
+					// started round can finish and the exactly-once audit
+					// sees no legitimately-in-flight contributions.
+					return
+				}
+				next := round + 1
+				if i == cfg.Workers-1 && cfg.StragglerDelay > 0 {
+					w.round = next
+					eng.Schedule(cfg.StragglerDelay, func() { sendRound(next) })
+				} else {
+					sendRound(next)
+				}
+			},
+		}
+		if fallback {
+			wCfg.DelegateTimeout = cfg.DelegateTimeout
+			wCfg.MaxRTO = cfg.MaxRTO
+		}
+		if chk != nil {
+			wCfg.Observer = chk
+		}
+		w.host = simhost.AttachMTP(net, workers[i], wCfg)
+		if chk != nil {
+			chk.AttachEndpoint(w.host.EP, workers[i].ID())
+		}
+	}
+
+	in := fault.NewInjector(eng, cfg.Seed)
+	in.CrashSwitch(aggSw, cfg.CrashAt, cfg.CrashFor)
+
+	for i, w := range ws {
+		round := uint64(1)
+		w.round = round
+		if i == cfg.Workers-1 && cfg.StragglerDelay > 0 {
+			i := i
+			eng.Schedule(cfg.StragglerDelay, func() {
+				w.pending[round] = w.host.EP.Send(ps.ID(), 2,
+					offload.EncodeGradient(round, gradient(i, round)), core.SendOptions{})
+			})
+		} else {
+			w.pending[round] = w.host.EP.Send(ps.ID(), 2,
+				offload.EncodeGradient(round, gradient(i, round)), core.SendOptions{})
+		}
+	}
+	eng.Run(cfg.Duration)
+
+	s.Wedged = psagg.Pending() > 0
+	for _, w := range ws {
+		st := w.host.EP.Stats
+		s.DelegatedAcks += st.DelegatedAcks
+		s.DelegateTimeouts += st.DelegateTimeouts
+		s.MsgsReleased += st.MsgsReleased
+		s.Timeouts += st.Timeouts
+		s.RTOBackoffs += st.RTOBackoffs
+		s.Failovers += st.Failovers
+		s.Readmissions += st.Readmissions
+	}
+	s.AggConsumed = agg.Consumed
+	s.AggEmitted = agg.Emitted
+	s.AggPartialFlushes = agg.PartialFlushes
+	s.AggResets = agg.Resets
+	s.PSRaw = psagg.RawContribs
+	s.PSAggregates = psagg.Aggregates
+	s.PSOverlapsDropped = psagg.OverlapsDropped
+	return s, in.Events(), chk
+}
+
+// RunOffFail executes the experiment for both configurations.
+func RunOffFail(cfg OffFailConfig) OffFailResult {
+	cfg = cfg.withDefaults()
+	res := OffFailResult{Config: cfg}
+
+	var chk *check.Checker
+	res.Fallback, res.Faults, chk = offFailLeg(cfg, true)
+	if chk != nil {
+		chk.Finalize()
+		res.Checked = true
+		res.Violations = chk.Violations()
+		res.ViolationCount = chk.Count()
+	}
+	res.NoFallback, _, _ = offFailLeg(cfg, false)
+	return res
+}
+
+// String renders the experiment as text.
+func (r OffFailResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Offload failure: %d workers, aggregator switch crashes at %v for %v (delegate timeout %v, round timeout %v)\n",
+		r.Config.Workers, r.Config.CrashAt, r.Config.CrashFor, r.Config.DelegateTimeout, r.Config.RoundTimeout)
+	for _, s := range []OffFailSeries{r.NoFallback, r.Fallback} {
+		state := "recovered"
+		if s.Wedged {
+			state = "WEDGED"
+		}
+		fmt.Fprintf(&b, "  %-11s rounds %-4d last at %-10v %-9s sum errors %d\n",
+			s.Name, s.RoundsCompleted, s.LastRoundAt, state, s.SumErrors)
+		fmt.Fprintf(&b, "    workers: %d delegated ack(s), %d delegate timeout(s), %d release(s), %d RTO(s) (%d backoff(s)), %d failover(s), %d readmission(s)\n",
+			s.DelegatedAcks, s.DelegateTimeouts, s.MsgsReleased, s.Timeouts, s.RTOBackoffs, s.Failovers, s.Readmissions)
+		fmt.Fprintf(&b, "    device:  %d consumed, %d aggregate(s) emitted (%d partial), %d crash reset(s)\n",
+			s.AggConsumed, s.AggEmitted, s.AggPartialFlushes, s.AggResets)
+		fmt.Fprintf(&b, "    server:  %d raw contribution(s), %d in-network aggregate(s), %d unsubtractable overlap(s) rejected\n",
+			s.PSRaw, s.PSAggregates, s.PSOverlapsDropped)
+	}
+	fmt.Fprintf(&b, "  fault timeline:\n")
+	for _, e := range r.Faults {
+		fmt.Fprintf(&b, "    %v\n", e)
+	}
+	if r.Checked {
+		if r.ViolationCount == 0 {
+			fmt.Fprintf(&b, "  invariants (incl. offload exactly-once): ok\n")
+		} else {
+			fmt.Fprintf(&b, "  invariants: %d violation(s)\n", r.ViolationCount)
+			for i, v := range r.Violations {
+				if i >= 8 {
+					fmt.Fprintf(&b, "    ... %d more\n", len(r.Violations)-i)
+					break
+				}
+				fmt.Fprintf(&b, "    %s\n", v)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOffFailFallbackRecoversNoFallbackWedges runs the offload-failure
+// experiment at its defaults under the invariant harness: the delegated-ACK +
+// host-side-fallback configuration must deliver every round through the
+// aggregator crash with zero sum errors and zero violations, while the
+// no-fallback baseline wedges on the contributions the crash destroyed.
+func TestOffFailFallbackRecoversNoFallbackWedges(t *testing.T) {
+	r := RunOffFail(OffFailConfig{Check: true})
+
+	if !r.NoFallback.Wedged {
+		t.Errorf("no-fallback leg did not wedge (completed %d rounds)", r.NoFallback.RoundsCompleted)
+	}
+	if r.Fallback.Wedged {
+		t.Errorf("fallback leg wedged after %d rounds", r.Fallback.RoundsCompleted)
+	}
+	if r.Fallback.RoundsCompleted <= r.NoFallback.RoundsCompleted {
+		t.Errorf("fallback completed %d rounds, no-fallback %d; recovery bought nothing",
+			r.Fallback.RoundsCompleted, r.NoFallback.RoundsCompleted)
+	}
+	if r.Fallback.SumErrors != 0 || r.NoFallback.SumErrors != 0 {
+		t.Errorf("sum errors: fallback %d, no-fallback %d", r.Fallback.SumErrors, r.NoFallback.SumErrors)
+	}
+	if !r.Checked || r.ViolationCount != 0 {
+		t.Fatalf("invariant harness: checked=%v violations=%d\n%s", r.Checked, r.ViolationCount, r)
+	}
+
+	// The recovery mechanics must actually have fired: delegated ACKs
+	// reverted to bypass retransmissions, the server completed rounds from
+	// raw contributions, and the device reset on crash.
+	if r.Fallback.DelegateTimeouts == 0 {
+		t.Error("fallback leg saw no delegate timeouts; crash never hit a delegated message")
+	}
+	if r.Fallback.PSRaw == 0 {
+		t.Error("fallback leg used no raw contributions; host-side fallback never engaged")
+	}
+	if r.Fallback.AggResets == 0 {
+		t.Error("aggregator never reset; the crash missed the device")
+	}
+
+	s := r.String()
+	for _, want := range []string{"WEDGED", "recovered", "invariants (incl. offload exactly-once): ok"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestOffFailDeterministicForSeed requires bit-identical output for a fixed
+// seed — the property that makes a reported run reproducible.
+func TestOffFailDeterministicForSeed(t *testing.T) {
+	cfg := OffFailConfig{Seed: 2, Duration: 25 * time.Millisecond}
+	a := RunOffFail(cfg).String()
+	b := RunOffFail(cfg).String()
+	if a != b {
+		t.Fatalf("offfail not deterministic for a fixed seed:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -2,6 +2,7 @@ package offload
 
 import (
 	"encoding/binary"
+	"time"
 
 	"mtp/internal/simnet"
 	"mtp/internal/wire"
@@ -12,26 +13,66 @@ import (
 // server; the switch sums vectors per round and forwards one aggregated
 // message once every worker has contributed, consuming the rest. Worker
 // packets are acknowledged by the switch (spoofing the server) so worker
-// transports complete normally.
+// transports complete normally; the ACKs are marked delegated, so senders
+// running with delegated-ACK semantics keep their contributions resendable
+// until the server confirms the round end to end.
+//
+// Fault model: the device's round state lives in switch SRAM and does not
+// survive a crash — SetDown wipes it via the InterposerReset hook. Recovery
+// is end to end: delegated-ACK timeouts make workers retransmit with the
+// bypass flag set, the retransmissions reach the server raw, and a host-side
+// fallback (PSAggregator) completes the round from them.
 type Aggregator struct {
 	sw      *simnet.Switch
 	ps      simnet.NodeID
 	workers int
 	nextID  uint64
 
+	// EmitContributors switches the emitted aggregate to the tagged format
+	// carrying the contributor list (EncodeAggregate), which a host-side
+	// fallback needs to avoid double-counting across the in-network/host
+	// boundary. Off by default: a plain parameter server then receives a
+	// payload DecodeGradient understands, as before.
+	EmitContributors bool
+
 	rounds map[uint64]*aggRound
 
+	// emitted remembers the contributor sets of recently emitted rounds so a
+	// late retransmission of an already-counted contribution is re-acked
+	// (delegated) without being double-counted. Bounded FIFO.
+	emitted     map[uint64]map[simnet.NodeID]bool
+	emittedFIFO []uint64
+
+	// roundTimeout, when set, bounds how long a round may sit waiting for
+	// stragglers before the partial sum is flushed with its contributor
+	// bitmap (straggler handling; requires EmitContributors semantics on the
+	// receiving side).
+	roundTimeout time.Duration
+
 	// Stats
-	Consumed uint64
-	Emitted  uint64
-	Bypassed uint64
+	Consumed       uint64
+	Emitted        uint64
+	PartialFlushes uint64
+	Bypassed       uint64
+	Resets         uint64
 }
 
+// aggRound accumulates one round. Header fields needed for the emitted
+// aggregate are copied out of the first contribution — the *simnet.Packet
+// itself is pooled and recycled the moment interpose returns, so retaining
+// it would be a use-after-release.
 type aggRound struct {
 	sum     []int64
 	n       int
-	proto   *simnet.Packet // template packet (first contribution)
 	counted map[simnet.NodeID]bool
+
+	protoSrc     simnet.NodeID
+	protoSrcPort uint16
+	protoDstPort uint16
+	protoTC      uint8
+
+	startedAt time.Duration
+	flushed   bool // timer already fired or round emitted
 }
 
 // NewAggregator installs an aggregator on sw for traffic addressed to ps,
@@ -44,11 +85,31 @@ func NewAggregator(sw *simnet.Switch, ps simnet.NodeID, workers int) *Aggregator
 		sw:      sw,
 		ps:      ps,
 		workers: workers,
-		nextID:  spoofMsgIDBase + (1 << 20),
+		nextID:  SpoofMsgIDBase + (1 << 20),
 		rounds:  make(map[uint64]*aggRound),
+		emitted: make(map[uint64]map[simnet.NodeID]bool),
 	}
 	sw.Interposer = a.interpose
+	sw.InterposerReset = a.reset
 	return a
+}
+
+// SetRoundTimeout enables straggler flushing: a round open for longer than d
+// is emitted partially, with its contributor list, instead of wedging on a
+// dead worker. Implies the EncodeAggregate emission format for partials, so
+// pair it with a fallback-aware server.
+func (a *Aggregator) SetRoundTimeout(d time.Duration) { a.roundTimeout = d }
+
+// reset models the crash: all per-round SRAM state is gone. Pending partial
+// sums are lost (that is the failure the end-to-end machinery recovers from)
+// and the emitted-round memory is lost too, so post-crash retransmissions of
+// already-aggregated contributions flow through to the server raw — the
+// fallback's dedup handles them.
+func (a *Aggregator) reset() {
+	a.rounds = make(map[uint64]*aggRound)
+	a.emitted = make(map[uint64]map[simnet.NodeID]bool)
+	a.emittedFIFO = a.emittedFIFO[:0]
+	a.Resets++
 }
 
 // EncodeGradient builds a worker contribution payload: round plus vector.
@@ -74,9 +135,66 @@ func DecodeGradient(b []byte) (round uint64, vec []int64, ok bool) {
 	return round, vec, true
 }
 
+// aggregateTag marks the contributor-carrying aggregate payload format.
+const aggregateTag = byte(0xA5)
+
+// EncodeAggregate builds an aggregate payload carrying the contributor list:
+// tag, round, contributor count, contributor node IDs, then the summed
+// vector. Total length is 11+4n+8d bytes; since (3+4n) mod 8 is never zero,
+// no aggregate payload is ever mistakable for a raw gradient (whose length
+// is 8+8d) and vice versa.
+func EncodeAggregate(round uint64, workers []simnet.NodeID, vec []int64) []byte {
+	b := make([]byte, 11+4*len(workers)+8*len(vec))
+	b[0] = aggregateTag
+	binary.BigEndian.PutUint64(b[1:], round)
+	binary.BigEndian.PutUint16(b[9:], uint16(len(workers)))
+	off := 11
+	for _, w := range workers {
+		binary.BigEndian.PutUint32(b[off:], uint32(w))
+		off += 4
+	}
+	for _, v := range vec {
+		binary.BigEndian.PutUint64(b[off:], uint64(v))
+		off += 8
+	}
+	return b
+}
+
+// DecodeAggregate parses an EncodeAggregate payload; ok is false for
+// anything else (including raw gradients).
+func DecodeAggregate(b []byte) (round uint64, workers []simnet.NodeID, vec []int64, ok bool) {
+	if len(b) < 11 || b[0] != aggregateTag {
+		return 0, nil, nil, false
+	}
+	round = binary.BigEndian.Uint64(b[1:])
+	n := int(binary.BigEndian.Uint16(b[9:]))
+	rest := len(b) - 11 - 4*n
+	if rest < 0 || rest%8 != 0 {
+		return 0, nil, nil, false
+	}
+	workers = make([]simnet.NodeID, n)
+	off := 11
+	for i := range workers {
+		workers[i] = simnet.NodeID(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+	}
+	vec = make([]int64, rest/8)
+	for i := range vec {
+		vec[i] = int64(binary.BigEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return round, workers, vec, true
+}
+
 func (a *Aggregator) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 	hdr := pkt.Hdr
 	if hdr == nil || hdr.Type != wire.TypeData || pkt.Dst != a.ps || pkt.Data == nil || hdr.MsgPkts != 1 {
+		a.Bypassed++
+		return true
+	}
+	if bypassed(pkt) {
+		// The sender suspects this device crashed mid-round: let the raw
+		// contribution through so the host-side fallback can count it.
 		a.Bypassed++
 		return true
 	}
@@ -85,15 +203,33 @@ func (a *Aggregator) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 		a.Bypassed++
 		return true
 	}
+
+	// Retransmission of a contribution already folded into an emitted
+	// aggregate: re-ack (delegated) so the worker's transport completes, but
+	// never double-count.
+	if em, done := a.emitted[round]; done && em[pkt.Src] {
+		a.sw.Forward(ackPacket(pkt))
+		a.sw.Network().ReleasePacket(pkt)
+		return false
+	}
+
 	r := a.rounds[round]
 	if r == nil {
-		r = &aggRound{sum: make([]int64, len(vec)), counted: make(map[simnet.NodeID]bool)}
+		r = &aggRound{
+			sum:       make([]int64, len(vec)),
+			counted:   make(map[simnet.NodeID]bool),
+			startedAt: a.sw.Network().Engine().Now(),
+		}
 		a.rounds[round] = r
+		if a.roundTimeout > 0 {
+			a.armFlush(round, r)
+		}
 	}
 	if len(vec) != len(r.sum) || r.counted[pkt.Src] {
 		// Inconsistent vector or duplicate contribution (retransmission):
 		// ack but do not double-count.
 		a.sw.Forward(ackPacket(pkt))
+		a.sw.Network().ReleasePacket(pkt)
 		return false
 	}
 	r.counted[pkt.Src] = true
@@ -101,20 +237,85 @@ func (a *Aggregator) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 		r.sum[i] += v
 	}
 	r.n++
-	if r.proto == nil {
-		r.proto = pkt
+	if r.n == 1 {
+		r.protoSrc = pkt.Src
+		r.protoSrcPort = hdr.SrcPort
+		r.protoDstPort = hdr.DstPort
+		r.protoTC = hdr.TC
 	}
 	a.Consumed++
 	a.sw.Forward(ackPacket(pkt))
+	// The contribution is absorbed: recycle the packet. Only header fields
+	// were copied out above, so nothing aliases the pooled storage.
+	a.sw.Network().ReleasePacket(pkt)
 
 	if r.n == a.workers {
-		delete(a.rounds, round)
-		payload := EncodeGradient(round, r.sum)
-		out := dataPacket(r.proto.Src, a.ps, r.proto.Hdr.SrcPort, r.proto.Hdr.DstPort,
-			a.nextID, r.proto.Hdr.TC, payload)
-		a.nextID++
-		a.Emitted++
-		a.sw.Forward(out)
+		a.emit(round, r, false)
 	}
 	return false
+}
+
+// armFlush schedules the straggler deadline for a round. The timer holds the
+// round pointer, not just the number: after a crash wipes and restarts a
+// round, a stale timer from the previous incarnation must not flush the new
+// one early.
+func (a *Aggregator) armFlush(round uint64, r *aggRound) {
+	a.sw.Network().Engine().Schedule(a.roundTimeout, func() {
+		cur := a.rounds[round]
+		if cur != r || r.flushed {
+			return
+		}
+		a.PartialFlushes++
+		a.emit(round, r, true)
+	})
+}
+
+// emit forwards the (possibly partial) aggregate for a round and remembers
+// its contributors for retransmission dedup.
+func (a *Aggregator) emit(round uint64, r *aggRound, partial bool) {
+	r.flushed = true
+	delete(a.rounds, round)
+
+	var payload []byte
+	if a.EmitContributors || partial {
+		contribs := make([]simnet.NodeID, 0, r.n)
+		// Deterministic order: node IDs are small and dense.
+		for w := range r.counted {
+			contribs = append(contribs, w)
+		}
+		sortNodeIDs(contribs)
+		payload = EncodeAggregate(round, contribs, r.sum)
+	} else {
+		payload = EncodeGradient(round, r.sum)
+	}
+	out := dataPacket(r.protoSrc, a.ps, r.protoSrcPort, r.protoDstPort,
+		a.nextID, r.protoTC, payload)
+	a.nextID++
+	a.Emitted++
+
+	em := a.emitted[round]
+	if em == nil {
+		em = make(map[simnet.NodeID]bool, r.n)
+		a.emitted[round] = em
+		a.emittedFIFO = append(a.emittedFIFO, round)
+		const maxEmittedMemory = 1024
+		if len(a.emittedFIFO) > maxEmittedMemory {
+			delete(a.emitted, a.emittedFIFO[0])
+			a.emittedFIFO = a.emittedFIFO[1:]
+		}
+	}
+	for w := range r.counted {
+		em[w] = true
+	}
+	a.sw.Forward(out)
+}
+
+// sortNodeIDs is an insertion sort (contributor lists are tiny and this
+// avoids an import for a hot-path-adjacent helper).
+func sortNodeIDs(ids []simnet.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }

@@ -14,6 +14,14 @@ import (
 // every MTP packet carries the full message metadata and requests are
 // independent messages. A TCP stream would force the switch to reassemble
 // and re-sequence the bytestream (Table 1's buffering column).
+//
+// Fault model: write-through keeps the backend the source of truth, so a
+// crash that wipes the cache (InterposerReset) degrades to origin serving —
+// every GET falls through to the backend until read-through fills repopulate
+// the store. Hit-ACKs are delegated: a client running delegated-ACK
+// semantics keeps its GET resendable until the response arrives, so a crash
+// between the hit-ACK and the response turns into an ordinary
+// retransmission that the backend answers.
 type Cache struct {
 	sw      *simnet.Switch
 	store   map[string][]byte
@@ -25,6 +33,7 @@ type Cache struct {
 	Misses    uint64
 	Puts      uint64
 	Forwarded uint64
+	Resets    uint64
 }
 
 // NewCache installs a cache interposer on sw with capacity maxKeys.
@@ -32,9 +41,17 @@ func NewCache(sw *simnet.Switch, maxKeys int) *Cache {
 	if maxKeys <= 0 {
 		maxKeys = 1024
 	}
-	c := &Cache{sw: sw, store: make(map[string][]byte), maxKeys: maxKeys, nextID: spoofMsgIDBase}
+	c := &Cache{sw: sw, store: make(map[string][]byte), maxKeys: maxKeys, nextID: SpoofMsgIDBase}
 	sw.Interposer = c.interpose
+	sw.InterposerReset = c.reset
 	return c
+}
+
+// reset models the crash: cached entries do not survive, and the backend
+// serves everything until fills repopulate the store.
+func (c *Cache) reset() {
+	c.store = make(map[string][]byte)
+	c.Resets++
 }
 
 // Len returns the number of cached keys.
@@ -44,6 +61,12 @@ func (c *Cache) Len() int { return len(c.store) }
 func (c *Cache) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 	hdr := pkt.Hdr
 	if hdr == nil || hdr.Type != wire.TypeData || pkt.Data == nil || hdr.MsgPkts != 1 {
+		c.Forwarded++
+		return true
+	}
+	if bypassed(pkt) {
+		// The client suspects this device failed: let the request through to
+		// the backend untouched.
 		c.Forwarded++
 		return true
 	}
@@ -62,12 +85,14 @@ func (c *Cache) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 		}
 		c.Hits++
 		// Answer from the switch: ACK the request (spoofing the backend)
-		// and send the response message to the client.
+		// and send the response message to the client. The consumed request
+		// packet is recycled once the reply is built.
 		c.sw.Forward(ackPacket(pkt))
 		rsp := dataPacket(pkt.Dst, pkt.Src, hdr.DstPort, hdr.SrcPort, c.nextID, hdr.TC,
 			EncodeResponse(key, cached))
 		c.nextID++
 		c.sw.Forward(rsp)
+		c.sw.Network().ReleasePacket(pkt)
 		return false
 	case kvPut:
 		// Write-through: update the cache copy and forward to the backend,

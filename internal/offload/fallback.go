@@ -1,0 +1,176 @@
+package offload
+
+import (
+	"mtp/internal/simnet"
+)
+
+// PSAggregator is the parameter server's host-side fallback aggregator: the
+// end-to-end safety net behind the in-network Aggregator. It ingests
+// whatever reaches the server — in-network aggregates carrying contributor
+// lists (EncodeAggregate), partial straggler flushes, and raw worker
+// gradients that bypassed a crashed device — and completes each round
+// exactly once, guaranteeing no worker contribution is counted twice across
+// the in-network/host boundary.
+//
+// Dedup rules, per round:
+//
+//   - raw contribution from an already-counted worker: dropped (ordinary
+//     retransmission duplicate);
+//   - aggregate overlapping workers counted RAW here: the stored raw vectors
+//     are subtracted from the aggregate's sum, so only the new workers'
+//     contributions are added;
+//   - aggregate overlapping workers counted via an earlier AGGREGATE: the
+//     overlap is not subtractable (the device summed them irreversibly), so
+//     the whole aggregate is rejected. Liveness holds regardless: the
+//     rejected aggregate's new workers are exactly those whose delegated-ACK
+//     timers have not been confirmed end to end, so their bypass
+//     retransmissions arrive raw and are counted individually.
+type PSAggregator struct {
+	workers int
+	rounds  map[uint64]*psRound
+
+	// OnRound fires once per completed round with the final summed vector.
+	OnRound func(round uint64, sum []int64)
+	// Audit, when non-nil, fires alongside OnRound with the exact set of
+	// workers credited — the invariant harness (internal/check) verifies the
+	// sum equals the distinct workers' submitted vectors, exactly once each.
+	Audit func(round uint64, workers []simnet.NodeID, sum []int64)
+
+	// Stats
+	RawContribs     uint64
+	Aggregates      uint64
+	OverlapsDropped uint64
+	DupRaw          uint64
+	RoundsCompleted uint64
+}
+
+type psRound struct {
+	counted map[simnet.NodeID]bool
+	// raw stores vectors that arrived individually; only these can be
+	// subtracted out of an overlapping aggregate.
+	raw  map[simnet.NodeID][]int64
+	sum  []int64
+	done bool
+}
+
+// NewPSAggregator builds a fallback aggregator expecting the given number of
+// workers per round.
+func NewPSAggregator(workers int) *PSAggregator {
+	if workers <= 0 {
+		panic("offload: PS aggregator needs workers")
+	}
+	return &PSAggregator{workers: workers, rounds: make(map[uint64]*psRound)}
+}
+
+// Pending returns the number of rounds started but not yet completed.
+func (ps *PSAggregator) Pending() int {
+	n := 0
+	for _, r := range ps.rounds {
+		if !r.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Ingest feeds one delivered message payload from the given source node.
+// It returns true when the payload was recognized (raw gradient or
+// aggregate), false otherwise.
+func (ps *PSAggregator) Ingest(from simnet.NodeID, data []byte) bool {
+	if round, workers, vec, ok := DecodeAggregate(data); ok {
+		ps.ingestAggregate(round, workers, vec)
+		return true
+	}
+	if round, vec, ok := DecodeGradient(data); ok {
+		ps.ingestRaw(from, round, vec)
+		return true
+	}
+	return false
+}
+
+func (ps *PSAggregator) round(round uint64, dim int) *psRound {
+	r := ps.rounds[round]
+	if r == nil {
+		r = &psRound{
+			counted: make(map[simnet.NodeID]bool),
+			raw:     make(map[simnet.NodeID][]int64),
+			sum:     make([]int64, dim),
+		}
+		ps.rounds[round] = r
+	}
+	return r
+}
+
+func (ps *PSAggregator) ingestRaw(from simnet.NodeID, round uint64, vec []int64) {
+	r := ps.round(round, len(vec))
+	if r.done || r.counted[from] || len(vec) != len(r.sum) {
+		ps.DupRaw++
+		return
+	}
+	ps.RawContribs++
+	r.counted[from] = true
+	r.raw[from] = append([]int64(nil), vec...)
+	for i, v := range vec {
+		r.sum[i] += v
+	}
+	ps.maybeComplete(round, r)
+}
+
+func (ps *PSAggregator) ingestAggregate(round uint64, workers []simnet.NodeID, vec []int64) {
+	r := ps.round(round, len(vec))
+	if r.done || len(vec) != len(r.sum) {
+		return
+	}
+	// Classify the overlap with workers already counted here.
+	adjusted := append([]int64(nil), vec...)
+	fresh := workers[:0:0]
+	for _, w := range workers {
+		if !r.counted[w] {
+			fresh = append(fresh, w)
+			continue
+		}
+		raw, haveRaw := r.raw[w]
+		if !haveRaw {
+			// Counted via a previous aggregate: irreversible overlap.
+			ps.OverlapsDropped++
+			return
+		}
+		for i, v := range raw {
+			adjusted[i] -= v
+		}
+	}
+	if len(fresh) == 0 {
+		// Pure duplicate aggregate (e.g. the device re-emitted after a
+		// retransmission storm): nothing new to add.
+		return
+	}
+	ps.Aggregates++
+	for _, w := range fresh {
+		r.counted[w] = true
+	}
+	for i, v := range adjusted {
+		r.sum[i] += v
+	}
+	ps.maybeComplete(round, r)
+}
+
+func (ps *PSAggregator) maybeComplete(round uint64, r *psRound) {
+	if r.done || len(r.counted) < ps.workers {
+		return
+	}
+	r.done = true
+	// Raw vectors are no longer needed once the round closes.
+	r.raw = nil
+	ps.RoundsCompleted++
+	if ps.Audit != nil {
+		credited := make([]simnet.NodeID, 0, len(r.counted))
+		for w := range r.counted {
+			credited = append(credited, w)
+		}
+		sortNodeIDs(credited)
+		ps.Audit(round, credited, r.sum)
+	}
+	if ps.OnRound != nil {
+		ps.OnRound(round, r.sum)
+	}
+}

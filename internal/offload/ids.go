@@ -28,6 +28,7 @@ type IDS struct {
 	ScannedBytes uint64
 	Matches      uint64
 	DroppedPkts  uint64
+	Resets       uint64
 }
 
 type idsKey struct {
@@ -57,7 +58,16 @@ func NewIDS(sw *simnet.Switch, patterns [][]byte, inline bool) *IDS {
 		}
 	}
 	sw.Interposer = ids.interpose
+	sw.InterposerReset = ids.reset
 	return ids
+}
+
+// reset models the crash: in-flight overlap tails are lost, so a signature
+// straddling the crash instant can slip through — the documented blind spot
+// of any stateful inline scanner.
+func (ids *IDS) reset() {
+	ids.flows = make(map[idsKey]*idsFlow)
+	ids.Resets++
 }
 
 // FlowStates returns the number of in-flight message scan states (bounded
@@ -69,6 +79,10 @@ func (ids *IDS) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 	if hdr == nil || hdr.Type != wire.TypeData || pkt.Data == nil {
 		return true
 	}
+	// Deliberately no bypass-flag check: the flag asks compute offloads to
+	// stand aside, but a security scanner that honored it would hand every
+	// attacker a one-bit skip switch. Bypass retransmissions are scanned
+	// like any other traffic.
 	key := idsKey{src: pkt.Src, port: hdr.SrcPort, msgID: hdr.MsgID}
 	f := ids.flows[key]
 	if f == nil {
@@ -108,6 +122,7 @@ func (ids *IDS) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 	}
 	if flagged && ids.Inline {
 		ids.DroppedPkts++
+		ids.sw.Network().ReleasePacket(pkt)
 		return false // consume: the flagged message never completes
 	}
 	return true

@@ -39,6 +39,13 @@ func (c *Compressor) interpose(pkt *simnet.Packet, _ *simnet.Link) bool {
 		c.Skipped++
 		return true
 	}
+	if bypassed(pkt) {
+		// A bypass retransmission must arrive byte-identical to what the
+		// sender holds: mutating it would desynchronize the reassembly the
+		// end-to-end recovery depends on.
+		c.Skipped++
+		return true
+	}
 	n := int(hdr.MsgPkts)
 	if n == 0 {
 		c.Skipped++

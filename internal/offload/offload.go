@@ -79,17 +79,53 @@ func IsResponse(b []byte) bool {
 	return ok && op == kvRsp
 }
 
-// spoofMsgIDBase keeps device-generated message IDs out of any end-host's
-// ID space (end hosts allocate sequentially from 1).
-const spoofMsgIDBase = uint64(1) << 40
+// resultTag marks a parameter server's round-result broadcast payload.
+const resultTag = byte(0x52)
+
+// EncodeResult builds a round-result broadcast payload: tag, round, summed
+// vector. Its length (9+8d) can never parse as a raw gradient (8+8d) and its
+// tag differs from the aggregate format, so the three payload kinds are
+// structurally disjoint.
+func EncodeResult(round uint64, sum []int64) []byte {
+	b := make([]byte, 9+8*len(sum))
+	b[0] = resultTag
+	binary.BigEndian.PutUint64(b[1:], round)
+	for i, v := range sum {
+		binary.BigEndian.PutUint64(b[9+8*i:], uint64(v))
+	}
+	return b
+}
+
+// DecodeResult parses an EncodeResult payload.
+func DecodeResult(b []byte) (round uint64, sum []int64, ok bool) {
+	if len(b) < 9 || b[0] != resultTag || (len(b)-9)%8 != 0 {
+		return 0, nil, false
+	}
+	round = binary.BigEndian.Uint64(b[1:])
+	sum = make([]int64, (len(b)-9)/8)
+	for i := range sum {
+		sum[i] = int64(binary.BigEndian.Uint64(b[9+8*i:]))
+	}
+	return round, sum, true
+}
+
+// SpoofMsgIDBase keeps device-generated message IDs out of any end-host's
+// ID space (end hosts allocate sequentially from 1). The invariant harness
+// uses it to recognize device-originated messages.
+const SpoofMsgIDBase = uint64(1) << 40
 
 // ackPacket builds an ACK for one data packet, sent as if from the original
-// destination (address transparency, as in-network caches do).
+// destination (address transparency, as in-network caches do). Every spoofed
+// ACK carries FlagDelegatedAck: the device — not the destination — is vouching
+// for delivery, and a sender running with delegated-ACK semantics enabled
+// keeps the message resendable until end-to-end confirmation. Senders with
+// the feature disabled ignore the flag, so devices set it unconditionally.
 func ackPacket(data *simnet.Packet) *simnet.Packet {
 	hdr := &wire.Header{
 		Type:    wire.TypeAck,
 		SrcPort: data.Hdr.DstPort,
 		DstPort: data.Hdr.SrcPort,
+		Flags:   wire.FlagDelegatedAck,
 		SACK:    []wire.PacketRef{{MsgID: data.Hdr.MsgID, PktNum: data.Hdr.PktNum}},
 		// Echo forward feedback so the sender's pathlet state stays fresh
 		// even when the request never reaches the far end.
@@ -104,6 +140,14 @@ func ackPacket(data *simnet.Packet) *simnet.Packet {
 		Tenant:     data.Tenant,
 		FlowID:     data.FlowID,
 	}
+}
+
+// bypassed reports whether a packet asks in-network compute to stand aside:
+// the sender suspects a device failed mid-message and is retransmitting along
+// the end-to-end path. Devices that consume or mutate payloads must forward
+// such packets untouched; passive devices (IDS) keep inspecting them.
+func bypassed(pkt *simnet.Packet) bool {
+	return pkt.Hdr != nil && pkt.Hdr.Flags&wire.FlagBypassOffload != 0
 }
 
 // dataPacket builds a single-packet response message from a device.

@@ -22,6 +22,7 @@ import (
 	"mtp/internal/check"
 	"mtp/internal/core"
 	"mtp/internal/fault"
+	"mtp/internal/offload"
 	"mtp/internal/simhost"
 	"mtp/internal/simnet"
 	"mtp/internal/topo"
@@ -42,6 +43,12 @@ type Overrides struct {
 	Messages int
 	// Horizon caps the simulated duration when positive.
 	Horizon time.Duration
+	// Offload opts in to placing a sampled in-network device (cache or
+	// detect-mode IDS) on one fabric switch, so sweeps exercise interposers —
+	// including crash-reset — under the full invariant set. Off by default;
+	// its rng draws come after every other dimension's, so enabling it never
+	// perturbs the rest of the sampled scenario.
+	Offload bool
 }
 
 // NoOverrides returns the all-free override set.
@@ -93,6 +100,11 @@ type Spec struct {
 	Horizon time.Duration
 	Msgs    []MsgSpec
 	Faults  []FaultSpec
+
+	// Offload names the sampled in-network device ("cache" or "ids"); empty
+	// means none. OffloadTarget indexes the switch it lands on.
+	Offload       string
+	OffloadTarget int
 }
 
 // msgSizes is the sampled message-size menu: sub-MSS, one MSS, small
@@ -211,6 +223,14 @@ func Generate(seed int64, ov Overrides) Spec {
 		}
 		sp.Faults = append(sp.Faults, f)
 	}
+
+	// Offload placement draws come last, and only when opted in, so every
+	// run without the opt-in consumes an identical rng stream — shrunken
+	// repro seeds recorded before this dimension existed stay valid.
+	if ov.Offload {
+		sp.Offload = []string{"cache", "ids"}[rng.Intn(2)]
+		sp.OffloadTarget = rng.Intn(1 << 16)
+	}
 	return sp
 }
 
@@ -238,6 +258,7 @@ func Run(seed int64, ov Overrides) Result {
 // the horizon, and collect violations.
 func RunSpec(sp Spec) Result {
 	fab := buildFabric(sp)
+	installOffload(sp, fab)
 	chk := check.New(fab.Eng, fab.Net)
 	n := fab.NumHosts()
 
@@ -316,6 +337,31 @@ func buildFabric(sp Spec) *topo.Fabric {
 	})
 }
 
+// installOffload places the sampled device on a fabric switch. Only devices
+// transparent to arbitrary traffic are eligible: the cache consumes packets
+// only on a KVS cache hit (which the random workload cannot construct) and a
+// detect-mode IDS never consumes, so every transport invariant must keep
+// holding with the interposer in the path — and a crash fault landing on the
+// same switch exercises InterposerReset under the checker.
+func installOffload(sp Spec, fab *topo.Fabric) {
+	if sp.Offload == "" {
+		return
+	}
+	sws := append([]*simnet.Switch{}, fab.Switches(topo.TierSpine)...)
+	sws = append(sws, fab.Switches(topo.TierAgg)...)
+	sws = append(sws, fab.Switches(topo.TierLeaf)...)
+	if len(sws) == 0 {
+		return
+	}
+	sw := sws[sp.OffloadTarget%len(sws)]
+	switch sp.Offload {
+	case "cache":
+		offload.NewCache(sw, 64)
+	case "ids":
+		offload.NewIDS(sw, [][]byte{[]byte("MTP-IDS-SIGNATURE-0xDEADBEEF")}, false)
+	}
+}
+
 func applyFaults(sp Spec, fab *topo.Fabric, inj *fault.Injector) {
 	trunks := fab.Trunks()
 	for _, f := range sp.Faults {
@@ -377,7 +423,7 @@ func Shrink(seed int64, ov Overrides) (Overrides, Result) {
 	cur := Overrides{
 		Topo: sp.Topo, Leaves: sp.Leaves, Spines: sp.Spines,
 		HostsPerLeaf: sp.HostsPerLeaf, MaxFaults: len(sp.Faults),
-		Messages: maxPerHost(sp), Horizon: sp.Horizon,
+		Messages: maxPerHost(sp), Horizon: sp.Horizon, Offload: ov.Offload,
 	}
 	try := func(cand Overrides) bool {
 		if r := Run(seed, cand); r.Count > 0 {
@@ -421,6 +467,13 @@ func Shrink(seed int64, ov Overrides) (Overrides, Result) {
 		if cur.Horizon >= 4*time.Millisecond {
 			c := cur
 			c.Horizon = cur.Horizon / 2
+			improved = try(c) || improved
+		}
+		// Dropping the offload device only removes the trailing rng draws,
+		// so the rest of the scenario regenerates identically.
+		if cur.Offload {
+			c := cur
+			c.Offload = false
 			improved = try(c) || improved
 		}
 	}
@@ -477,6 +530,9 @@ func ReproLine(seed int64, ov Overrides) string {
 	if ov.Horizon > 0 {
 		fmt.Fprintf(&b, " -duration=%v", ov.Horizon)
 	}
+	if ov.Offload {
+		b.WriteString(" -offload")
+	}
 	return b.String()
 }
 
@@ -489,8 +545,12 @@ func (r Result) String() string {
 	if sp.Topo == "fattree" {
 		shape = fmt.Sprintf("k=%d fat-tree", sp.K)
 	}
-	fmt.Fprintf(&b, "scenario seed=%d: %s (%d hosts), cc=%s lb=%s, %d msgs, %d faults, horizon %v\n",
-		sp.Seed, shape, sp.Hosts, sp.CC, sp.Policy, len(sp.Msgs), len(sp.Faults), sp.Horizon)
+	dev := ""
+	if sp.Offload != "" {
+		dev = fmt.Sprintf(", offload=%s", sp.Offload)
+	}
+	fmt.Fprintf(&b, "scenario seed=%d: %s (%d hosts), cc=%s lb=%s%s, %d msgs, %d faults, horizon %v\n",
+		sp.Seed, shape, sp.Hosts, sp.CC, sp.Policy, dev, len(sp.Msgs), len(sp.Faults), sp.Horizon)
 	fmt.Fprintf(&b, "  %d/%d delivered, %d completed, %d events, %d violation(s)\n",
 		r.Delivered, r.Expected, r.Completed, r.Events, r.Count)
 	for i, v := range r.Violations {

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"testing"
@@ -13,23 +14,75 @@ import (
 // and requires zero violations. SCENARIO_SEEDS overrides the seed count
 // (the nightly CI job runs 500).
 func TestScenarioSweep(t *testing.T) {
-	n := 60
-	if s := os.Getenv("SCENARIO_SEEDS"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil || v <= 0 {
-			t.Fatalf("bad SCENARIO_SEEDS %q", s)
-		}
-		n = v
-	}
-	if testing.Short() {
-		n = 10
-	}
+	n := seedCount(t, 60, 10)
 	for seed := int64(1); seed <= int64(n); seed++ {
 		r := Run(seed, NoOverrides())
 		if r.Count > 0 {
 			min, res := Shrink(seed, NoOverrides())
 			t.Errorf("seed %d violated invariants; shrunk repro:\n  %s\n%s",
 				seed, ReproLine(seed, min), res)
+		}
+	}
+}
+
+// seedCount returns the sweep seed count: SCENARIO_SEEDS when set (the
+// nightly CI job passes 500), else short/default.
+func seedCount(t *testing.T, def, short int) int {
+	if s := os.Getenv("SCENARIO_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad SCENARIO_SEEDS %q", s)
+		}
+		return v
+	}
+	if testing.Short() {
+		return short
+	}
+	return def
+}
+
+// TestScenarioOffloadSweep re-runs a batch with in-network device placement
+// opted in: an interposing cache or detect-mode IDS sits on a sampled
+// switch, crash faults wipe its state mid-run, and every transport
+// invariant must still hold.
+func TestScenarioOffloadSweep(t *testing.T) {
+	n := seedCount(t, 30, 8)
+	ov := NoOverrides()
+	ov.Offload = true
+	placed := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		r := Run(seed, ov)
+		if r.Spec.Offload != "" {
+			placed++
+		}
+		if r.Count > 0 {
+			min, res := Shrink(seed, ov)
+			t.Errorf("seed %d violated invariants with offload device; shrunk repro:\n  %s\n%s",
+				seed, ReproLine(seed, min), res)
+		}
+	}
+	if placed != n {
+		t.Fatalf("device placed in %d/%d runs", placed, n)
+	}
+}
+
+// TestOffloadDrawsAppendAfterExisting pins the rng discipline that keeps
+// recorded repro seeds (regress_test.go) valid: enabling Offload must not
+// change any other sampled dimension, because its draws come after all
+// existing ones.
+func TestOffloadDrawsAppendAfterExisting(t *testing.T) {
+	ov := NoOverrides()
+	ov.Offload = true
+	for seed := int64(1); seed <= 50; seed++ {
+		plain := Generate(seed, NoOverrides())
+		with := Generate(seed, ov)
+		if with.Offload == "" {
+			t.Fatalf("seed %d: no device sampled with Offload on", seed)
+		}
+		with.Offload, with.OffloadTarget = "", 0
+		if fmt.Sprintf("%+v", plain) != fmt.Sprintf("%+v", with) {
+			t.Fatalf("seed %d: offload opt-in perturbed the sampled scenario:\n%+v\nvs\n%+v",
+				seed, plain, with)
 		}
 	}
 }

@@ -36,8 +36,15 @@ type Switch struct {
 
 	// Interposer, when non-nil, sees every packet before forwarding and may
 	// consume it (in-network compute offloads: caches, aggregators,
-	// mutators). Returning false consumes the packet.
+	// mutators). Returning false consumes the packet; the interposer is then
+	// responsible for releasing it (Network().ReleasePacket).
 	Interposer func(pkt *Packet, from *Link) bool
+
+	// InterposerReset, when non-nil, is invoked when the switch crashes
+	// (SetDown(true)): a real device's SRAM does not survive a crash, so
+	// offloads register their state-clearing hook here. Recovery then relies
+	// entirely on end-to-end machinery (delegated ACKs, host-side fallback).
+	InterposerReset func()
 }
 
 // NewSwitch creates and registers a switch with the given policy
@@ -53,6 +60,10 @@ func NewSwitch(n *Network, policy ForwardPolicy) *Switch {
 
 // ID implements Node.
 func (s *Switch) ID() NodeID { return s.id }
+
+// Network returns the network the switch belongs to. Offload devices use it
+// to release consumed packets and to read the virtual clock.
+func (s *Switch) Network() *Network { return s.net }
 
 // AddRoute appends a candidate egress link for packets destined to dst.
 func (s *Switch) AddRoute(dst NodeID, l *Link) {
@@ -75,7 +86,8 @@ func (s *Switch) Routes(dst NodeID) []*Link { return s.routes[dst] }
 
 // SetDown sets the switch's crash state. Going down drops every packet
 // sitting in the egress port queues (they are the crashed switch's buffers)
-// in addition to all packets that transit while down.
+// in addition to all packets that transit while down, and wipes any
+// interposer state (a crash does not preserve device SRAM).
 func (s *Switch) SetDown(down bool) {
 	s.down = down
 	if down {
@@ -83,6 +95,9 @@ func (s *Switch) SetDown(down bool) {
 			n := l.FlushQueues()
 			l.stats.FaultDrops += uint64(n)
 			s.FaultDrops += uint64(n)
+		}
+		if s.InterposerReset != nil {
+			s.InterposerReset()
 		}
 	}
 }

@@ -192,6 +192,26 @@ func (f Feedback) QueueLen() uint32 {
 	return binary.BigEndian.Uint32(f.val[:])
 }
 
+// Header flag bits (the Flags field). They carry the offload fault-tolerance
+// protocol: in-network devices that acknowledge on behalf of a destination
+// mark the ACK delegated, and senders recovering from a dead device mark
+// retransmissions so surviving devices pass them through untouched.
+const (
+	// FlagDelegatedAck marks an ACK generated by an in-network device
+	// (cache, aggregator) rather than the packet's true destination. A
+	// sender with delegation enabled treats such ACKs as provisional: the
+	// window opens, but the message stays resendable until end-to-end
+	// confirmation (the aggregated result, a cache response, or an explicit
+	// release).
+	FlagDelegatedAck uint8 = 1 << 0
+	// FlagBypassOffload marks a DATA packet that in-network compute devices
+	// must forward unmodified: no aggregation, no cache answer, no
+	// consumption. Senders set it on retransmissions after a delegated ACK
+	// went unconfirmed, so the raw payload reaches the true destination even
+	// if the device that first absorbed it has lost its state.
+	FlagBypassOffload uint8 = 1 << 1
+)
+
 // PacketRef names one packet of one message, used in SACK and NACK lists.
 type PacketRef struct {
 	MsgID  uint64
@@ -212,6 +232,7 @@ type Header struct {
 	MsgID    uint64
 	MsgPri   uint8  // relative priority among parallel messages
 	TC       uint8  // traffic class assigned to the message's entity
+	Flags    uint8  // Flag* bits (delegated ACK, offload bypass)
 	MsgBytes uint32 // total message length in bytes
 	MsgPkts  uint32 // total message length in packets
 
@@ -237,9 +258,9 @@ const (
 
 	// fixedLen is the byte length of the fixed portion of the header:
 	// version(1) type(1) checksum(4) srcPort(2) dstPort(2) msgID(8)
-	// msgPri(1) tc(1) msgBytes(4) msgPkts(4) pktNum(4) pktOffset(4)
-	// pktLen(2) + 5 list-count fields (2 bytes each).
-	fixedLen = 1 + 1 + 4 + 2 + 2 + 8 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 2*5
+	// msgPri(1) tc(1) flags(1) msgBytes(4) msgPkts(4) pktNum(4)
+	// pktOffset(4) pktLen(2) + 5 list-count fields (2 bytes each).
+	fixedLen = 1 + 1 + 4 + 2 + 2 + 8 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 2*5
 
 	// checksumOff is the byte offset of the header checksum within an
 	// encoded header (right after version and type).
@@ -331,7 +352,7 @@ func (h *Header) Encode(dst []byte) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
 	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
 	dst = binary.BigEndian.AppendUint64(dst, h.MsgID)
-	dst = append(dst, h.MsgPri, h.TC)
+	dst = append(dst, h.MsgPri, h.TC, h.Flags)
 	dst = binary.BigEndian.AppendUint32(dst, h.MsgBytes)
 	dst = binary.BigEndian.AppendUint32(dst, h.MsgPkts)
 	dst = binary.BigEndian.AppendUint32(dst, h.PktNum)
@@ -427,6 +448,7 @@ func DecodeInto(h *Header, b []byte) (int, error) {
 	h.MsgID = d.u64()
 	h.MsgPri = d.u8()
 	h.TC = d.u8()
+	h.Flags = d.u8()
 	h.MsgBytes = d.u32()
 	h.MsgPkts = d.u32()
 	h.PktNum = d.u32()
@@ -567,7 +589,17 @@ func (h *Header) Excludes(p PathTC) bool {
 
 // String renders a compact single-line summary useful in traces.
 func (h *Header) String() string {
-	return fmt.Sprintf("%s %d->%d msg=%d pri=%d tc=%d len=%dB/%dp pkt=%d off=%d plen=%d fb=%d ackfb=%d sack=%d nack=%d",
-		h.Type, h.SrcPort, h.DstPort, h.MsgID, h.MsgPri, h.TC, h.MsgBytes, h.MsgPkts,
+	flags := ""
+	if h.Flags&FlagDelegatedAck != 0 {
+		flags += "D"
+	}
+	if h.Flags&FlagBypassOffload != 0 {
+		flags += "B"
+	}
+	if flags != "" {
+		flags = " flags=" + flags
+	}
+	return fmt.Sprintf("%s %d->%d msg=%d pri=%d tc=%d%s len=%dB/%dp pkt=%d off=%d plen=%d fb=%d ackfb=%d sack=%d nack=%d",
+		h.Type, h.SrcPort, h.DstPort, h.MsgID, h.MsgPri, h.TC, flags, h.MsgBytes, h.MsgPkts,
 		h.PktNum, h.PktOffset, h.PktLen, len(h.PathFeedback), len(h.AckPathFeedback), len(h.SACK), len(h.NACK))
 }
