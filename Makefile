@@ -45,4 +45,5 @@ exp: build
 # e.g. `make bench BENCHTIME=2s`.
 BENCHTIME ?= 1x
 bench: build
-	$(GO) test -run XXX -bench . -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	$(GO) test -run XXX -bench 'Benchmark([^S]|S[^h])' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	$(GO) test -run XXX -bench 'BenchmarkSharded' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_shard.json

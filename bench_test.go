@@ -163,6 +163,41 @@ func BenchmarkScaleIncast(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedIncast runs the fat-tree incast twice — once on a single
+// engine, once split across a 4-shard cluster (internal/shard) — and reports
+// each run's aggregate event throughput plus the wall-clock speedup. The
+// experiment results are bit-identical between the two (the determinism
+// regression test enforces it); this benchmark tracks what the sharding buys.
+func BenchmarkShardedIncast(b *testing.B) {
+	cfg := exp.ScaleConfig{
+		Topo: "fattree", K: 8,
+		Pattern: "incast", Incast: 32, MsgSize: 256 << 10, Messages: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		solo := cfg
+		solo.Shards = 1
+		rs := exp.RunScale(solo)
+		sharded := cfg
+		sharded.Shards = 4
+		rp := exp.RunScale(sharded)
+		for ri, row := range rp.Rows {
+			name := "mtp"
+			if ri == 1 {
+				name = "dctcp"
+			}
+			b.ReportMetric(row.EventsPerSec()/1e6, name+"-Mev/s-4shard")
+			b.ReportMetric(rs.Rows[ri].EventsPerSec()/1e6, name+"-Mev/s-1shard")
+			if row.Wall > 0 {
+				b.ReportMetric(float64(rs.Rows[ri].Wall)/float64(row.Wall), name+"-speedup")
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + rp.String() + rp.PerfString())
+		}
+	}
+}
+
 // BenchmarkExtensions runs the Section 4 design-point probes: pathlet
 // exclusion, multi-algorithm CC, priority scheduling, and NDP-style
 // trimming.

@@ -45,7 +45,8 @@ func main() {
 		nScen    = flag.Int("scenarios", 1, "scenario: number of seeds to run, starting at -seed")
 		faults   = flag.Int("faults", -1, "scenario: cap the sampled fault count (-1 = unlimited)")
 		offOn    = flag.Bool("offload", false, "scenario: place a sampled in-network device (cache or IDS) on the fabric")
-		parallel = flag.Int("parallel", 1, "sweep workers: 1 sequential, 0 = all CPUs, N fixed (results are identical regardless)")
+		parallel = flag.Int("parallel", 1, "sweep workers: 1 sequential, 0 = all CPUs, N fixed (results are identical regardless); capped so workers x shards <= GOMAXPROCS")
+		shards   = flag.Int("shards", 1, "scale/scalesweep: split the simulation across N parallel engines (-topo fattree only, clamped to k); results are bit-identical to -shards 1")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -166,18 +167,39 @@ func main() {
 	scaleCfg := exp.ScaleConfig{
 		Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
 		K: *radix, Pattern: *pattern, MsgSize: *msgSize, Messages: *messages,
-		Seed: *seed, Workers: *parallel, Check: *chkOn,
+		Seed: *seed, Workers: *parallel, Shards: *shards, Check: *chkOn,
 	}
 	if *duration > 0 {
 		scaleCfg.Timeout = *duration
 	}
+	if *shards > 1 && *topoName != "fattree" {
+		fmt.Fprintln(os.Stderr, "-shards requires -topo fattree (pods are the partition unit); ignoring")
+		scaleCfg.Shards = 1
+	}
 	if *which == "scale" {
 		ran = true
-		fmt.Println(exp.RunScale(scaleCfg).String())
+		r := exp.RunScale(scaleCfg)
+		fmt.Println(r.String())
+		fmt.Println(r.PerfString())
 	}
 	if *which == "scalesweep" {
 		ran = true
-		fmt.Println(exp.ScaleSweepString(exp.RunScaleHostSweep(*parallel, nil, scaleCfg)))
+		if *topoName == "fattree" {
+			// Radix sweep doubling from 4 up to the -k flag (default ladder
+			// when -k is unset).
+			var ks []int
+			if scaleCfg.K > 0 {
+				for k := 4; k <= scaleCfg.K; k *= 2 {
+					ks = append(ks, k)
+				}
+				if len(ks) == 0 || ks[len(ks)-1] != scaleCfg.K {
+					ks = append(ks, scaleCfg.K)
+				}
+			}
+			fmt.Println(exp.ScaleKSweepString(exp.RunScaleKSweep(*parallel, ks, scaleCfg)))
+		} else {
+			fmt.Println(exp.ScaleSweepString(exp.RunScaleHostSweep(*parallel, nil, scaleCfg)))
+		}
 	}
 	// Seeded random scenarios under the invariant harness (internal/scenario):
 	// run -scenarios seeds starting at -seed; any violating seed is shrunk to

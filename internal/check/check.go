@@ -29,6 +29,7 @@ package check
 import (
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"time"
 
 	"mtp/internal/core"
@@ -122,6 +123,12 @@ type Checker struct {
 	msgs map[msgKey]*msgRec
 	eps  map[*core.Endpoint]*epInfo
 
+	// shared, when non-nil, replaces msgs with a registry spanning several
+	// checkers — one per shard of a partitioned run — so the exactly-once
+	// delivery invariant survives a message being queued in one shard and
+	// delivered in another (see MsgRegistry).
+	shared *MsgRegistry
+
 	// Offload exactly-once audit (EnableOffloadAudit).
 	offloadAudit bool
 	offContrib   map[uint64]map[simnet.NodeID][]int64
@@ -129,7 +136,72 @@ type Checker struct {
 
 	stepped bool
 	lastAt  time.Duration
+	lastPri uint64
 	lastSeq uint64
+}
+
+// MsgRegistry is a message send/delivery ledger shared by the per-shard
+// checkers of one partitioned run (internal/shard). A message queued at an
+// endpoint in one shard is usually delivered at an endpoint in another; with
+// per-checker ledgers that delivery would flag "delivered but never sent".
+// The registry is mutex-protected because shard engines run on their own
+// goroutines; the shard barrier guarantees a queue event is exchanged (and so
+// happens-before) the matching delivery, which is at least one lookahead
+// later in virtual time.
+type MsgRegistry struct {
+	mu   sync.Mutex
+	msgs map[msgKey]*msgRec
+}
+
+// NewMsgRegistry returns an empty shared message ledger.
+func NewMsgRegistry() *MsgRegistry {
+	return &MsgRegistry{msgs: make(map[msgKey]*msgRec)}
+}
+
+// ShareMessages redirects this checker's message ledger to reg. Call it on
+// every shard's checker before the simulation runs.
+func (c *Checker) ShareMessages(reg *MsgRegistry) { c.shared = reg }
+
+// putMsg records a queued message, reporting whether the key was already
+// taken (a reused message ID).
+func (c *Checker) putMsg(key msgKey, rec *msgRec) (dup bool) {
+	if c.shared != nil {
+		c.shared.mu.Lock()
+		defer c.shared.mu.Unlock()
+		if _, dup := c.shared.msgs[key]; dup {
+			return true
+		}
+		c.shared.msgs[key] = rec
+		return false
+	}
+	if _, dup := c.msgs[key]; dup {
+		return true
+	}
+	c.msgs[key] = rec
+	return false
+}
+
+// takeDelivery looks up a delivered message's send record and bumps its
+// delivery count, returning the record (nil if never sent) and the new count.
+// The record's size/crc fields are written once at queue time and immutable
+// after, so the caller may read them outside the registry lock.
+func (c *Checker) takeDelivery(key msgKey) (*msgRec, int) {
+	if c.shared != nil {
+		c.shared.mu.Lock()
+		defer c.shared.mu.Unlock()
+		rec := c.shared.msgs[key]
+		if rec == nil {
+			return nil, 0
+		}
+		rec.deliveries++
+		return rec, rec.deliveries
+	}
+	rec := c.msgs[key]
+	if rec == nil {
+		return nil, 0
+	}
+	rec.deliveries++
+	return rec, rec.deliveries
 }
 
 // New builds a checker and installs it as the network's observer and the
@@ -297,16 +369,21 @@ func (c *Checker) violate(rule, format string, args ...any) {
 
 // --- sim.Engine step hook: monotone clock, stable event ordering ---
 
-func (c *Checker) step(at time.Duration, seq uint64) {
+func (c *Checker) step(at time.Duration, pri, seq uint64) {
 	if c.stepped {
 		if at < c.lastAt {
 			c.violate("clock", "virtual clock moved backwards: %v after %v", at, c.lastAt)
-		} else if at == c.lastAt && seq <= c.lastSeq {
-			c.violate("clock", "event ordering unstable at %v: seq %d fired after seq %d", at, seq, c.lastSeq)
+		} else if at == c.lastAt && pri == c.lastPri && seq <= c.lastSeq {
+			// Among equal timestamps, priority may legally move backwards
+			// (an executing high-priority event can schedule a zero-delay
+			// pri-0 follow-up), but within one (at, pri) class scheduling
+			// order must be FIFO.
+			c.violate("clock", "event ordering unstable at %v: pri %d seq %d fired after seq %d", at, pri, seq, c.lastSeq)
 		}
 	}
 	c.stepped = true
 	c.lastAt = at
+	c.lastPri = pri
 	c.lastSeq = seq
 }
 
@@ -391,6 +468,30 @@ func (c *Checker) PacketReleased(pkt *simnet.Packet) {
 	}
 }
 
+// PacketShardExported implements simnet.ShardAccountant: the packet crossed
+// a shard-boundary wire and now belongs to the receiving shard's checker. It
+// must have been transiting the cut link's wire; its local ledger entry is
+// closed so the sender-side release doesn't read as silent loss.
+func (c *Checker) PacketShardExported(l *simnet.Link, pkt *simnet.Packet) {
+	st, ok := c.pkts[pkt]
+	if !ok || st.phase != phaseWire || st.link != l {
+		c.violate("conservation", "packet %p exported by %s without transiting its wire", pkt, l.Name())
+	}
+	delete(c.pkts, pkt)
+}
+
+// PacketShardImported implements simnet.ShardAccountant: a copy of a packet
+// exported by a neighbouring shard is about to be delivered off this shard's
+// mirror of the cut link. Seeding it in the wire phase makes the subsequent
+// PacketDelivered/Receive/release sequence indistinguishable from a local
+// delivery.
+func (c *Checker) PacketShardImported(l *simnet.Link, pkt *simnet.Packet) {
+	if st, ok := c.pkts[pkt]; ok {
+		c.violate("conservation", "imported packet %p aliases a live packet (%s)", pkt, phaseName(st.phase))
+	}
+	c.pkts[pkt] = pktState{phase: phaseWire, link: l}
+}
+
 // ForwardChosen implements simnet.Observer: audits the egress choice against
 // the header's path-exclude list. Choosing an excluded pathlet is legal only
 // when every candidate is excluded (the documented fallback).
@@ -437,9 +538,6 @@ func (c *Checker) MessageQueued(e *core.Endpoint, m *core.OutMessage) {
 		return
 	}
 	key := msgKey{node: info.node, port: e.Config().LocalPort, id: m.ID}
-	if _, dup := c.msgs[key]; dup {
-		c.violate("delivery", "endpoint %d reused message ID %d", info.node, m.ID)
-	}
 	rec := &msgRec{size: m.Size}
 	if data := m.Data(); data != nil {
 		rec.hasData = true
@@ -448,7 +546,9 @@ func (c *Checker) MessageQueued(e *core.Endpoint, m *core.OutMessage) {
 			c.recordContribution(info.node, data)
 		}
 	}
-	c.msgs[key] = rec
+	if c.putMsg(key, rec) {
+		c.violate("delivery", "endpoint %d reused message ID %d", info.node, m.ID)
+	}
 }
 
 // recordContribution notes a worker gradient submission for the offload
@@ -488,14 +588,13 @@ func (c *Checker) MessageDelivered(e *core.Endpoint, m *core.InMessage) {
 		return
 	}
 	key := msgKey{node: from, port: m.SrcPort, id: m.MsgID}
-	rec := c.msgs[key]
+	rec, deliveries := c.takeDelivery(key)
 	if rec == nil {
 		c.violate("delivery", "message %d from node %d port %d delivered but never sent", m.MsgID, from, m.SrcPort)
 		return
 	}
-	rec.deliveries++
-	if rec.deliveries > 1 {
-		c.violate("delivery", "message %d from node %d delivered %d times", m.MsgID, from, rec.deliveries)
+	if deliveries > 1 {
+		c.violate("delivery", "message %d from node %d delivered %d times", m.MsgID, from, deliveries)
 	}
 	if m.Size != rec.size {
 		c.violate("delivery", "message %d from node %d delivered %d bytes, sent %d", m.MsgID, from, m.Size, rec.size)

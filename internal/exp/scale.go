@@ -9,6 +9,8 @@ import (
 	"mtp/internal/baseline"
 	"mtp/internal/check"
 	"mtp/internal/core"
+	"mtp/internal/shard"
+	"mtp/internal/sim"
 	"mtp/internal/simhost"
 	"mtp/internal/simnet"
 	"mtp/internal/stats"
@@ -54,8 +56,14 @@ type ScaleConfig struct {
 	Timeout        time.Duration // simulation cap, default 2 s
 	SampleInterval time.Duration // queue-occupancy sampling, default 100 µs
 	// Workers fans the per-system runs out via Sweep; results are identical
-	// regardless (each run owns its engine and RNG).
+	// regardless (each run owns its engine and RNG). The effective fan-out
+	// is capped so Workers × Shards never exceeds GOMAXPROCS (CapWorkers).
 	Workers int
+	// Shards splits the simulation itself across this many engines running
+	// in parallel (internal/shard; fat-tree only, clamped to K). Results are
+	// bit-identical to Shards == 1 — sharding buys wall-clock speed, not a
+	// different experiment. Default 1.
+	Shards int
 	// Check runs both systems under the protocol invariant harness
 	// (internal/check): network-wide packet conservation, queue/ECN, and —
 	// for the MTP run — delivery, congestion-bound, and failover invariants.
@@ -117,7 +125,21 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 	if c.SampleInterval == 0 {
 		c.SampleInterval = 100 * time.Microsecond
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Topo == "fattree" && c.Shards > c.K {
+		c.Shards = c.K
+	}
 	return c
+}
+
+// scaleHosts is the fabric's host count, computed without building it.
+func scaleHosts(cfg ScaleConfig) int {
+	if cfg.Topo == "fattree" {
+		return cfg.K * cfg.K * cfg.K / 4
+	}
+	return cfg.Leaves * cfg.HostsPerLeaf
 }
 
 // ScaleRow is one system's results over the whole fabric.
@@ -141,6 +163,23 @@ type ScaleRow struct {
 	Violations []check.Violation
 	// ViolationCount is the true violation total (Violations is capped).
 	ViolationCount int
+
+	// Engine performance for this run. Kept out of String() — the rendered
+	// experiment results must compare equal between sharded and unsharded
+	// runs, and wall clock never does. PerfString renders these.
+	Events    uint64        // events executed across all shards
+	Wall      time.Duration // real time the run took
+	Shards    int           // engines the run was split across
+	Rounds    uint64        // shard barrier rounds (0 when unsharded)
+	Crossings uint64        // packets that crossed a shard boundary
+}
+
+// EventsPerSec is the run's aggregate event throughput.
+func (r ScaleRow) EventsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Wall.Seconds()
 }
 
 // ScaleResult holds both systems' rows for one configuration.
@@ -158,7 +197,8 @@ type scaleMsg struct {
 
 // scalePlan derives each host's message sequence from the pattern. The plan
 // is a pure function of (config, host count), so the MTP and DCTCP runs —
-// and any re-run with the same seed — see byte-identical traffic.
+// every shard of them, and any re-run with the same seed — see byte-identical
+// traffic.
 func scalePlan(cfg ScaleConfig, n int) [][]scaleMsg {
 	plan := make([][]scaleMsg, n)
 	switch cfg.Pattern {
@@ -197,17 +237,25 @@ func scalePlan(cfg ScaleConfig, n int) [][]scaleMsg {
 	return plan
 }
 
+func scaleLinkSpecs(cfg ScaleConfig) (host, fabric topo.LinkSpec) {
+	host = topo.LinkSpec{Rate: cfg.HostRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK}
+	fabric = topo.LinkSpec{Rate: cfg.FabricRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK}
+	return host, fabric
+}
+
+func scaleFatTreeConfig(cfg ScaleConfig, mk topo.PolicyFunc) topo.FatTreeConfig {
+	host, fabric := scaleLinkSpecs(cfg)
+	return topo.FatTreeConfig{K: cfg.K, HostLink: host, FabricLink: fabric, Policy: mk, Seed: cfg.Seed}
+}
+
 // buildScaleFabric instantiates the configured topology with per-switch
 // policies from mk (nil = ECMP).
 func buildScaleFabric(cfg ScaleConfig, mk topo.PolicyFunc) *topo.Fabric {
-	host := topo.LinkSpec{Rate: cfg.HostRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK}
-	fabric := topo.LinkSpec{Rate: cfg.FabricRate, Delay: cfg.Delay, QueueCap: cfg.QueueCap, ECNThreshold: cfg.ECNK}
 	switch cfg.Topo {
 	case "fattree":
-		return topo.NewFatTree(topo.FatTreeConfig{
-			K: cfg.K, HostLink: host, FabricLink: fabric, Policy: mk, Seed: cfg.Seed,
-		})
+		return topo.NewFatTree(scaleFatTreeConfig(cfg, mk))
 	case "leafspine":
+		host, fabric := scaleLinkSpecs(cfg)
 		return topo.NewLeafSpine(topo.LeafSpineConfig{
 			Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,
 			HostLink: host, FabricLink: fabric, Policy: mk, Seed: cfg.Seed,
@@ -218,6 +266,10 @@ func buildScaleFabric(cfg ScaleConfig, mk topo.PolicyFunc) *topo.Fabric {
 }
 
 // scaleProbe samples the worst per-trunk queue occupancy on a fixed cadence.
+// In a sharded run each shard probes its own trunks; mergeScaleProbes folds
+// the per-shard series into the global one. Ticks run at sim.PriLast so a
+// sample always observes the fabric after every delivery and retransmission
+// at that instant — in both modes, which is what keeps the series identical.
 type scaleProbe struct {
 	fab     *topo.Fabric
 	samples []float64
@@ -237,57 +289,109 @@ func (p *scaleProbe) start(cfg ScaleConfig) {
 		if max > p.peak {
 			p.peak = max
 		}
-		p.fab.Eng.Schedule(cfg.SampleInterval, tick)
+		p.fab.Eng.SchedulePri(cfg.SampleInterval, sim.PriLast, tick)
 	}
-	p.fab.Eng.Schedule(cfg.SampleInterval, tick)
+	p.fab.Eng.SchedulePri(cfg.SampleInterval, sim.PriLast, tick)
+}
+
+// mergeScaleProbes computes the global occupancy series from per-shard ones:
+// all shards sample at the same virtual instants, so the fabric-wide max at
+// tick t is the max over shards of each shard's local max at tick t.
+func mergeScaleProbes(probes []*scaleProbe) *scaleProbe {
+	if len(probes) == 1 {
+		return probes[0]
+	}
+	m := &scaleProbe{}
+	for _, p := range probes {
+		if p.peak > m.peak {
+			m.peak = p.peak
+		}
+		for i, s := range p.samples {
+			if i < len(m.samples) {
+				if s > m.samples[i] {
+					m.samples[i] = s
+				}
+			} else {
+				m.samples = append(m.samples, s)
+			}
+		}
+	}
+	return m
+}
+
+// scaleAcc accumulates one fabric's (or one shard's) workload outcomes.
+// Merging accs is order-insensitive: fct percentiles sort, byte and retx
+// counters add, the makespan takes the max.
+type scaleAcc struct {
+	fcts      []float64
+	delivered uint64
+	lastDone  time.Duration
+	retx      uint64
+}
+
+func mergeScaleAccs(accs []*scaleAcc) *scaleAcc {
+	if len(accs) == 1 {
+		return accs[0]
+	}
+	m := &scaleAcc{}
+	for _, a := range accs {
+		m.fcts = append(m.fcts, a.fcts...)
+		m.delivered += a.delivered
+		if a.lastDone > m.lastDone {
+			m.lastDone = a.lastDone
+		}
+		m.retx += a.retx
+	}
+	return m
+}
+
+// planCount is the total number of planned messages (the Expected column).
+func planCount(plan [][]scaleMsg) int {
+	total := 0
+	for _, msgs := range plan {
+		total += len(msgs)
+	}
+	return total
 }
 
 // RunScale runs the configured pattern under MTP and under DCTCP/ECMP on
-// identical fabrics and traffic, fanning the two runs out via Sweep.
+// identical fabrics and traffic, fanning the two runs out via Sweep. With
+// Shards > 1 each system's simulation itself runs on a shard cluster.
 func RunScale(cfg ScaleConfig) ScaleResult {
 	cfg = cfg.withDefaults()
+	if cfg.Shards > 1 && cfg.Topo != "fattree" {
+		panic(fmt.Sprintf("exp: sharded runs require the fat-tree topology, not %q", cfg.Topo))
+	}
 	systems := []string{"MTP", "DCTCP/ECMP"}
-	rows := Sweep(cfg.Workers, systems, func(sys string) ScaleRow {
+	rows := Sweep(CapWorkers(cfg.Workers, cfg.Shards), systems, func(sys string) ScaleRow {
 		if sys == "MTP" {
 			return runScaleMTP(cfg)
 		}
 		return runScaleDCTCP(cfg)
 	})
-	res := ScaleResult{Config: cfg, Rows: rows}
-	if len(rows) > 0 {
-		f := buildScaleFabric(cfg, nil)
-		res.Hosts = f.NumHosts()
-	}
-	return res
+	return ScaleResult{Config: cfg, Hosts: scaleHosts(cfg), Rows: rows}
 }
 
-func runScaleMTP(cfg ScaleConfig) ScaleRow {
-	fab := buildScaleFabric(cfg, func() simnet.ForwardPolicy { return simnet.NewMessageLB() })
-	n := fab.NumHosts()
-	plan := scalePlan(cfg, n)
-	var chk *check.Checker
-	if cfg.Check {
-		chk = check.New(fab.Eng, fab.Net)
-	}
-
-	var (
-		fcts      []float64
-		delivered uint64
-		lastDone  time.Duration
-		retx      uint64
-	)
-	expected := 0
+// setupScaleMTP attaches a closed-loop MTP sender to every host of fab that
+// owns() claims (one message outstanding per sender, the next submitted on
+// completion). Remote destinations are addressed by fab.HostID, which is
+// valid whether or not the destination host is materialized locally. The
+// returned function folds per-endpoint retransmit counters into acc; call it
+// after the run.
+func setupScaleMTP(cfg ScaleConfig, fab *topo.Fabric, owns func(int) bool, plan [][]scaleMsg, chk *check.Checker, acc *scaleAcc) func() {
 	type sender struct {
 		mh     *simhost.MTPHost
 		next   int
 		starts map[uint64]time.Duration
 	}
-	senders := make([]*sender, n)
-	for i := 0; i < n; i++ {
+	var senders []*sender
+	for i := 0; i < fab.NumHosts(); i++ {
+		if !owns(i) {
+			continue
+		}
 		i := i
 		s := &sender{starts: make(map[uint64]time.Duration)}
-		senders[i] = s
-		expected += len(plan[i])
+		senders = append(senders, s)
 		var sendNext func()
 		sendNext = func() {
 			if s.next >= len(plan[i]) {
@@ -295,17 +399,17 @@ func runScaleMTP(cfg ScaleConfig) ScaleRow {
 			}
 			msg := plan[i][s.next]
 			s.next++
-			m := s.mh.EP.SendSynthetic(fab.Host(msg.dst).ID(), uint16(1000+msg.dst), msg.size, core.SendOptions{})
+			m := s.mh.EP.SendSynthetic(fab.HostID(msg.dst), uint16(1000+msg.dst), msg.size, core.SendOptions{})
 			s.starts[m.ID] = fab.Eng.Now()
 		}
 		epCfg := core.Config{
 			LocalPort: uint16(1000 + i), RTO: cfg.RTO,
 			OnMessageSent: func(m *core.OutMessage) {
 				now := fab.Eng.Now()
-				fcts = append(fcts, float64((now - s.starts[m.ID]).Microseconds()))
+				acc.fcts = append(acc.fcts, float64((now - s.starts[m.ID]).Microseconds()))
 				delete(s.starts, m.ID)
-				delivered += uint64(m.Size)
-				lastDone = now
+				acc.delivered += uint64(m.Size)
+				acc.lastDone = now
 				sendNext()
 			},
 		}
@@ -316,18 +420,70 @@ func runScaleMTP(cfg ScaleConfig) ScaleRow {
 		if chk != nil {
 			chk.AttachEndpoint(s.mh.EP, fab.Host(i).ID())
 		}
-		// Closed loop: one message outstanding per sender.
 		fab.Eng.Schedule(0, sendNext)
 	}
+	return func() {
+		for _, s := range senders {
+			acc.retx += s.mh.EP.Stats.PktsRetx
+		}
+	}
+}
 
+func runScaleMTP(cfg ScaleConfig) ScaleRow {
+	if cfg.Shards > 1 {
+		return runScaleMTPSharded(cfg)
+	}
+	fab := buildScaleFabric(cfg, func() simnet.ForwardPolicy { return simnet.NewMessageLB() })
+	plan := scalePlan(cfg, fab.NumHosts())
+	var chk *check.Checker
+	if cfg.Check {
+		chk = check.New(fab.Eng, fab.Net)
+	}
+	acc := &scaleAcc{}
+	collect := setupScaleMTP(cfg, fab, func(int) bool { return true }, plan, chk, acc)
 	probe := &scaleProbe{fab: fab}
 	probe.start(cfg)
+	start := time.Now()
 	fab.Eng.Run(cfg.Timeout)
-	for _, s := range senders {
-		retx += s.mh.EP.Stats.PktsRetx
-	}
-	row := scaleRow(cfg, "MTP", fcts, expected, delivered, lastDone, probe, retx)
+	wall := time.Since(start)
+	collect()
+	row := scaleRow(cfg, "MTP", acc, planCount(plan), probe)
+	row.Events, row.Wall, row.Shards = fab.Eng.Processed(), wall, 1
 	applyCheck(&row, chk)
+	return row
+}
+
+func runScaleMTPSharded(cfg ScaleConfig) ScaleRow {
+	cl := shard.NewFatTreeCluster(scaleFatTreeConfig(cfg, func() simnet.ForwardPolicy { return simnet.NewMessageLB() }), cfg.Shards)
+	plan := scalePlan(cfg, cl.Shard(0).Fab.NumHosts())
+	var shared *check.MsgRegistry
+	if cfg.Check {
+		shared = check.NewMsgRegistry()
+	}
+	S := cl.NumShards()
+	accs := make([]*scaleAcc, S)
+	probes := make([]*scaleProbe, S)
+	chks := make([]*check.Checker, S)
+	collects := make([]func(), S)
+	for s := 0; s < S; s++ {
+		fab := cl.Shard(s).Fab
+		if cfg.Check {
+			chks[s] = check.New(fab.Eng, fab.Net)
+			chks[s].ShareMessages(shared)
+		}
+		accs[s] = &scaleAcc{}
+		collects[s] = setupScaleMTP(cfg, fab, fab.OwnsHost, plan, chks[s], accs[s])
+		probes[s] = &scaleProbe{fab: fab}
+		probes[s].start(cfg)
+	}
+	st := cl.Run(cfg.Timeout)
+	for _, collect := range collects {
+		collect()
+	}
+	row := scaleRow(cfg, "MTP", mergeScaleAccs(accs), planCount(plan), mergeScaleProbes(probes))
+	row.Events, row.Wall, row.Shards = st.Events, st.Wall, S
+	row.Rounds, row.Crossings = st.Rounds, st.Crossings
+	applyCheckSharded(&row, chks)
 	return row
 }
 
@@ -342,31 +498,55 @@ func applyCheck(row *ScaleRow, chk *check.Checker) {
 	row.ViolationCount = chk.Count()
 }
 
-func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
-	fab := buildScaleFabric(cfg, nil) // ECMP everywhere
-	n := fab.NumHosts()
-	plan := scalePlan(cfg, n)
-	// The network-level invariants (conservation, queue occupancy, ECN)
-	// apply to the DCTCP baseline too; the MTP-specific ones simply never
-	// fire without attached endpoints.
-	var chk *check.Checker
-	if cfg.Check {
-		chk = check.New(fab.Eng, fab.Net)
+// applyCheckSharded folds per-shard checkers into the row, in shard order so
+// the rendered violation list is deterministic.
+func applyCheckSharded(row *ScaleRow, chks []*check.Checker) {
+	for _, chk := range chks {
+		if chk == nil {
+			return
+		}
+		chk.Finalize()
+		row.Checked = true
+		row.Violations = append(row.Violations, chk.Violations()...)
+		row.ViolationCount += chk.Count()
 	}
+}
 
-	var (
-		fcts      []float64
-		delivered uint64
-		lastDone  time.Duration
-		retx      uint64
-	)
-	expected := 0
+// dctcpConn derives the DCTCP connection ID for host src's idx-th message.
+// IDs must be unique fabric-wide and computable from the plan alone — the
+// sending and receiving shard each derive the same ID without coordination —
+// so the order-dependent global counter the unsharded code once used is out.
+// Low 20 bits: message index + 1; high bits: source host index.
+func dctcpConn(src, idx int) uint64 {
+	return uint64(src)<<20 | uint64(idx+1)
+}
+
+// setupScaleDCTCP wires the DCTCP/ECMP workload onto fab's owned hosts.
+// Receivers for every planned message are created up front: the sender may
+// live in another shard, so the receiving side cannot wait for a "connection
+// start" event that happens elsewhere. A pre-created receiver is passive
+// until the first segment arrives, which keeps unsharded behavior unchanged.
+func setupScaleDCTCP(cfg ScaleConfig, fab *topo.Fabric, owns func(int) bool, plan [][]scaleMsg, acc *scaleAcc) {
+	n := fab.NumHosts()
 	demux := make([]*baseline.Demux, n)
 	for i := 0; i < n; i++ {
+		if !owns(i) {
+			continue
+		}
 		demux[i] = baseline.NewDemux()
 		fab.Host(i).SetHandler(demux[i].Handle)
 	}
-	nextConn := uint64(1)
+	for src := 0; src < n; src++ {
+		for idx, msg := range plan[src] {
+			if !owns(msg.dst) {
+				continue
+			}
+			rcv := baseline.NewReceiver(fab.Eng, fab.Host(msg.dst).Send, baseline.ReceiverConfig{
+				Conn: dctcpConn(src, idx), Src: fab.HostID(src),
+			})
+			demux[msg.dst].Add(dctcpConn(src, idx), rcv.OnPacket)
+		}
+	}
 	// Closed loop matching the MTP run: each message is one fresh DCTCP
 	// connection (connection setup skipped; both systems start in
 	// established state), the next starting when the previous is fully
@@ -377,70 +557,116 @@ func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
 			return
 		}
 		msg := plan[src][idx]
-		conn := nextConn
-		nextConn++
+		conn := dctcpConn(src, idx)
 		start := fab.Eng.Now()
 		var snd *baseline.Sender
 		snd = baseline.NewSender(fab.Eng, fab.Host(src).Send, baseline.SenderConfig{
-			Conn: conn, Dst: fab.Host(msg.dst).ID(), RTO: cfg.RTO, SkipHandshake: true,
+			Conn: conn, Dst: fab.HostID(msg.dst), RTO: cfg.RTO, SkipHandshake: true,
 			OnComplete: func(now time.Duration) {
-				fcts = append(fcts, float64((now - start).Microseconds()))
-				delivered += uint64(msg.size)
-				lastDone = now
-				retx += snd.SegsRetx
+				acc.fcts = append(acc.fcts, float64((now - start).Microseconds()))
+				acc.delivered += uint64(msg.size)
+				acc.lastDone = now
+				acc.retx += snd.SegsRetx
 				startMsg(src, idx+1)
 			},
 		})
-		rcv := baseline.NewReceiver(fab.Eng, fab.Host(msg.dst).Send, baseline.ReceiverConfig{
-			Conn: conn, Src: fab.Host(src).ID(),
-		})
 		demux[src].Add(conn, snd.OnPacket)
-		demux[msg.dst].Add(conn, rcv.OnPacket)
 		snd.Write(msg.size)
 		snd.Close()
 	}
 	for i := 0; i < n; i++ {
 		i := i
-		expected += len(plan[i])
-		if len(plan[i]) > 0 {
+		if owns(i) && len(plan[i]) > 0 {
 			fab.Eng.Schedule(0, func() { startMsg(i, 0) })
 		}
 	}
+}
 
+func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
+	if cfg.Shards > 1 {
+		return runScaleDCTCPSharded(cfg)
+	}
+	fab := buildScaleFabric(cfg, nil) // ECMP everywhere
+	plan := scalePlan(cfg, fab.NumHosts())
+	// The network-level invariants (conservation, queue occupancy, ECN)
+	// apply to the DCTCP baseline too; the MTP-specific ones simply never
+	// fire without attached endpoints.
+	var chk *check.Checker
+	if cfg.Check {
+		chk = check.New(fab.Eng, fab.Net)
+	}
+	acc := &scaleAcc{}
+	setupScaleDCTCP(cfg, fab, func(int) bool { return true }, plan, acc)
 	probe := &scaleProbe{fab: fab}
 	probe.start(cfg)
+	start := time.Now()
 	fab.Eng.Run(cfg.Timeout)
-	row := scaleRow(cfg, "DCTCP/ECMP", fcts, expected, delivered, lastDone, probe, retx)
+	wall := time.Since(start)
+	row := scaleRow(cfg, "DCTCP/ECMP", acc, planCount(plan), probe)
+	row.Events, row.Wall, row.Shards = fab.Eng.Processed(), wall, 1
 	applyCheck(&row, chk)
 	return row
 }
 
-func scaleRow(cfg ScaleConfig, sys string, fcts []float64, expected int, delivered uint64, lastDone time.Duration, probe *scaleProbe, retx uint64) ScaleRow {
+func runScaleDCTCPSharded(cfg ScaleConfig) ScaleRow {
+	cl := shard.NewFatTreeCluster(scaleFatTreeConfig(cfg, nil), cfg.Shards)
+	plan := scalePlan(cfg, cl.Shard(0).Fab.NumHosts())
+	S := cl.NumShards()
+	accs := make([]*scaleAcc, S)
+	probes := make([]*scaleProbe, S)
+	chks := make([]*check.Checker, S)
+	var shared *check.MsgRegistry
+	if cfg.Check {
+		shared = check.NewMsgRegistry()
+	}
+	for s := 0; s < S; s++ {
+		fab := cl.Shard(s).Fab
+		if cfg.Check {
+			chks[s] = check.New(fab.Eng, fab.Net)
+			chks[s].ShareMessages(shared)
+		}
+		accs[s] = &scaleAcc{}
+		setupScaleDCTCP(cfg, fab, fab.OwnsHost, plan, accs[s])
+		probes[s] = &scaleProbe{fab: fab}
+		probes[s].start(cfg)
+	}
+	st := cl.Run(cfg.Timeout)
+	row := scaleRow(cfg, "DCTCP/ECMP", mergeScaleAccs(accs), planCount(plan), mergeScaleProbes(probes))
+	row.Events, row.Wall, row.Shards = st.Events, st.Wall, S
+	row.Rounds, row.Crossings = st.Rounds, st.Crossings
+	applyCheckSharded(&row, chks)
+	return row
+}
+
+func scaleRow(cfg ScaleConfig, sys string, acc *scaleAcc, expected int, probe *scaleProbe) ScaleRow {
 	// Queue statistics cover the busy period only: samples after the last
 	// completion are idle fabric, not workload behavior.
 	samples := probe.samples
-	if lastDone > 0 {
-		if n := int(lastDone/cfg.SampleInterval) + 1; n < len(samples) {
+	if acc.lastDone > 0 {
+		if n := int(acc.lastDone/cfg.SampleInterval) + 1; n < len(samples) {
 			samples = samples[:n]
 		}
 	}
 	row := ScaleRow{
 		System:    sys,
-		Completed: len(fcts),
+		Completed: len(acc.fcts),
 		Expected:  expected,
-		P50us:     stats.Percentile(fcts, 50),
-		P99us:     stats.Percentile(fcts, 99),
+		P50us:     stats.Percentile(acc.fcts, 50),
+		P99us:     stats.Percentile(acc.fcts, 99),
 		QueuePeak: probe.peak,
 		QueueP99:  stats.Percentile(samples, 99),
-		Retx:      retx,
+		Retx:      acc.retx,
 	}
-	if lastDone > 0 {
-		row.GoodputGbps = float64(delivered) * 8 / lastDone.Seconds() / 1e9
+	if acc.lastDone > 0 {
+		row.GoodputGbps = float64(acc.delivered) * 8 / acc.lastDone.Seconds() / 1e9
 	}
 	return row
 }
 
-// String renders the comparison.
+// String renders the comparison. Deliberately free of wall-clock quantities:
+// a sharded and an unsharded run of the same config must render identically
+// (the determinism regression test compares these strings). PerfString has
+// the timing side.
 func (r ScaleResult) String() string {
 	var b strings.Builder
 	c := r.Config
@@ -474,6 +700,22 @@ func (r ScaleResult) String() string {
 			}
 			fmt.Fprintf(&b, "    %s\n", v)
 		}
+	}
+	return b.String()
+}
+
+// PerfString renders the engine-performance side of the result: events,
+// wall clock, and throughput per system, with shard round/crossing counts
+// when the run was parallel.
+func (r ScaleResult) PerfString() string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  perf %-10s %d shard(s): %d events in %v (%.2fM events/s",
+			row.System, row.Shards, row.Events, row.Wall.Round(time.Millisecond), row.EventsPerSec()/1e6)
+		if row.Shards > 1 {
+			fmt.Fprintf(&b, ", %d rounds, %d crossings", row.Rounds, row.Crossings)
+		}
+		fmt.Fprintf(&b, ")\n")
 	}
 	return b.String()
 }
@@ -537,6 +779,78 @@ func ScaleSweepString(points []ScalePoint) string {
 	for _, p := range points {
 		fmt.Fprintf(&b, "  %-6d %10.0f %12.0f %10.1f %12.1f\n",
 			p.Hosts, p.P99["MTP"], p.P99["DCTCP/ECMP"], p.Goodput["MTP"], p.Goodput["DCTCP/ECMP"])
+	}
+	return b.String()
+}
+
+// ScaleKPoint is one fat-tree radix's results plus the sharded engine's
+// performance: aggregate event throughput and the wall-clock speedup of the
+// sharded MTP run over the identical single-engine run.
+type ScaleKPoint struct {
+	K, Hosts, Shards int
+	P99              map[string]float64
+	Goodput          map[string]float64
+	// EventsPerSec is the sharded MTP run's aggregate event throughput.
+	EventsPerSec float64
+	// Speedup is MTP wall clock at 1 shard divided by wall clock at Shards
+	// (0 when Shards == 1 — there is nothing to compare).
+	Speedup float64
+}
+
+// RunScaleKSweep sweeps fat-tree radices k (hosts = k³/4). Each point runs
+// MTP and DCTCP at base.Shards shards and — when sharded — one extra
+// single-engine MTP run to measure the parallel speedup on identical work.
+// Points run sequentially when the per-point shard count already saturates
+// the machine (CapWorkers).
+func RunScaleKSweep(workers int, ks []int, base ScaleConfig) []ScaleKPoint {
+	if len(ks) == 0 {
+		ks = []int{4, 8, 16}
+	}
+	base = base.withDefaults()
+	base.Topo = "fattree"
+	return Sweep(CapWorkers(workers, base.Shards), ks, func(k int) ScaleKPoint {
+		cfg := base
+		cfg.K = k
+		cfg.Workers = 1 // the sweep already fans out
+		if cfg.Shards > k {
+			cfg.Shards = k
+		}
+		r := RunScale(cfg)
+		pt := ScaleKPoint{K: k, Hosts: r.Hosts, Shards: cfg.Shards,
+			P99: make(map[string]float64), Goodput: make(map[string]float64)}
+		for _, row := range r.Rows {
+			pt.P99[row.System] = row.P99us
+			pt.Goodput[row.System] = row.GoodputGbps
+			if row.System == "MTP" {
+				pt.EventsPerSec = row.EventsPerSec()
+				if cfg.Shards > 1 {
+					solo := cfg
+					solo.Shards = 1
+					ref := runScaleMTP(solo)
+					if row.Wall > 0 {
+						pt.Speedup = float64(ref.Wall) / float64(row.Wall)
+					}
+				}
+			}
+		}
+		return pt
+	})
+}
+
+// ScaleKSweepString renders the radix sweep.
+func ScaleKSweepString(points []ScaleKPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fat-tree sweep: p99 FCT (us) / goodput (Gbps) vs radix, sharded engine\n")
+	fmt.Fprintf(&b, "  %-4s %6s %7s %10s %12s %10s %12s %10s %8s\n",
+		"k", "hosts", "shards", "MTP p99", "DCTCP p99", "MTP gbps", "DCTCP gbps", "Mevents/s", "speedup")
+	for _, p := range points {
+		speedup := "-"
+		if p.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", p.Speedup)
+		}
+		fmt.Fprintf(&b, "  %-4d %6d %7d %10.0f %12.0f %10.1f %12.1f %10.2f %8s\n",
+			p.K, p.Hosts, p.Shards, p.P99["MTP"], p.P99["DCTCP/ECMP"],
+			p.Goodput["MTP"], p.Goodput["DCTCP/ECMP"], p.EventsPerSec/1e6, speedup)
 	}
 	return b.String()
 }

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScaleShardedDeterminism is the regression gate for the parallel
+// engine: a sharded run must render byte-identical results — FCT
+// percentiles, goodput, queue series, retransmits, and invariant verdicts —
+// to the single-engine run of the same configuration, across seeds, shard
+// counts, and both a convergent (incast) and a dispersed (permutation)
+// pattern. ScaleResult.String deliberately excludes wall-clock fields, so
+// string equality here means the simulations executed the same events.
+func TestScaleShardedDeterminism(t *testing.T) {
+	for _, pattern := range []string{"incast", "permutation"} {
+		for _, seed := range []int64{1, 2, 3} {
+			base := ScaleConfig{
+				Topo: "fattree", K: 4,
+				Pattern: pattern, MsgSize: 64 << 10, Messages: 2, Incast: 8,
+				Seed: seed, Workers: 1, Check: true,
+			}
+			ref := RunScale(base)
+			refStr := ref.String()
+			for _, row := range ref.Rows {
+				if row.Completed == 0 {
+					t.Fatalf("%s seed %d: unsharded %s run completed nothing", pattern, seed, row.System)
+				}
+				if row.ViolationCount != 0 {
+					t.Fatalf("%s seed %d: unsharded %s run has violations:\n%s", pattern, seed, row.System, refStr)
+				}
+			}
+			for _, S := range []int{2, 4} {
+				cfg := base
+				cfg.Shards = S
+				got := RunScale(cfg)
+				if gotStr := got.String(); gotStr != refStr {
+					t.Errorf("%s seed %d: %d-shard run diverged from single-engine run\n--- 1 shard ---\n%s--- %d shards ---\n%s",
+						pattern, seed, S, refStr, S, gotStr)
+				}
+				for _, row := range got.Rows {
+					if row.Crossings == 0 {
+						t.Errorf("%s seed %d S=%d: %s run had no shard crossings — not exercising the boundary", pattern, seed, S, row.System)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCapWorkers pins the -parallel/-shards interaction rule: the effective
+// sweep fan-out times the per-point shard count never exceeds GOMAXPROCS.
+func TestCapWorkers(t *testing.T) {
+	for _, tc := range []struct{ workers, shards int }{
+		{0, 1}, {0, 4}, {8, 2}, {1, 64}, {16, 1}, {-3, 8},
+	} {
+		t.Run(fmt.Sprintf("w%d_s%d", tc.workers, tc.shards), func(t *testing.T) {
+			got := CapWorkers(tc.workers, tc.shards)
+			if got < 1 {
+				t.Fatalf("CapWorkers(%d, %d) = %d, want >= 1", tc.workers, tc.shards, got)
+			}
+			if tc.workers > 0 && got > tc.workers {
+				t.Fatalf("CapWorkers(%d, %d) = %d, exceeds requested workers", tc.workers, tc.shards, got)
+			}
+		})
+	}
+}

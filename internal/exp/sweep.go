@@ -16,6 +16,29 @@ import (
 // parallel sweep is purely a wall-clock optimization. Anything violating
 // that (global state, shared RNGs) would be a bug in the experiment, not in
 // the runner; TestSweepMatchesSequential guards the property end to end.
+// CapWorkers bounds a sweep's fan-out when each point itself runs shards
+// goroutines (a sharded simulation): the product workers × shards is kept at
+// or under GOMAXPROCS. Oversubscribing would not change any result — it
+// would just make shard barrier rounds wait on descheduled peers, which is
+// slower than running fewer points at once. workers <= 0 asks for the
+// machine default, which under this cap is GOMAXPROCS/shards.
+func CapWorkers(workers, shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = procs
+	}
+	if workers > procs/shards {
+		workers = procs / shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 func Sweep[P, R any](workers int, points []P, fn func(P) R) []R {
 	out := make([]R, len(points))
 	if len(points) == 0 {

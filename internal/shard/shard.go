@@ -1,0 +1,281 @@
+// Package shard runs one simulated fabric on several cooperating
+// discrete-event engines — one per fat-tree pod group — to push experiment
+// scale past what a single core can hold, without giving up the repo's
+// central property: bit-identical, seed-reproducible runs.
+//
+// The synchronization scheme is conservative (no rollback). Every shard
+// repeatedly (1) reports the earliest thing it could still do — its next
+// local event or the earliest arrival in its outgoing packet batches — and
+// hands each neighbour the batch destined for it; (2) takes the global
+// minimum T of all reports; (3) runs its engine through the window
+// [T, T+lookahead). The lookahead is the minimum propagation delay of any
+// boundary-crossing link (topo.ShardPlan.Lookahead): a packet a neighbour
+// transmits at or after T spends at least that long on the wire, so nothing
+// can arrive inside the window that is not already known at its start.
+// Windows jump — T is the global next-event time, not a fixed cadence — so
+// idle stretches cost one barrier round instead of horizon/lookahead rounds.
+//
+// Determinism does not come from the barrier alone: within one timestamp,
+// a single engine orders events by scheduling history, which shards cannot
+// reproduce. The engine therefore orders equal-time events by an explicit
+// priority first (sim's (time, pri, seq) key), and every topo-built link
+// schedules its deliveries at priority DeliverPriBase+rank, with ranks
+// assigned by global construction order. Cross-shard arrivals are injected
+// through mirror links carrying the same rank, so the merged order is the
+// unsharded order, event for event. Each shard checker still sees a legal
+// serial execution, and internal/check's cross-shard accounting
+// (ShardAccountant, MsgRegistry) keeps conservation and exactly-once
+// invariants network-wide.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mtp/internal/simnet"
+	"mtp/internal/topo"
+	"mtp/internal/wire"
+)
+
+// never is the report of a shard with nothing left to do.
+const never = time.Duration(math.MaxInt64)
+
+// xfer is one packet crossing a shard boundary: the cut link's global rank,
+// the absolute arrival time, and the packet's payload fields. The header is
+// a deep copy (links mutate headers in flight); Data and Payload are shared
+// with the sending shard and are read-only by convention — the barrier
+// exchange provides the happens-before edge.
+type xfer struct {
+	rank int
+	at   time.Duration
+
+	src, dst simnet.NodeID
+	size     int
+	hdr      *wire.Header
+	payload  any
+	data     []byte
+
+	ce, ecnCapable, trimmed, corrupted bool
+	tenant                             int
+	flowID                             uint64
+}
+
+// roundMsg is one shard's per-neighbour barrier message: its report and the
+// batch of packets headed that way.
+type roundMsg struct {
+	next  time.Duration
+	batch []xfer
+}
+
+// Shard is one partition: a partial fabric (owned pods + cores, with mirror
+// links at the boundary) on its own engine.
+type Shard struct {
+	Index int
+	Fab   *topo.Fabric
+	Cut   *topo.ShardCut
+
+	outbox    [][]xfer // per destination shard, filled during the window
+	crossings uint64
+	rounds    uint64
+}
+
+// sink is the simnet.RemoteHook for one shard: it captures boundary
+// deliveries into the outbox instead of scheduling them locally.
+type sink struct{ s *Shard }
+
+// DeliverRemote implements simnet.RemoteHook.
+func (sk sink) DeliverRemote(l *simnet.Link, at time.Duration, pkt *simnet.Packet) {
+	port, ok := sk.s.Cut.Out[l]
+	if !ok {
+		panic(fmt.Sprintf("shard: link %s has a remote hook but no cut port", l.Name()))
+	}
+	x := xfer{
+		rank: port.Rank, at: at,
+		src: pkt.Src, dst: pkt.Dst, size: pkt.Size,
+		payload: pkt.Payload, data: pkt.Data,
+		ce: pkt.CE, ecnCapable: pkt.ECNCapable,
+		trimmed: pkt.Trimmed, corrupted: pkt.Corrupted,
+		tenant: pkt.Tenant, flowID: pkt.FlowID,
+	}
+	if pkt.Hdr != nil {
+		x.hdr = pkt.Hdr.Clone()
+	}
+	sk.s.outbox[port.DstShard] = append(sk.s.outbox[port.DstShard], x)
+	sk.s.Fab.Net.ReleasePacket(pkt)
+}
+
+// inject materializes a received batch in this shard: each packet is
+// allocated from the local pool and scheduled for delivery off the mirror
+// link at its recorded arrival time. The mirror's rank-keyed priority slots
+// it into exactly the position the unsharded engine would have used; batch
+// order is irrelevant because no two arrivals share (time, rank).
+func (s *Shard) inject(batch []xfer) {
+	for i := range batch {
+		x := &batch[i]
+		mirror := s.Cut.In[x.rank]
+		if mirror == nil {
+			panic(fmt.Sprintf("shard %d: no mirror link for rank %d", s.Index, x.rank))
+		}
+		pkt := s.Fab.Net.AllocPacket()
+		pkt.Src, pkt.Dst, pkt.Size = x.src, x.dst, x.size
+		pkt.Hdr, pkt.Payload, pkt.Data = x.hdr, x.payload, x.data
+		pkt.CE, pkt.ECNCapable = x.ce, x.ecnCapable
+		pkt.Trimmed, pkt.Corrupted = x.trimmed, x.corrupted
+		pkt.Tenant, pkt.FlowID = x.tenant, x.flowID
+		s.Fab.Net.InjectDeliver(mirror, x.at, pkt)
+		s.crossings++
+	}
+}
+
+// report is the earliest time anything can still happen because of this
+// shard: its next local event or the earliest arrival it is about to hand a
+// neighbour.
+func (s *Shard) report() time.Duration {
+	next := never
+	if at, ok := s.Fab.Eng.NextEventAt(); ok {
+		next = at
+	}
+	for _, batch := range s.outbox {
+		for i := range batch {
+			if batch[i].at < next {
+				next = batch[i].at
+			}
+		}
+	}
+	return next
+}
+
+// Cluster is a set of shards jointly simulating one fabric.
+type Cluster struct {
+	plan   topo.ShardPlan
+	shards []*Shard
+	// chans[i][j] carries shard i's per-round message to shard j. Buffered
+	// by one so every shard can send all its messages before receiving any —
+	// the exchange doubles as the barrier.
+	chans [][]chan roundMsg
+}
+
+// NewFatTreeCluster partitions cfg across shards engines. Shard 0's fabric
+// is returned by Shard(0), etc.; callers attach endpoints to each shard's
+// owned hosts (Fabric.OwnsHost) and schedule initial work before Run.
+func NewFatTreeCluster(cfg topo.FatTreeConfig, shards int) *Cluster {
+	plan := topo.PlanFatTreeShards(cfg, shards)
+	c := &Cluster{plan: plan, shards: make([]*Shard, shards), chans: make([][]chan roundMsg, shards)}
+	for i := 0; i < shards; i++ {
+		c.chans[i] = make([]chan roundMsg, shards)
+		for j := 0; j < shards; j++ {
+			if i != j {
+				c.chans[i][j] = make(chan roundMsg, 1)
+			}
+		}
+	}
+	for s := 0; s < shards; s++ {
+		sh := &Shard{Index: s, outbox: make([][]xfer, shards)}
+		sh.Fab, sh.Cut = topo.NewFatTreeShard(cfg, plan, s, sink{sh})
+		c.shards[s] = sh
+	}
+	return c
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard returns shard i.
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Plan returns the partition.
+func (c *Cluster) Plan() topo.ShardPlan { return c.plan }
+
+// RunStats summarizes one parallel run.
+type RunStats struct {
+	// Events is the total events executed across all shards.
+	Events uint64
+	// Rounds is the number of barrier rounds.
+	Rounds uint64
+	// Crossings is the number of packets that crossed a shard boundary.
+	Crossings uint64
+	// Wall is the real time the parallel run took.
+	Wall time.Duration
+}
+
+// EventsPerSec is the aggregate event throughput.
+func (st RunStats) EventsPerSec() float64 {
+	if st.Wall <= 0 {
+		return 0
+	}
+	return float64(st.Events) / st.Wall.Seconds()
+}
+
+// Run executes the cluster to the horizon (inclusive, matching
+// sim.Engine.Run semantics) and returns aggregate statistics. One goroutine
+// per shard; Run returns when every shard has passed the horizon.
+func (c *Cluster) Run(horizon time.Duration) RunStats {
+	start := time.Now()
+	if len(c.shards) == 1 {
+		s := c.shards[0]
+		s.Fab.Eng.Run(horizon)
+		return RunStats{Events: s.Fab.Eng.Processed(), Rounds: 1, Wall: time.Since(start)}
+	}
+	if c.plan.Lookahead <= 0 {
+		panic("shard: non-positive lookahead")
+	}
+	done := make(chan struct{})
+	for _, s := range c.shards {
+		go func(s *Shard) {
+			defer func() { done <- struct{}{} }()
+			c.runShard(s, horizon)
+		}(s)
+	}
+	for range c.shards {
+		<-done
+	}
+	st := RunStats{Wall: time.Since(start), Rounds: c.shards[0].rounds}
+	for _, s := range c.shards {
+		st.Events += s.Fab.Eng.Processed()
+		st.Crossings += s.crossings
+	}
+	return st
+}
+
+func (c *Cluster) runShard(s *Shard, horizon time.Duration) {
+	eng := s.Fab.Eng
+	for {
+		next := s.report()
+		// Exchange: send every neighbour our report and its batch, then
+		// collect theirs. The one-slot channel buffers make the full send
+		// phase non-blocking, so the pairwise exchange is deadlock-free and
+		// acts as the barrier.
+		for j := range c.shards {
+			if j == s.Index {
+				continue
+			}
+			c.chans[s.Index][j] <- roundMsg{next: next, batch: s.outbox[j]}
+			s.outbox[j] = nil
+		}
+		T := next
+		for j := range c.shards {
+			if j == s.Index {
+				continue
+			}
+			m := <-c.chans[j][s.Index]
+			if m.next < T {
+				T = m.next
+			}
+			s.inject(m.batch)
+		}
+		// Every shard computed the same T, so all of them terminate on the
+		// same round.
+		if T > horizon {
+			return
+		}
+		limit := T + c.plan.Lookahead
+		if limit > horizon {
+			// Cap at horizon inclusively: Run(horizon) executes events at
+			// exactly the horizon, so the strict window must reach past it.
+			limit = horizon + 1
+		}
+		eng.RunBefore(limit)
+		s.rounds++
+	}
+}

@@ -5,8 +5,13 @@
 // to a virtual deadline in milliseconds of real CPU time.
 //
 // The engine is single-threaded and deterministic: events at equal timestamps
-// fire in scheduling order, and all randomness flows from a seeded source, so
-// every experiment is exactly reproducible.
+// fire in (priority, scheduling-order) order, and all randomness flows from a
+// seeded source, so every experiment is exactly reproducible. Priorities
+// (default 0) let spatially-keyed events — e.g. packet deliveries keyed by a
+// global link rank — tie-break identically whether the topology runs on one
+// engine or is partitioned across several (internal/shard): the scheduling
+// sequence number is engine-local, but a priority derived from the network
+// element is not.
 //
 // Events live by value in an arena indexed by a free-list, and the pending
 // set is a 4-ary min-heap of arena slots, so steady-state Schedule/Stop/Run
@@ -28,7 +33,8 @@ type Time = time.Duration
 // across slot reuse.
 type event struct {
 	at  Time
-	seq uint64 // tiebreak: FIFO among equal timestamps
+	pri uint64 // first tiebreak among equal timestamps (0 for plain events)
+	seq uint64 // final tiebreak: FIFO among equal (at, pri)
 	fn  func()
 	afn func(a1, a2 any)
 	a1  any
@@ -89,8 +95,14 @@ type Engine struct {
 	// step, when non-nil, observes every event execution (internal/check's
 	// clock-monotonicity and ordering invariants). Nil in normal operation so
 	// the hot loop pays one predictable branch.
-	step func(at Time, seq uint64)
+	step func(at Time, pri, seq uint64)
 }
+
+// PriLast orders an event after every other event at the same timestamp,
+// whatever its scheduling order. Samplers (queue-occupancy probes) use it so
+// a reading at time t reflects all of t's activity — a property that holds
+// per shard too, which keeps sharded and unsharded samples identical.
+const PriLast = ^uint64(0)
 
 // NewEngine returns an engine with the clock at zero and randomness derived
 // from seed.
@@ -105,9 +117,9 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // SetStepHook installs fn to be called immediately before each event
-// executes, with the event's firing time and scheduling sequence number.
-// Passing nil removes the hook.
-func (e *Engine) SetStepHook(fn func(at Time, seq uint64)) { e.step = fn }
+// executes, with the event's firing time, priority, and scheduling sequence
+// number. Passing nil removes the hook.
+func (e *Engine) SetStepHook(fn func(at Time, pri, seq uint64)) { e.step = fn }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -131,7 +143,20 @@ func (e *Engine) ScheduleAt(at Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil fn")
 	}
-	return e.schedule(at, fn, nil, nil, nil)
+	return e.schedule(at, 0, fn, nil, nil, nil)
+}
+
+// SchedulePri runs fn after delay with an explicit same-timestamp priority:
+// among events at one timestamp, lower pri fires first, and equal pri falls
+// back to scheduling order. Plain Schedule* calls use pri 0.
+func (e *Engine) SchedulePri(delay Time, pri uint64, fn func()) Timer {
+	if fn == nil {
+		panic("sim: SchedulePri with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.schedule(e.now+delay, pri, fn, nil, nil, nil)
 }
 
 // ScheduleArg runs fn(a1, a2) after delay. Unlike Schedule with a closure,
@@ -149,10 +174,33 @@ func (e *Engine) ScheduleArgAt(at Time, fn func(a1, a2 any), a1, a2 any) Timer {
 	if fn == nil {
 		panic("sim: ScheduleArgAt with nil fn")
 	}
-	return e.schedule(at, nil, fn, a1, a2)
+	return e.schedule(at, 0, nil, fn, a1, a2)
 }
 
-func (e *Engine) schedule(at Time, fn func(), afn func(a1, a2 any), a1, a2 any) Timer {
+// ScheduleArgPri is ScheduleArg with an explicit same-timestamp priority
+// (see SchedulePri). Packet deliveries use it with a priority derived from a
+// global link rank, making equal-time delivery order a property of the
+// topology instead of engine-local scheduling history.
+func (e *Engine) ScheduleArgPri(delay Time, pri uint64, fn func(a1, a2 any), a1, a2 any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleArgPri with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.schedule(e.now+delay, pri, nil, fn, a1, a2)
+}
+
+// ScheduleArgPriAt is ScheduleArgAt with an explicit same-timestamp priority
+// (externally-injected cross-shard deliveries carry an absolute arrival time).
+func (e *Engine) ScheduleArgPriAt(at Time, pri uint64, fn func(a1, a2 any), a1, a2 any) Timer {
+	if fn == nil {
+		panic("sim: ScheduleArgPriAt with nil fn")
+	}
+	return e.schedule(at, pri, nil, fn, a1, a2)
+}
+
+func (e *Engine) schedule(at Time, pri uint64, fn func(), afn func(a1, a2 any), a1, a2 any) Timer {
 	if at < e.now {
 		at = e.now
 	}
@@ -166,6 +214,7 @@ func (e *Engine) schedule(at Time, fn func(), afn func(a1, a2 any), a1, a2 any) 
 	}
 	ev := &e.arena[slot]
 	ev.at = at
+	ev.pri = pri
 	ev.seq = e.seq
 	e.seq++
 	ev.fn = fn
@@ -178,11 +227,14 @@ func (e *Engine) schedule(at Time, fn func(), afn func(a1, a2 any), a1, a2 any) 
 	return Timer{en: e, slot: slot, gen: ev.gen}
 }
 
-// less orders arena slots by (time, sequence).
+// less orders arena slots by (time, priority, sequence).
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.arena[a], &e.arena[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
+	}
+	if ea.pri != eb.pri {
+		return ea.pri < eb.pri
 	}
 	return ea.seq < eb.seq
 }
@@ -278,12 +330,12 @@ func (e *Engine) Run(until Time) Time {
 			return e.now
 		}
 		e.now = ev.at
-		fn, afn, a1, a2, at, seq := ev.fn, ev.afn, ev.a1, ev.a2, ev.at, ev.seq
+		fn, afn, a1, a2, at, pri, seq := ev.fn, ev.afn, ev.a1, ev.a2, ev.at, ev.pri, ev.seq
 		e.removeAt(0)
 		e.release(slot)
 		e.processed++
 		if e.step != nil {
-			e.step(at, seq)
+			e.step(at, pri, seq)
 		}
 		if fn != nil {
 			fn()
@@ -295,6 +347,52 @@ func (e *Engine) Run(until Time) Time {
 		e.now = until
 	}
 	return e.now
+}
+
+// RunBefore executes every event strictly before until (exclusive, unlike
+// Run's inclusive bound) and advances the clock to until. It is the
+// conservative-synchronization window primitive for internal/shard: a shard
+// may safely run [now, until) exactly when no cross-shard arrival can land
+// before until.
+func (e *Engine) RunBefore(until Time) {
+	if e.running {
+		panic("sim: RunBefore re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.order) > 0 {
+		slot := e.order[0]
+		ev := &e.arena[slot]
+		if ev.at >= until {
+			break
+		}
+		e.now = ev.at
+		fn, afn, a1, a2, at, pri, seq := ev.fn, ev.afn, ev.a1, ev.a2, ev.at, ev.pri, ev.seq
+		e.removeAt(0)
+		e.release(slot)
+		e.processed++
+		if e.step != nil {
+			e.step(at, pri, seq)
+		}
+		if fn != nil {
+			fn()
+		} else {
+			afn(a1, a2)
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// NextEventAt returns the firing time of the earliest pending event. ok is
+// false when the queue is empty. Shard drivers use it to agree on the next
+// global synchronization window.
+func (e *Engine) NextEventAt() (at Time, ok bool) {
+	if len(e.order) == 0 {
+		return 0, false
+	}
+	return e.arena[e.order[0]].at, true
 }
 
 // RunAll executes events until the queue drains, with a safety cap on the
@@ -313,12 +411,12 @@ func (e *Engine) RunAll(maxEvents uint64) {
 		slot := e.order[0]
 		ev := &e.arena[slot]
 		e.now = ev.at
-		fn, afn, a1, a2, at, seq := ev.fn, ev.afn, ev.a1, ev.a2, ev.at, ev.seq
+		fn, afn, a1, a2, at, pri, seq := ev.fn, ev.afn, ev.a1, ev.a2, ev.at, ev.pri, ev.seq
 		e.removeAt(0)
 		e.release(slot)
 		e.processed++
 		if e.step != nil {
-			e.step(at, seq)
+			e.step(at, pri, seq)
 		}
 		if fn != nil {
 			fn()

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEqualTimePriorityOrder pins the (time, pri, seq) event key: at one
+// timestamp, lower priority runs first; within a priority, FIFO by seq.
+func TestEqualTimePriorityOrder(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	rec := func(id int) func() { return func() { order = append(order, id) } }
+	at := time.Microsecond
+	eng.SchedulePri(at, 5, rec(3))
+	eng.Schedule(at, rec(1)) // pri 0
+	eng.SchedulePri(at, PriLast, rec(5))
+	eng.SchedulePri(at, 5, rec(4)) // same pri as id 3, scheduled later
+	eng.Schedule(at, rec(2))       // pri 0, after id 1
+	eng.Run(time.Millisecond)
+	want := []int{1, 2, 3, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSchedulePriBeatsLaterTime checks priority only breaks ties — an
+// earlier event always wins regardless of priority.
+func TestSchedulePriBeatsLaterTime(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	eng.SchedulePri(2*time.Microsecond, 0, func() { order = append(order, 2) })
+	eng.SchedulePri(time.Microsecond, PriLast, func() { order = append(order, 1) })
+	eng.Run(time.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("execution order %v, want [1 2]", order)
+	}
+}
+
+// TestScheduleArgPri covers the closure-free priority variants, absolute
+// and relative.
+func TestScheduleArgPri(t *testing.T) {
+	eng := NewEngine(1)
+	var got []string
+	fn := func(a1, a2 any) { got = append(got, a1.(string)+a2.(string)) }
+	eng.ScheduleArgPriAt(3*time.Microsecond, 7, fn, "c", "3")
+	eng.ScheduleArgPri(3*time.Microsecond, 2, fn, "b", "2") // same time, lower pri
+	eng.ScheduleArgPri(time.Microsecond, 9, fn, "a", "1")
+	eng.Run(time.Millisecond)
+	want := []string{"a1", "b2", "c3"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if eng.Now() != time.Millisecond {
+		t.Fatalf("Now() = %v after Run, want horizon", eng.Now())
+	}
+}
+
+// TestRunBefore pins the strict window semantics: events at the limit do
+// NOT run, the clock lands exactly on the limit, and a later RunBefore
+// picks the stragglers up.
+func TestRunBefore(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	eng.Schedule(time.Microsecond, func() { order = append(order, 1) })
+	eng.Schedule(5*time.Microsecond, func() { order = append(order, 2) })
+	eng.RunBefore(5 * time.Microsecond)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after RunBefore(5us): ran %v, want [1]", order)
+	}
+	if eng.Now() != 5*time.Microsecond {
+		t.Fatalf("Now() = %v, want 5us", eng.Now())
+	}
+	eng.RunBefore(6 * time.Microsecond)
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("after RunBefore(6us): ran %v, want [1 2]", order)
+	}
+	// Moving the window backwards (or not at all) must be a no-op, not a
+	// time reversal.
+	eng.RunBefore(2 * time.Microsecond)
+	if eng.Now() != 6*time.Microsecond {
+		t.Fatalf("Now() = %v after backwards RunBefore, want 6us", eng.Now())
+	}
+}
+
+// TestNextEventAt checks the shard driver's report source.
+func TestNextEventAt(t *testing.T) {
+	eng := NewEngine(1)
+	if _, ok := eng.NextEventAt(); ok {
+		t.Fatal("empty engine reports a next event")
+	}
+	eng.Schedule(3*time.Microsecond, func() {})
+	eng.Schedule(7*time.Microsecond, func() {})
+	at, ok := eng.NextEventAt()
+	if !ok || at != 3*time.Microsecond {
+		t.Fatalf("NextEventAt = %v, %v; want 3us, true", at, ok)
+	}
+	eng.Run(time.Millisecond)
+	if _, ok := eng.NextEventAt(); ok {
+		t.Fatal("drained engine reports a next event")
+	}
+}
+
+// TestStepHook checks the hook sees every event's (at, pri, seq), in
+// execution order.
+func TestStepHook(t *testing.T) {
+	eng := NewEngine(1)
+	type step struct {
+		at  time.Duration
+		pri uint64
+	}
+	var steps []step
+	eng.SetStepHook(func(at time.Duration, pri, seq uint64) {
+		steps = append(steps, step{at, pri})
+	})
+	eng.Schedule(time.Microsecond, func() {})
+	eng.SchedulePri(time.Microsecond, 4, func() {})
+	eng.Run(time.Millisecond)
+	if len(steps) != 2 {
+		t.Fatalf("hook saw %d steps, want 2", len(steps))
+	}
+	if steps[0] != (step{time.Microsecond, 0}) || steps[1] != (step{time.Microsecond, 4}) {
+		t.Fatalf("hook saw %v", steps)
+	}
+}

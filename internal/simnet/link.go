@@ -55,6 +55,46 @@ type LinkConfig struct {
 	// Zero disables (drop-tail). Losslessness trades drops for head-of-line
 	// blocking that spreads upstream — both behaviours are observable.
 	PauseThreshold int
+
+	// Rank, when positive, keys the same-timestamp ordering of this link's
+	// deliveries: the delivery event is scheduled at engine priority
+	// DeliverPriBase+Rank instead of the default scheduling-order tiebreak.
+	// Topology builders assign each link a globally unique construction
+	// rank, which makes equal-time delivery order a pure function of the
+	// wiring — the property that lets a pod-sharded run (internal/shard)
+	// reproduce the single-engine event order exactly. Two deliveries on one
+	// link can never tie (serialization time is positive), so per-link
+	// FIFO-ness is unaffected.
+	Rank int
+
+	// Remote, when non-nil, marks a shard-boundary link: the destination
+	// node lives in another shard's engine. Instead of scheduling the local
+	// delivery event, the transmit-done path hands the packet and its
+	// arrival time to the hook, which conveys it across the shard barrier
+	// (internal/shard). Serialization, queueing, feedback stamping, and
+	// stats all still happen here — only the final propagation hop crosses.
+	Remote RemoteHook
+}
+
+// RemoteHook receives packets leaving the local shard. DeliverRemote owns
+// pkt afterwards: it must copy what crosses the boundary and release pkt
+// into the local pool before returning.
+type RemoteHook interface {
+	DeliverRemote(l *Link, deliverAt time.Duration, pkt *Packet)
+}
+
+// DeliverPriBase offsets link-rank delivery priorities above the default
+// priority 0 of ordinary events (timers, transmit-dones), and below
+// sim.PriLast samplers.
+const DeliverPriBase = uint64(1) << 32
+
+// deliverPri returns the engine priority for this link's delivery events:
+// spatially keyed when the topology assigned a rank, default otherwise.
+func (l *Link) deliverPri() uint64 {
+	if l.cfg.Rank > 0 {
+		return DeliverPriBase + uint64(l.cfg.Rank)
+	}
+	return 0
 }
 
 func (c LinkConfig) withDefaults() LinkConfig {
@@ -489,7 +529,17 @@ func linkTxDone(a1, a2 any) {
 	if l.cfg.PauseThreshold > 0 && l.QueueLen() <= l.cfg.PauseThreshold/2 {
 		l.resumeUpstream()
 	}
-	l.net.eng.ScheduleArg(l.cfg.Delay, linkDeliver, l, pkt)
+	if l.cfg.Remote != nil {
+		// Shard-boundary link: the destination's engine schedules the
+		// delivery. Close out the packet's local ledger first so releasing
+		// it here doesn't read as silent loss.
+		if sa, ok := l.net.obs.(ShardAccountant); ok {
+			sa.PacketShardExported(l, pkt)
+		}
+		l.cfg.Remote.DeliverRemote(l, l.net.eng.Now()+l.cfg.Delay, pkt)
+	} else {
+		l.net.eng.ScheduleArgPri(l.cfg.Delay, l.deliverPri(), linkDeliver, l, pkt)
+	}
 	l.transmitNext()
 }
 

@@ -1,0 +1,45 @@
+package simnet
+
+import "time"
+
+// This file is the shard-boundary surface of simnet: the hooks a parallel
+// shard driver (internal/shard) uses to move packets between the networks of
+// neighbouring shards while preserving the exact event order a single-engine
+// run would produce.
+
+// ShardAccountant is implemented by observers (internal/check's Checker)
+// that track packet conservation across shard boundaries. Export closes a
+// packet's ledger entry in the sending shard; Import opens one in the
+// receiving shard so the ensuing delivery looks locally legal. Plain
+// Observers that don't implement it simply miss the boundary events.
+type ShardAccountant interface {
+	PacketShardExported(l *Link, pkt *Packet)
+	PacketShardImported(l *Link, pkt *Packet)
+}
+
+// NextID returns the ID the next node registration would receive, letting
+// shard builders record the addresses of nodes they skip.
+func (n *Network) NextID() NodeID { return n.next }
+
+// SkipIDs advances the node ID allocator by n without creating nodes. Shard
+// builders walk the full topology construction order and skip the elements
+// other shards own, so every node keeps the ID it has in the unsharded
+// build — which is what keeps addresses, route functions, and stats
+// host-indexable across shards.
+func (n *Network) SkipIDs(count int) {
+	n.next += NodeID(count)
+}
+
+// InjectDeliver schedules the delivery of an imported cross-shard packet: at
+// absolute time at (≥ now, guaranteed by the shard barrier's lookahead), pkt
+// arrives at l's destination exactly as if it had propagated over l. The
+// link l is the receiving shard's mirror of the cut link — same name,
+// config, and rank as the real egress in the owning shard — so observers and
+// receivers see the identity they would in an unsharded run, and the
+// rank-keyed delivery priority reproduces the unsharded tie order.
+func (n *Network) InjectDeliver(l *Link, at time.Duration, pkt *Packet) {
+	if sa, ok := n.obs.(ShardAccountant); ok {
+		sa.PacketShardImported(l, pkt)
+	}
+	n.eng.ScheduleArgPriAt(at, l.deliverPri(), linkDeliver, l, pkt)
+}

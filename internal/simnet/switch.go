@@ -23,7 +23,14 @@ type Switch struct {
 	id     NodeID
 	net    *Network
 	routes map[NodeID][]*Link
-	policy ForwardPolicy
+	// routeFn, when non-nil, computes candidates instead of the routes map.
+	// Structured topologies (fat-trees) use it to derive candidates
+	// arithmetically from the destination ID: a k=32 fat-tree has 8192 hosts
+	// and 1280 switches, and materializing per-host route entries in every
+	// switch would cost gigabytes. Explicit AddRoute entries still win when
+	// present (hosts attached directly to this switch).
+	routeFn func(dst NodeID) []*Link
+	policy  ForwardPolicy
 	// egress lists every distinct egress link in registration order
 	// (deterministic, unlike the routes map) for crash flushes and stats.
 	egress []*Link
@@ -76,13 +83,40 @@ func (s *Switch) AddRoute(dst NodeID, l *Link) {
 	s.egress = append(s.egress, l)
 }
 
+// SetRouteFunc installs a computed routing function consulted for
+// destinations with no explicit AddRoute entry. The returned slice is owned
+// by the function and must be stable for a given dst; callers never mutate
+// it.
+func (s *Switch) SetRouteFunc(fn func(dst NodeID) []*Link) { s.routeFn = fn }
+
+// AddEgress registers an egress link for crash flushes and stats without
+// installing a route entry — used alongside SetRouteFunc, where links reach
+// packets through the route function instead of AddRoute.
+func (s *Switch) AddEgress(l *Link) {
+	for _, e := range s.egress {
+		if e == l {
+			return
+		}
+	}
+	s.egress = append(s.egress, l)
+}
+
 // EgressLinks returns the switch's distinct egress links in registration
 // order.
 func (s *Switch) EgressLinks() []*Link { return s.egress }
 
-// Routes returns the candidate egress links toward dst in AddRoute order.
-// Callers must not mutate the returned slice.
-func (s *Switch) Routes(dst NodeID) []*Link { return s.routes[dst] }
+// Routes returns the candidate egress links toward dst in AddRoute order
+// (or from the route function when no explicit entry exists). Callers must
+// not mutate the returned slice.
+func (s *Switch) Routes(dst NodeID) []*Link {
+	if c, ok := s.routes[dst]; ok {
+		return c
+	}
+	if s.routeFn != nil {
+		return s.routeFn(dst)
+	}
+	return nil
+}
 
 // SetDown sets the switch's crash state. Going down drops every packet
 // sitting in the egress port queues (they are the crashed switch's buffers)
@@ -126,7 +160,10 @@ func (s *Switch) Receive(pkt *Packet, from *Link) {
 
 // Forward routes a packet (also used by offloads that generate packets).
 func (s *Switch) Forward(pkt *Packet) {
-	candidates := s.routes[pkt.Dst]
+	candidates, ok := s.routes[pkt.Dst]
+	if !ok && s.routeFn != nil {
+		candidates = s.routeFn(pkt.Dst)
+	}
 	if len(candidates) == 0 {
 		panic(fmt.Sprintf("simnet: switch %d has no route to %d", s.id, pkt.Dst))
 	}

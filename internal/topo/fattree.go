@@ -40,6 +40,24 @@ func (c FatTreeConfig) withDefaults() FatTreeConfig {
 // deterministic single-path, giving the canonical path counts: 1 for
 // same-edge pairs, k/2 within a pod across edges, and (k/2)² across pods.
 func NewFatTree(cfg FatTreeConfig) *Fabric {
+	f, _ := buildFatTree(cfg, nil, 0, nil)
+	return f
+}
+
+// NewFatTreeShard builds the slice of a k-ary fat-tree that shard owns under
+// plan: its pods' switches and hosts, its round-robin share of the cores,
+// and every link whose transmitting side it owns. The walk is the full
+// topology's walk with unowned elements skipped, so node IDs, pathlet IDs,
+// and link ranks are identical to the unsharded build. Links whose receiver
+// lives in another shard get the remote hook instead of a local delivery
+// (see simnet.LinkConfig.Remote); links arriving from another shard are
+// materialized as mirror ingresses so deliveries injected by the shard
+// driver carry the true link identity. The returned ShardCut indexes both.
+func NewFatTreeShard(cfg FatTreeConfig, plan ShardPlan, shard int, remote simnet.RemoteHook) (*Fabric, *ShardCut) {
+	return buildFatTree(cfg, &plan, shard, remote)
+}
+
+func buildFatTree(cfg FatTreeConfig, plan *ShardPlan, shard int, remote simnet.RemoteHook) (*Fabric, *ShardCut) {
 	cfg = cfg.withDefaults()
 	k := cfg.K
 	if k < 2 || k%2 != 0 {
@@ -47,88 +65,218 @@ func NewFatTree(cfg FatTreeConfig) *Fabric {
 	}
 	half := k / 2
 	f := newFabric(cfg.Seed)
+	cut := &ShardCut{
+		Out:       make(map[*simnet.Link]CutPort),
+		In:        make(map[int]*simnet.Link),
+		Lookahead: cfg.FabricLink.Delay,
+	}
+	ownPod := func(p int) bool { return plan == nil || plan.PodShard[p] == shard }
+	ownCore := func(ci int) bool { return plan == nil || plan.CoreShard[ci] == shard }
 
 	// Switches first — cores, then per pod aggs and edges — so node IDs and
 	// pathlet assignment are stable for a given config. Core a*half+c is
 	// the c-th core attached to the a-th agg of every pod.
-	for i := 0; i < half*half; i++ {
-		f.addSwitch(TierSpine, -1, cfg.Policy)
+	cores := make([]*simnet.Switch, half*half)
+	for i := range cores {
+		if ownCore(i) {
+			cores[i] = f.addSwitch(TierSpine, -1, cfg.Policy)
+		} else {
+			f.Net.SkipIDs(1)
+		}
 	}
 	aggs := make([][]*simnet.Switch, k)  // [pod][a]
 	edges := make([][]*simnet.Switch, k) // [pod][e]
 	for p := 0; p < k; p++ {
+		aggs[p] = make([]*simnet.Switch, half)
+		edges[p] = make([]*simnet.Switch, half)
 		for a := 0; a < half; a++ {
-			aggs[p] = append(aggs[p], f.addSwitch(TierAgg, p, cfg.Policy))
+			if ownPod(p) {
+				aggs[p][a] = f.addSwitch(TierAgg, p, cfg.Policy)
+			} else {
+				f.Net.SkipIDs(1)
+			}
 		}
 		for e := 0; e < half; e++ {
-			edges[p] = append(edges[p], f.addSwitch(TierLeaf, p, cfg.Policy))
+			if ownPod(p) {
+				edges[p][e] = f.addSwitch(TierLeaf, p, cfg.Policy)
+			} else {
+				f.Net.SkipIDs(1)
+			}
 		}
 	}
-	cores := f.switches[TierSpine]
+	// Unowned switches keep their positional IDs for cut-link bookkeeping.
+	numSwitches := half*half + k*k
+	coreID := func(ci int) simnet.NodeID { return simnet.NodeID(ci) }
+	aggID := func(p, a int) simnet.NodeID { return simnet.NodeID(half*half + p*k + a) }
+	edgeID := func(p, e int) simnet.NodeID { return simnet.NodeID(half*half + p*k + half + e) }
 
 	for p := 0; p < k; p++ {
 		for e := 0; e < half; e++ {
 			for h := 0; h < half; h++ {
-				f.addHost(p, edges[p][e], cfg.HostLink)
+				if ownPod(p) {
+					f.addHost(p, edges[p][e], cfg.HostLink)
+				} else {
+					f.skipHost(p)
+				}
 			}
 		}
 	}
 
+	// addTrunk wires one directed trunk, advancing the pathlet and rank
+	// counters whether or not this shard materializes it. from/to are nil
+	// for switches other shards own; toID and dstShard describe the far end
+	// of a boundary crossing.
+	addTrunk := func(from, to *simnet.Switch, toID simnet.NodeID, dstShard int, fromTier, toTier Tier, pod int, name string) *simnet.Link {
+		id := f.nextPathlet
+		f.nextPathlet++
+		rank := f.allocRank()
+		if from == nil && to == nil {
+			return nil
+		}
+		pathlet := id
+		spec := cfg.FabricLink
+		lcfg := simnet.LinkConfig{
+			Rate: spec.Rate, Delay: spec.Delay,
+			QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
+			Pathlet: &pathlet, StampECN: true,
+			Rank: rank,
+		}
+		if from != nil && to != nil {
+			l := f.Net.Connect(to, lcfg, name)
+			from.AddEgress(l)
+			f.trunks = append(f.trunks, &Trunk{
+				Link: l, From: from, To: to,
+				FromTier: fromTier, ToTier: toTier, Pod: pod, Pathlet: id,
+			})
+			return l
+		}
+		if from != nil {
+			// Boundary egress: queue and wire live here, delivery crosses.
+			lcfg.Remote = remote
+			l := f.Net.Connect(remoteNode{id: toID}, lcfg, name)
+			from.AddEgress(l)
+			f.trunks = append(f.trunks, &Trunk{
+				Link: l, From: from, To: nil,
+				FromTier: fromTier, ToTier: toTier, Pod: pod, Pathlet: id,
+			})
+			cut.Out[l] = CutPort{Rank: rank, DstShard: dstShard}
+			return l
+		}
+		// Boundary ingress: a mirror of the owning shard's egress, carrying
+		// the same name, config, and rank, so injected deliveries are
+		// indistinguishable from local ones. Not a Trunk — its queue is
+		// always empty here (the real queue is in the owning shard).
+		l := f.Net.Connect(to, lcfg, name)
+		cut.In[rank] = l
+		return l
+	}
+
 	// Trunks: edge↔agg inside each pod, agg↔core across pods.
-	edgeUp := make(map[[3]int]*Trunk)  // (pod, edge, agg)
-	aggDown := make(map[[3]int]*Trunk) // (pod, agg, edge)
-	aggUp := make(map[[3]int]*Trunk)   // (pod, agg, c)
-	coreDown := make(map[[2]int]*Trunk) // (core, pod)
+	edgeUp := make([][][]*simnet.Link, k)  // [pod][e][a]
+	aggDown := make([][][]*simnet.Link, k) // [pod][a][e]
+	aggUp := make([][][]*simnet.Link, k)   // [pod][a][c]
+	coreDown := make([][]*simnet.Link, half*half)
+	for ci := range coreDown {
+		coreDown[ci] = make([]*simnet.Link, k)
+	}
 	for p := 0; p < k; p++ {
+		edgeUp[p] = make([][]*simnet.Link, half)
+		aggDown[p] = make([][]*simnet.Link, half)
+		aggUp[p] = make([][]*simnet.Link, half)
+		for i := 0; i < half; i++ {
+			edgeUp[p][i] = make([]*simnet.Link, half)
+			aggDown[p][i] = make([]*simnet.Link, half)
+			aggUp[p][i] = make([]*simnet.Link, half)
+		}
+		podShard := shard
+		if plan != nil {
+			podShard = plan.PodShard[p]
+		}
 		for e := 0; e < half; e++ {
 			for a := 0; a < half; a++ {
-				edgeUp[[3]int{p, e, a}] = f.addTrunk(edges[p][e], aggs[p][a], TierLeaf, TierAgg, p,
-					cfg.FabricLink, fmt.Sprintf("p%d-edge%d-agg%d", p, e, a))
-				aggDown[[3]int{p, a, e}] = f.addTrunk(aggs[p][a], edges[p][e], TierAgg, TierLeaf, p,
-					cfg.FabricLink, fmt.Sprintf("p%d-agg%d-edge%d", p, a, e))
+				edgeUp[p][e][a] = addTrunk(edges[p][e], aggs[p][a], aggID(p, a), podShard,
+					TierLeaf, TierAgg, p, fmt.Sprintf("p%d-edge%d-agg%d", p, e, a))
+				aggDown[p][a][e] = addTrunk(aggs[p][a], edges[p][e], edgeID(p, e), podShard,
+					TierAgg, TierLeaf, p, fmt.Sprintf("p%d-agg%d-edge%d", p, a, e))
 			}
 		}
 		for a := 0; a < half; a++ {
 			for c := 0; c < half; c++ {
 				ci := a*half + c
-				aggUp[[3]int{p, a, c}] = f.addTrunk(aggs[p][a], cores[ci], TierAgg, TierSpine, p,
-					cfg.FabricLink, fmt.Sprintf("p%d-agg%d-core%d", p, a, ci))
-				coreDown[[2]int{ci, p}] = f.addTrunk(cores[ci], aggs[p][a], TierSpine, TierAgg, p,
-					cfg.FabricLink, fmt.Sprintf("core%d-p%d-agg%d", ci, p, a))
+				coreShard := shard
+				if plan != nil {
+					coreShard = plan.CoreShard[ci]
+				}
+				aggUp[p][a][c] = addTrunk(aggs[p][a], cores[ci], coreID(ci), coreShard,
+					TierAgg, TierSpine, p, fmt.Sprintf("p%d-agg%d-core%d", p, a, ci))
+				coreDown[ci][p] = addTrunk(cores[ci], aggs[p][a], aggID(p, a), podShard,
+					TierSpine, TierAgg, p, fmt.Sprintf("core%d-p%d-agg%d", ci, p, a))
 			}
 		}
 	}
 
-	// Routes. Host index layout: ((p*half)+e)*half + h.
-	for hi, h := range f.hosts {
-		hp := f.hostPod[hi]
-		he := (hi / half) % half
-		for p := 0; p < k; p++ {
-			for e := 0; e < half; e++ {
-				if p == hp && e == he {
-					continue // local access route installed by addHost
-				}
-				// Edges send everything non-local up to every agg.
-				for a := 0; a < half; a++ {
-					edges[p][e].AddRoute(h.ID(), edgeUp[[3]int{p, e, a}].Link)
-				}
-			}
-			for a := 0; a < half; a++ {
-				if p == hp {
-					// In the host's pod, aggs go straight down to its edge.
-					aggs[p][a].AddRoute(h.ID(), aggDown[[3]int{p, a, he}].Link)
-					continue
-				}
-				// Elsewhere, aggs spread across their k/2 cores.
-				for c := 0; c < half; c++ {
-					aggs[p][a].AddRoute(h.ID(), aggUp[[3]int{p, a, c}].Link)
-				}
-			}
+	// Routing is computed, not tabulated: per-host route maps in every
+	// switch would need O(k⁵/4) entries fabric-wide (~10M at k=32), so each
+	// switch decomposes the contiguous host ID arithmetically. Candidate
+	// sets and their order are exactly what the AddRoute-based construction
+	// produced: all uplinks upward, the unique downlink downward. Local
+	// host downlinks stay as explicit AddRoute entries (installed by
+	// addHost), which take precedence over the route function.
+	hostBase := simnet.NodeID(numSwitches)
+	nHosts := k * half * half
+	locate := func(dst simnet.NodeID) (int, bool) {
+		hi := int(dst - hostBase)
+		if hi < 0 || hi >= nHosts {
+			return 0, false
 		}
-		// Each core has exactly one downlink into the host's pod.
-		for ci := range cores {
-			cores[ci].AddRoute(h.ID(), coreDown[[2]int{ci, hp}].Link)
+		return hi, true
+	}
+	for p := 0; p < k; p++ {
+		if !ownPod(p) {
+			continue
+		}
+		for e := 0; e < half; e++ {
+			ups := edgeUp[p][e]
+			edges[p][e].SetRouteFunc(func(dst simnet.NodeID) []*simnet.Link {
+				if _, ok := locate(dst); !ok {
+					return nil
+				}
+				return ups
+			})
+		}
+		for a := 0; a < half; a++ {
+			p, ups := p, aggUp[p][a]
+			downs := make([][]*simnet.Link, half) // [he] single-candidate sets
+			for e := 0; e < half; e++ {
+				downs[e] = aggDown[p][a][e : e+1]
+			}
+			aggs[p][a].SetRouteFunc(func(dst simnet.NodeID) []*simnet.Link {
+				hi, ok := locate(dst)
+				if !ok {
+					return nil
+				}
+				if hi/(half*half) == p {
+					return downs[(hi/half)%half]
+				}
+				return ups
+			})
 		}
 	}
-	return f
+	for ci := range cores {
+		if cores[ci] == nil {
+			continue
+		}
+		downs := make([][]*simnet.Link, k) // [pod] single-candidate sets
+		for p := 0; p < k; p++ {
+			downs[p] = coreDown[ci][p : p+1]
+		}
+		cores[ci].SetRouteFunc(func(dst simnet.NodeID) []*simnet.Link {
+			hi, ok := locate(dst)
+			if !ok {
+				return nil
+			}
+			return downs[hi/(half*half)]
+		})
+	}
+	return f, cut
 }

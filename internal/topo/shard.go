@@ -1,0 +1,85 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"mtp/internal/simnet"
+)
+
+// ShardPlan partitions a fat-tree across S parallel simulation shards
+// (internal/shard). Pods are assigned in contiguous blocks — pod-internal
+// traffic (host↔edge↔agg) never crosses a shard boundary — and cores
+// round-robin, spreading the top tier's load. Replicating the core tier
+// instead was rejected: replicated core egress queues would see different
+// contention than the single shared queue, breaking bit-identity with the
+// unsharded run.
+type ShardPlan struct {
+	// Shards is the shard count S, 1 ≤ S ≤ k.
+	Shards int
+	// PodShard maps pod → owning shard (contiguous blocks).
+	PodShard []int
+	// CoreShard maps core index → owning shard (round-robin).
+	CoreShard []int
+	// Lookahead is the minimum propagation delay over every link that can
+	// cross a shard boundary (here: all boundary links are FabricLink-class
+	// agg↔core trunks). A shard that knows every neighbour's clock has
+	// passed T may run freely to T+Lookahead: any packet a neighbour emits
+	// after T needs at least Lookahead of wire time to arrive.
+	Lookahead time.Duration
+}
+
+// PlanFatTreeShards computes the pod partition for cfg across shards.
+// It panics when shards is out of range — callers decide policy (clamping,
+// refusing) before planning.
+func PlanFatTreeShards(cfg FatTreeConfig, shards int) ShardPlan {
+	cfg = cfg.withDefaults()
+	k := cfg.K
+	if shards < 1 || shards > k {
+		panic(fmt.Sprintf("topo: fat-tree with %d pods cannot split into %d shards", k, shards))
+	}
+	half := k / 2
+	plan := ShardPlan{
+		Shards:    shards,
+		PodShard:  make([]int, k),
+		CoreShard: make([]int, half*half),
+		Lookahead: cfg.FabricLink.Delay,
+	}
+	for p := 0; p < k; p++ {
+		plan.PodShard[p] = p * shards / k
+	}
+	for ci := range plan.CoreShard {
+		plan.CoreShard[ci] = ci % shards
+	}
+	return plan
+}
+
+// CutPort locates one boundary egress link: its global construction rank
+// (the key the receiving shard's mirror is filed under) and the shard that
+// owns the receiver.
+type CutPort struct {
+	Rank     int
+	DstShard int
+}
+
+// ShardCut is one shard's view of the boundary: Out indexes the egress
+// links whose deliveries leave the shard, In the mirror links (keyed by the
+// same global rank) through which the shard driver injects arrivals.
+type ShardCut struct {
+	Out       map[*simnet.Link]CutPort
+	In        map[int]*simnet.Link
+	Lookahead time.Duration
+}
+
+// remoteNode stands in for a switch another shard owns, as the nominal
+// destination of a boundary egress link. It never receives: the link's
+// Remote hook intercepts delivery.
+type remoteNode struct {
+	id simnet.NodeID
+}
+
+func (r remoteNode) ID() simnet.NodeID { return r.id }
+
+func (r remoteNode) Receive(*simnet.Packet, *simnet.Link) {
+	panic(fmt.Sprintf("topo: remote stub for node %d received a packet locally", r.id))
+}

@@ -1,0 +1,151 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"mtp/internal/simnet"
+)
+
+// nullHook discards boundary deliveries; shard construction only needs a
+// non-nil RemoteHook on cut links.
+type nullHook struct{}
+
+func (nullHook) DeliverRemote(*simnet.Link, time.Duration, *simnet.Packet) {}
+
+// TestPlanFatTreeShards pins the partition shape: contiguous pod blocks,
+// round-robin cores, lookahead from the fabric-link delay, and a panic on
+// out-of-range shard counts.
+func TestPlanFatTreeShards(t *testing.T) {
+	cfg := FatTreeConfig{K: 4, FabricLink: LinkSpec{Delay: 7 * time.Microsecond}}
+	plan := PlanFatTreeShards(cfg, 2)
+	if got, want := plan.PodShard, []int{0, 0, 1, 1}; len(got) != 4 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		t.Fatalf("PodShard = %v, want %v", got, want)
+	}
+	if got, want := plan.CoreShard, []int{0, 1, 0, 1}; len(got) != 4 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		t.Fatalf("CoreShard = %v, want %v", got, want)
+	}
+	if plan.Lookahead != 7*time.Microsecond {
+		t.Fatalf("Lookahead = %v, want the fabric-link delay", plan.Lookahead)
+	}
+
+	for _, bad := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PlanFatTreeShards(k=4, shards=%d) did not panic", bad)
+				}
+			}()
+			PlanFatTreeShards(cfg, bad)
+		}()
+	}
+}
+
+// TestFatTreeShardSlices checks that the union of the shard builds is the
+// unsharded fat-tree: every host materialized exactly once at its unsharded
+// ID, link ranks on the cut matching mirrors on the receiving side, and
+// per-shard switch inventories restricted to owned pods/cores.
+func TestFatTreeShardSlices(t *testing.T) {
+	cfg := FatTreeConfig{K: 4}
+	full := NewFatTree(cfg)
+	const S = 2
+	plan := PlanFatTreeShards(cfg, S)
+
+	fabs := make([]*Fabric, S)
+	cuts := make([]*ShardCut, S)
+	for s := 0; s < S; s++ {
+		fabs[s], cuts[s] = NewFatTreeShard(cfg, plan, s, nullHook{})
+		if cuts[s].Lookahead != plan.Lookahead {
+			t.Fatalf("shard %d cut lookahead %v, want %v", s, cuts[s].Lookahead, plan.Lookahead)
+		}
+	}
+
+	for i := 0; i < full.NumHosts(); i++ {
+		owner := plan.PodShard[full.HostPod(i)]
+		for s := 0; s < S; s++ {
+			fab := fabs[s]
+			if fab.HostID(i) != full.HostID(i) {
+				t.Fatalf("shard %d host %d ID %d, want unsharded %d", s, i, fab.HostID(i), full.HostID(i))
+			}
+			if owns := fab.OwnsHost(i); owns != (s == owner) {
+				t.Fatalf("shard %d OwnsHost(%d) = %v, owner is %d", s, i, owns, owner)
+			}
+			up, down := fab.HostLinks(i)
+			if (up != nil) != (s == owner) || (down != nil) != (s == owner) {
+				t.Fatalf("shard %d host %d links materialized = (%v,%v), owner is %d", s, i, up != nil, down != nil, owner)
+			}
+		}
+	}
+
+	// Switch inventory: aggs/edges only for owned pods, cores round-robin.
+	for s := 0; s < S; s++ {
+		for _, sw := range fabs[s].Switches(TierAgg) {
+			if pod := fabs[s].SwitchPod(sw); plan.PodShard[pod] != s {
+				t.Fatalf("shard %d built agg for pod %d owned by %d", s, pod, plan.PodShard[pod])
+			}
+		}
+		for _, sw := range fabs[s].Switches(TierSpine) {
+			if fabs[s].SwitchPod(sw) != -1 {
+				t.Fatal("core switch reports a pod")
+			}
+		}
+	}
+	ownedCores := 0
+	for s := 0; s < S; s++ {
+		ownedCores += len(fabs[s].Switches(TierSpine))
+	}
+	if want := len(full.Switches(TierSpine)); ownedCores != want {
+		t.Fatalf("cores across shards = %d, want %d", ownedCores, want)
+	}
+
+	// Every cut-out port must have a mirror with the same global rank in the
+	// destination shard, and no two shards may share an egress rank.
+	seenRank := map[int]int{}
+	for s := 0; s < S; s++ {
+		for l, port := range cuts[s].Out {
+			if port.DstShard == s {
+				t.Fatalf("shard %d cut link %s claims itself as destination", s, l.Name())
+			}
+			if prev, dup := seenRank[port.Rank]; dup {
+				t.Fatalf("rank %d exported by shards %d and %d", port.Rank, prev, s)
+			}
+			seenRank[port.Rank] = s
+			mirror := cuts[port.DstShard].In[port.Rank]
+			if mirror == nil {
+				t.Fatalf("shard %d has no mirror for rank %d from shard %d", port.DstShard, port.Rank, s)
+			}
+			if mirror.Name() != l.Name() {
+				t.Fatalf("mirror name %q for cut link %q", mirror.Name(), l.Name())
+			}
+		}
+	}
+	if len(seenRank) == 0 {
+		t.Fatal("no cut links found on a 2-shard fat-tree")
+	}
+
+	if got, want := TierLeaf.String(), "leaf"; got != want {
+		t.Fatalf("TierLeaf = %q", got)
+	}
+	if got, want := TierAgg.String(), "agg"; got != want {
+		t.Fatalf("TierAgg = %q", got)
+	}
+	if got, want := TierSpine.String(), "spine"; got != want {
+		t.Fatalf("TierSpine = %q", got)
+	}
+}
+
+// TestRemoteStubNeverReceives pins the contract that a remote stand-in node
+// only exists to carry an ID: a local delivery to it is a wiring bug and
+// must panic loudly rather than silently vanish.
+func TestRemoteStubNeverReceives(t *testing.T) {
+	stub := remoteNode{id: 12}
+	if stub.ID() != 12 {
+		t.Fatalf("stub ID %d, want 12", stub.ID())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("remote stub accepted a local delivery")
+		}
+	}()
+	stub.Receive(nil, nil)
+}

@@ -109,12 +109,20 @@ type Fabric struct {
 	hostPod  []int // pod (leaf-spine: leaf index) per host
 	hostUp   []*simnet.Link
 	hostDown []*simnet.Link
+	// hostIDs holds every host's network address, including hosts that a
+	// partitioned build (NewFatTreeShard) left to other shards — the walk
+	// allocates the same IDs whether or not the node is materialized.
+	hostIDs []simnet.NodeID
 
 	switches  map[Tier][]*simnet.Switch
 	switchPod map[*simnet.Switch]int
 
 	trunks      []*Trunk
 	nextPathlet uint32
+	// nextRank numbers every link in construction order; the rank keys
+	// same-timestamp delivery ordering in the engine (simnet.LinkConfig.Rank)
+	// so event order is a function of the wiring, not engine-local history.
+	nextRank int
 }
 
 func newFabric(seed int64) *Fabric {
@@ -128,11 +136,22 @@ func newFabric(seed int64) *Fabric {
 	}
 }
 
-// NumHosts returns the number of hosts in the fabric.
+// NumHosts returns the number of hosts in the fabric — the full topology's
+// count even in a partitioned build, where unowned entries are nil.
 func (f *Fabric) NumHosts() int { return len(f.hosts) }
 
 // Host returns host i (construction order: pod-major, then leaf, then port).
+// In a partitioned build it is nil for hosts owned by other shards.
 func (f *Fabric) Host(i int) *simnet.Host { return f.hosts[i] }
+
+// HostID returns host i's network address. Unlike Host, it is defined for
+// every host of a partitioned build: IDs are allocated by construction
+// position, so shard s can address a host that only shard t materialized.
+func (f *Fabric) HostID(i int) simnet.NodeID { return f.hostIDs[i] }
+
+// OwnsHost reports whether host i was materialized in this build (always
+// true in a full build).
+func (f *Fabric) OwnsHost(i int) bool { return f.hosts[i] != nil }
 
 // Hosts returns all hosts in construction order.
 func (f *Fabric) Hosts() []*simnet.Host { return f.hosts }
@@ -202,16 +221,25 @@ func (f *Fabric) addSwitch(t Tier, pod int, policy PolicyFunc) *simnet.Switch {
 	return sw
 }
 
+// allocRank numbers the next link; ranks start at 1 because Rank 0 means
+// "unranked" to simnet.
+func (f *Fabric) allocRank() int {
+	f.nextRank++
+	return f.nextRank
+}
+
 func (f *Fabric) addHost(pod int, leaf *simnet.Switch, spec LinkSpec) *simnet.Host {
 	h := simnet.NewHost(f.Net)
 	i := len(f.hosts)
 	up := f.Net.Connect(leaf, simnet.LinkConfig{
 		Rate: spec.Rate, Delay: spec.Delay,
 		QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
+		Rank: f.allocRank(),
 	}, fmt.Sprintf("host%d-up", i))
 	down := f.Net.Connect(h, simnet.LinkConfig{
 		Rate: spec.Rate, Delay: spec.Delay,
 		QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
+		Rank: f.allocRank(),
 	}, fmt.Sprintf("host%d-down", i))
 	h.SetUplink(up)
 	leaf.AddRoute(h.ID(), down)
@@ -219,7 +247,21 @@ func (f *Fabric) addHost(pod int, leaf *simnet.Switch, spec LinkSpec) *simnet.Ho
 	f.hostPod = append(f.hostPod, pod)
 	f.hostUp = append(f.hostUp, up)
 	f.hostDown = append(f.hostDown, down)
+	f.hostIDs = append(f.hostIDs, h.ID())
 	return h
+}
+
+// skipHost advances the ID, rank, and inventory counters for a host that
+// belongs to another shard, without materializing it.
+func (f *Fabric) skipHost(pod int) {
+	id := f.Net.NextID()
+	f.Net.SkipIDs(1)
+	f.nextRank += 2 // the up and down access links
+	f.hosts = append(f.hosts, nil)
+	f.hostPod = append(f.hostPod, pod)
+	f.hostUp = append(f.hostUp, nil)
+	f.hostDown = append(f.hostDown, nil)
+	f.hostIDs = append(f.hostIDs, id)
 }
 
 // addTrunk wires from→to with a fresh pathlet ID and ECN-feedback stamping,
@@ -232,6 +274,7 @@ func (f *Fabric) addTrunk(from, to *simnet.Switch, fromTier, toTier Tier, pod in
 		Rate: spec.Rate, Delay: spec.Delay,
 		QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
 		Pathlet: &pathlet, StampECN: true,
+		Rank: f.allocRank(),
 	}, name)
 	tr := &Trunk{
 		Link: l, From: from, To: to,
