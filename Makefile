@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify exp bench cover scenario fuzz
+.PHONY: build test race vet verify exp bench shardbench cover scenario fuzz
 
 build:
 	$(GO) build ./...
@@ -46,4 +46,14 @@ exp: build
 BENCHTIME ?= 1x
 bench: build
 	$(GO) test -run XXX -bench 'Benchmark([^S]|S[^h])' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sim.json
-	$(GO) test -run XXX -bench 'BenchmarkSharded' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_shard.json
+	$(GO) test -run XXX -bench 'BenchmarkSharded' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson -merge -o BENCH_shard.json
+
+# shardbench is the CI smoke gate for the parallel engine: one k=16 sweep
+# point, compared against the committed BENCH_shard.json baseline. It fails
+# on a >25% throughput regression (benchjson -gate default) and writes its
+# results to a scratch file so the committed baseline only changes when a
+# human reruns `make bench` and commits the result.
+shardbench: build
+	$(GO) test -run XXX -bench 'BenchmarkShardedKSweep/k16' -benchtime 1x -benchmem . | \
+		$(GO) run ./cmd/benchjson -o /tmp/BENCH_shard_smoke.json \
+		-gate BENCH_shard.json -gate-metrics 'mtp-Mev/s-8shard,dctcp-Mev/s-8shard'

@@ -6,7 +6,9 @@ package mtp
 // Shapes vs the paper are recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -195,6 +197,53 @@ func BenchmarkShardedIncast(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + rp.String() + rp.PerfString())
 		}
+	}
+}
+
+// BenchmarkShardedKSweep is the perf trajectory for the big-fabric push: the
+// k=16 and k=32 incasts on an 8-shard cluster with a 50ms horizon, reporting
+// event throughput, the single-engine comparison, and the live heap. Its
+// numbers accumulate in BENCH_shard.json (make bench merges rather than
+// clobbers), and CI's shardbench smoke gate diffs a fresh k=16 run against
+// the committed baseline.
+func BenchmarkShardedKSweep(b *testing.B) {
+	for _, k := range []int{16, 32} {
+		k := k
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			cfg := exp.ScaleConfig{
+				Topo: "fattree", K: k,
+				Pattern: "incast", Incast: 32, MsgSize: 256 << 10, Messages: 2,
+				Timeout: 50 * time.Millisecond,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sharded := cfg
+				sharded.Shards = 8
+				rp := exp.RunScale(sharded)
+				solo := cfg
+				solo.Shards = 1
+				rs := exp.RunScale(solo)
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				for ri, row := range rp.Rows {
+					name := "mtp"
+					if ri == 1 {
+						name = "dctcp"
+					}
+					b.ReportMetric(row.EventsPerSec()/1e6, name+"-Mev/s-8shard")
+					b.ReportMetric(rs.Rows[ri].EventsPerSec()/1e6, name+"-Mev/s-1shard")
+					if row.Wall > 0 {
+						b.ReportMetric(float64(rs.Rows[ri].Wall)/float64(row.Wall), name+"-speedup")
+					}
+				}
+				b.ReportMetric(float64(rp.Hosts), "hosts")
+				b.ReportMetric(float64(rp.Rows[0].Shards), "shards")
+				b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "heap-MB")
+				if i == 0 {
+					b.Log("\n" + rp.String() + rp.PerfString())
+				}
+			}
+		})
 	}
 }
 

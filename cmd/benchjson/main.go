@@ -5,6 +5,16 @@
 // the figure goodputs — keyed by benchmark name.
 //
 //	go test -run XXX -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_sim.json
+//
+// With -merge, benchmarks already recorded in the output file but absent
+// from this run are kept, so partial reruns (a single -bench regex) refine
+// the record instead of clobbering it.
+//
+// With -gate FILE, the new results are additionally compared against the
+// baseline record in FILE: for every benchmark present in both, each metric
+// named in -gate-metrics (comma-separated) must be at least (1 - -gate-tol)
+// of its baseline value, else the exit status is non-zero. This is the CI
+// smoke gate against committed BENCH_*.json baselines.
 package main
 
 import (
@@ -28,6 +38,10 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output JSON file")
+	merge := flag.Bool("merge", false, "keep benchmarks already in the output file that this run did not produce")
+	gate := flag.String("gate", "", "baseline JSON file to gate against (empty = no gate)")
+	gateMetrics := flag.String("gate-metrics", "", "comma-separated metric names the gate checks (higher is better)")
+	gateTol := flag.Float64("gate-tol", 0.25, "allowed fractional regression before the gate fails")
 	flag.Parse()
 
 	results := make(map[string]*Result)
@@ -48,6 +62,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	gateOK := true
+	if *gate != "" {
+		gateOK = checkGate(results, *gate, *gateMetrics, *gateTol)
+	}
+	if *merge {
+		if old, err := readRecord(*out); err == nil {
+			for name, r := range old {
+				if _, fresh := results[name]; !fresh {
+					results[name] = r
+				}
+			}
+		}
+	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -59,6 +86,77 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+	if !gateOK {
+		os.Exit(1)
+	}
+}
+
+// readRecord loads a previously written benchmark JSON file.
+func readRecord(path string) (map[string]*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := make(map[string]*Result)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// checkGate compares the fresh results against the baseline file: every
+// gated metric on every benchmark present in both must be at least
+// (1 - tol) × baseline. Returns false (and prints the offenders) on any
+// regression; a missing or unreadable baseline fails loudly too — a silent
+// pass there would hide a broken CI wiring.
+func checkGate(results map[string]*Result, baseline, metricList string, tol float64) bool {
+	base, err := readRecord(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: gate baseline: %v\n", err)
+		return false
+	}
+	var metrics []string
+	for _, m := range strings.Split(metricList, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			metrics = append(metrics, m)
+		}
+	}
+	if len(metrics) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate set but -gate-metrics empty")
+		return false
+	}
+	ok, checked := true, 0
+	for name, nr := range results {
+		br := base[name]
+		if br == nil {
+			continue
+		}
+		for _, m := range metrics {
+			bv, hasB := br.Metrics[m]
+			nv, hasN := nr.Metrics[m]
+			if !hasB || bv <= 0 {
+				continue
+			}
+			if !hasN {
+				fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: metric %q missing from new run (baseline %.4g)\n", name, m, bv)
+				ok = false
+				continue
+			}
+			checked++
+			if floor := bv * (1 - tol); nv < floor {
+				fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: %s = %.4g, below %.4g (baseline %.4g - %.0f%%)\n",
+					name, m, nv, floor, bv, tol*100)
+				ok = false
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: gate ok %s: %s = %.4g (baseline %.4g)\n", name, m, nv, bv)
+			}
+		}
+	}
+	if checked == 0 && ok {
+		fmt.Fprintln(os.Stderr, "benchjson: gate checked no metrics — baseline/benchmark name mismatch?")
+		return false
+	}
+	return ok
 }
 
 // parseLine parses one `Benchmark... N value unit [value unit]...` line.

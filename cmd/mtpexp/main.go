@@ -46,7 +46,8 @@ func main() {
 		faults   = flag.Int("faults", -1, "scenario: cap the sampled fault count (-1 = unlimited)")
 		offOn    = flag.Bool("offload", false, "scenario: place a sampled in-network device (cache or IDS) on the fabric")
 		parallel = flag.Int("parallel", 1, "sweep workers: 1 sequential, 0 = all CPUs, N fixed (results are identical regardless); capped so workers x shards <= GOMAXPROCS")
-		shards   = flag.Int("shards", 1, "scale/scalesweep: split the simulation across N parallel engines (-topo fattree only, clamped to k); results are bit-identical to -shards 1")
+		shards   = flag.Int("shards", 1, "scale/scalesweep: split the simulation across N parallel engines (clamped to pods for fattree, racks for leafspine); results are bit-identical to -shards 1")
+		maxbatch = flag.Int("shardbatch", 0, "scale/scalesweep: cap lookahead windows per barrier round (0 = unbounded batching, 1 = legacy one-window rounds); attribution knob, results identical")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -167,14 +168,10 @@ func main() {
 	scaleCfg := exp.ScaleConfig{
 		Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
 		K: *radix, Pattern: *pattern, MsgSize: *msgSize, Messages: *messages,
-		Seed: *seed, Workers: *parallel, Shards: *shards, Check: *chkOn,
+		Seed: *seed, Workers: *parallel, Shards: *shards, MaxBatch: *maxbatch, Check: *chkOn,
 	}
 	if *duration > 0 {
 		scaleCfg.Timeout = *duration
-	}
-	if *shards > 1 && *topoName != "fattree" {
-		fmt.Fprintln(os.Stderr, "-shards requires -topo fattree (pods are the partition unit); ignoring")
-		scaleCfg.Shards = 1
 	}
 	if *which == "scale" {
 		ran = true

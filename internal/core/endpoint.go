@@ -374,7 +374,6 @@ func NewEndpoint(env Env, cfg Config) *Endpoint {
 		byID:        make(map[uint64]*OutMessage),
 		inflows:     make(map[inKey]*inMsg),
 		doneSet:     make(map[inKey]struct{}),
-		doneRing:    make([]inKey, 4096),
 		pendingAcks: make(map[Addr]*ackBatch),
 		nextID:      1,
 		curRTO:      cfg.RTO,
@@ -597,8 +596,13 @@ func (e *Endpoint) backoffRTO() {
 }
 
 // rememberDone records completed inbound message identity with bounded
-// memory.
+// memory. The ring is allocated on first completion: send-only endpoints —
+// the overwhelming majority in a large fabric — never pay for it, which
+// matters when a k=64 build instantiates 65k endpoints.
 func (e *Endpoint) rememberDone(k inKey) {
+	if e.doneRing == nil {
+		e.doneRing = make([]inKey, 4096)
+	}
 	old := e.doneRing[e.donePos]
 	if _, ok := e.doneSet[old]; ok {
 		delete(e.doneSet, old)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -60,10 +61,16 @@ type ScaleConfig struct {
 	// is capped so Workers × Shards never exceeds GOMAXPROCS (CapWorkers).
 	Workers int
 	// Shards splits the simulation itself across this many engines running
-	// in parallel (internal/shard; fat-tree only, clamped to K). Results are
-	// bit-identical to Shards == 1 — sharding buys wall-clock speed, not a
-	// different experiment. Default 1.
+	// in parallel (internal/shard; clamped to pods on the fat-tree, racks on
+	// leaf-spine). Results are bit-identical to Shards == 1 — sharding buys
+	// wall-clock speed, not a different experiment. Default 1.
 	Shards int
+	// MaxBatch caps the lookahead windows a shard may commit per barrier
+	// round (shard.Cluster.MaxBatch): 0 lets the batched bound float (the
+	// default), 1 reproduces the legacy one-window rounds — a bisection and
+	// attribution knob, not a tuning parameter. Results are identical either
+	// way.
+	MaxBatch int
 	// Check runs both systems under the protocol invariant harness
 	// (internal/check): network-wide packet conservation, queue/ECN, and —
 	// for the MTP run — delivery, congestion-bound, and failover invariants.
@@ -128,8 +135,13 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 	if c.Shards < 1 {
 		c.Shards = 1
 	}
+	// Clamp the shard count to the topology's partition unit: pods for the
+	// fat-tree, racks for leaf-spine.
 	if c.Topo == "fattree" && c.Shards > c.K {
 		c.Shards = c.K
+	}
+	if c.Topo == "leafspine" && c.Shards > c.Leaves {
+		c.Shards = c.Leaves
 	}
 	return c
 }
@@ -248,6 +260,31 @@ func scaleFatTreeConfig(cfg ScaleConfig, mk topo.PolicyFunc) topo.FatTreeConfig 
 	return topo.FatTreeConfig{K: cfg.K, HostLink: host, FabricLink: fabric, Policy: mk, Seed: cfg.Seed}
 }
 
+func scaleLeafSpineConfig(cfg ScaleConfig, mk topo.PolicyFunc) topo.LeafSpineConfig {
+	host, fabric := scaleLinkSpecs(cfg)
+	return topo.LeafSpineConfig{
+		Leaves: cfg.Leaves, Spines: cfg.Spines, HostsPerLeaf: cfg.HostsPerLeaf,
+		HostLink: host, FabricLink: fabric, Policy: mk, Seed: cfg.Seed,
+	}
+}
+
+// buildScaleCluster partitions the configured topology across cfg.Shards
+// engines (see internal/shard). Both topologies shard; withDefaults has
+// already clamped Shards to the partition unit.
+func buildScaleCluster(cfg ScaleConfig, mk topo.PolicyFunc) *shard.Cluster {
+	var cl *shard.Cluster
+	switch cfg.Topo {
+	case "fattree":
+		cl = shard.NewFatTreeCluster(scaleFatTreeConfig(cfg, mk), cfg.Shards)
+	case "leafspine":
+		cl = shard.NewLeafSpineCluster(scaleLeafSpineConfig(cfg, mk), cfg.Shards)
+	default:
+		panic(fmt.Sprintf("exp: unknown topology %q", cfg.Topo))
+	}
+	cl.MaxBatch = cfg.MaxBatch
+	return cl
+}
+
 // buildScaleFabric instantiates the configured topology with per-switch
 // policies from mk (nil = ECMP).
 func buildScaleFabric(cfg ScaleConfig, mk topo.PolicyFunc) *topo.Fabric {
@@ -280,9 +317,15 @@ func (p *scaleProbe) start(cfg ScaleConfig) {
 	var tick func()
 	tick = func() {
 		max := 0
-		for _, tr := range p.fab.Trunks() {
-			if q := tr.Link.QueueLen(); q > max {
-				max = q
+		// The network's exact queued-packet counter short-circuits the scan
+		// when nothing is queued anywhere — which is every tick of the drain
+		// phase, where walking tens of thousands of idle trunks would
+		// otherwise dominate the run.
+		if p.fab.Net.QueuedPackets() > 0 {
+			for _, tr := range p.fab.Trunks() {
+				if q := tr.Link.QueueLen(); q > max {
+					max = q
+				}
 			}
 		}
 		p.samples = append(p.samples, float64(max))
@@ -359,9 +402,6 @@ func planCount(plan [][]scaleMsg) int {
 // Shards > 1 each system's simulation itself runs on a shard cluster.
 func RunScale(cfg ScaleConfig) ScaleResult {
 	cfg = cfg.withDefaults()
-	if cfg.Shards > 1 && cfg.Topo != "fattree" {
-		panic(fmt.Sprintf("exp: sharded runs require the fat-tree topology, not %q", cfg.Topo))
-	}
 	systems := []string{"MTP", "DCTCP/ECMP"}
 	rows := Sweep(CapWorkers(cfg.Workers, cfg.Shards), systems, func(sys string) ScaleRow {
 		if sys == "MTP" {
@@ -454,7 +494,7 @@ func runScaleMTP(cfg ScaleConfig) ScaleRow {
 }
 
 func runScaleMTPSharded(cfg ScaleConfig) ScaleRow {
-	cl := shard.NewFatTreeCluster(scaleFatTreeConfig(cfg, func() simnet.ForwardPolicy { return simnet.NewMessageLB() }), cfg.Shards)
+	cl := buildScaleCluster(cfg, func() simnet.ForwardPolicy { return simnet.NewMessageLB() })
 	plan := scalePlan(cfg, cl.Shard(0).Fab.NumHosts())
 	var shared *check.MsgRegistry
 	if cfg.Check {
@@ -609,7 +649,7 @@ func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
 }
 
 func runScaleDCTCPSharded(cfg ScaleConfig) ScaleRow {
-	cl := shard.NewFatTreeCluster(scaleFatTreeConfig(cfg, nil), cfg.Shards)
+	cl := buildScaleCluster(cfg, nil)
 	plan := scalePlan(cfg, cl.Shard(0).Fab.NumHosts())
 	S := cl.NumShards()
 	accs := make([]*scaleAcc, S)
@@ -795,6 +835,10 @@ type ScaleKPoint struct {
 	// Speedup is MTP wall clock at 1 shard divided by wall clock at Shards
 	// (0 when Shards == 1 — there is nothing to compare).
 	Speedup float64
+	// HeapMB is the Go heap in use right after this point's runs (MiB).
+	// It is live-heap, not RSS: a scale ceiling indicator, not a precise
+	// footprint — and with sweep workers > 1 concurrent points share it.
+	HeapMB float64
 }
 
 // RunScaleKSweep sweeps fat-tree radices k (hosts = k³/4). Each point runs
@@ -833,6 +877,9 @@ func RunScaleKSweep(workers int, ks []int, base ScaleConfig) []ScaleKPoint {
 				}
 			}
 		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		pt.HeapMB = float64(ms.HeapInuse) / (1 << 20)
 		return pt
 	})
 }
@@ -841,16 +888,16 @@ func RunScaleKSweep(workers int, ks []int, base ScaleConfig) []ScaleKPoint {
 func ScaleKSweepString(points []ScaleKPoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fat-tree sweep: p99 FCT (us) / goodput (Gbps) vs radix, sharded engine\n")
-	fmt.Fprintf(&b, "  %-4s %6s %7s %10s %12s %10s %12s %10s %8s\n",
-		"k", "hosts", "shards", "MTP p99", "DCTCP p99", "MTP gbps", "DCTCP gbps", "Mevents/s", "speedup")
+	fmt.Fprintf(&b, "  %-4s %6s %7s %10s %12s %10s %12s %10s %8s %8s\n",
+		"k", "hosts", "shards", "MTP p99", "DCTCP p99", "MTP gbps", "DCTCP gbps", "Mevents/s", "speedup", "heap-MB")
 	for _, p := range points {
 		speedup := "-"
 		if p.Speedup > 0 {
 			speedup = fmt.Sprintf("%.2fx", p.Speedup)
 		}
-		fmt.Fprintf(&b, "  %-4d %6d %7d %10.0f %12.0f %10.1f %12.1f %10.2f %8s\n",
+		fmt.Fprintf(&b, "  %-4d %6d %7d %10.0f %12.0f %10.1f %12.1f %10.2f %8s %8.0f\n",
 			p.K, p.Hosts, p.Shards, p.P99["MTP"], p.P99["DCTCP/ECMP"],
-			p.Goodput["MTP"], p.Goodput["DCTCP/ECMP"], p.EventsPerSec/1e6, speedup)
+			p.Goodput["MTP"], p.Goodput["DCTCP/ECMP"], p.EventsPerSec/1e6, speedup, p.HeapMB)
 	}
 	return b.String()
 }

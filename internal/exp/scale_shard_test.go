@@ -9,38 +9,60 @@ import (
 // engine: a sharded run must render byte-identical results — FCT
 // percentiles, goodput, queue series, retransmits, and invariant verdicts —
 // to the single-engine run of the same configuration, across seeds, shard
-// counts, and both a convergent (incast) and a dispersed (permutation)
-// pattern. ScaleResult.String deliberately excludes wall-clock fields, so
-// string equality here means the simulations executed the same events.
+// counts, topologies, and both a convergent (incast) and a dispersed
+// (permutation) pattern. ScaleResult.String deliberately excludes
+// wall-clock fields, so string equality here means the simulations executed
+// the same events.
 func TestScaleShardedDeterminism(t *testing.T) {
-	for _, pattern := range []string{"incast", "permutation"} {
-		for _, seed := range []int64{1, 2, 3} {
-			base := ScaleConfig{
-				Topo: "fattree", K: 4,
-				Pattern: pattern, MsgSize: 64 << 10, Messages: 2, Incast: 8,
-				Seed: seed, Workers: 1, Check: true,
-			}
-			ref := RunScale(base)
-			refStr := ref.String()
-			for _, row := range ref.Rows {
-				if row.Completed == 0 {
-					t.Fatalf("%s seed %d: unsharded %s run completed nothing", pattern, seed, row.System)
+	fattree := ScaleConfig{Topo: "fattree", K: 4}
+	leafspine := ScaleConfig{Topo: "leafspine", Leaves: 4, Spines: 3, HostsPerLeaf: 4}
+	cases := []struct {
+		name   string
+		base   ScaleConfig
+		shards []int
+		seeds  []int64
+		incast int
+	}{
+		{"fattree-k4", fattree, []int{2, 4}, []int64{1, 2, 3}, 8},
+		{"leafspine", leafspine, []int{2, 4}, []int64{1, 2}, 8},
+		// One wide split on a bigger fabric: k=8 (128 hosts, 8 pods) at S=8
+		// exercises the full all-pairs exchange fan-out. A pod holds 16
+		// hosts, so the fan-in must exceed that for incast to cross pods.
+		{"fattree-k8-s8", ScaleConfig{Topo: "fattree", K: 8}, []int{8}, []int64{1}, 32},
+	}
+	for _, tc := range cases {
+		for _, pattern := range []string{"incast", "permutation"} {
+			for _, seed := range tc.seeds {
+				base := tc.base
+				base.Pattern = pattern
+				base.MsgSize = 64 << 10
+				base.Messages = 2
+				base.Incast = tc.incast
+				base.Seed = seed
+				base.Workers = 1
+				base.Check = true
+				ref := RunScale(base)
+				refStr := ref.String()
+				for _, row := range ref.Rows {
+					if row.Completed == 0 {
+						t.Fatalf("%s %s seed %d: unsharded %s run completed nothing", tc.name, pattern, seed, row.System)
+					}
+					if row.ViolationCount != 0 {
+						t.Fatalf("%s %s seed %d: unsharded %s run has violations:\n%s", tc.name, pattern, seed, row.System, refStr)
+					}
 				}
-				if row.ViolationCount != 0 {
-					t.Fatalf("%s seed %d: unsharded %s run has violations:\n%s", pattern, seed, row.System, refStr)
-				}
-			}
-			for _, S := range []int{2, 4} {
-				cfg := base
-				cfg.Shards = S
-				got := RunScale(cfg)
-				if gotStr := got.String(); gotStr != refStr {
-					t.Errorf("%s seed %d: %d-shard run diverged from single-engine run\n--- 1 shard ---\n%s--- %d shards ---\n%s",
-						pattern, seed, S, refStr, S, gotStr)
-				}
-				for _, row := range got.Rows {
-					if row.Crossings == 0 {
-						t.Errorf("%s seed %d S=%d: %s run had no shard crossings — not exercising the boundary", pattern, seed, S, row.System)
+				for _, S := range tc.shards {
+					cfg := base
+					cfg.Shards = S
+					got := RunScale(cfg)
+					if gotStr := got.String(); gotStr != refStr {
+						t.Errorf("%s %s seed %d: %d-shard run diverged from single-engine run\n--- 1 shard ---\n%s--- %d shards ---\n%s",
+							tc.name, pattern, seed, S, refStr, S, gotStr)
+					}
+					for _, row := range got.Rows {
+						if row.Crossings == 0 {
+							t.Errorf("%s %s seed %d S=%d: %s run had no shard crossings — not exercising the boundary", tc.name, pattern, seed, S, row.System)
+						}
 					}
 				}
 			}

@@ -7,13 +7,18 @@
 // repeatedly (1) reports the earliest thing it could still do — its next
 // local event or the earliest arrival in its outgoing packet batches — and
 // hands each neighbour the batch destined for it; (2) takes the global
-// minimum T of all reports; (3) runs its engine through the window
-// [T, T+lookahead). The lookahead is the minimum propagation delay of any
+// minimum T of all reports; (3) runs its engine through a window opening at
+// T. The lookahead L is the minimum propagation delay of any
 // boundary-crossing link (topo.ShardPlan.Lookahead): a packet a neighbour
-// transmits at or after T spends at least that long on the wire, so nothing
-// can arrive inside the window that is not already known at its start.
-// Windows jump — T is the global next-event time, not a fixed cadence — so
-// idle stretches cost one barrier round instead of horizon/lookahead rounds.
+// transmits at or after its report spends at least that long on the wire.
+// The classic window is [T, T+L); this implementation commits a batched
+// window instead — each shard runs until the earliest instant any other
+// shard can still act, plus L — which collapses the many rounds
+// where one busy shard grinds through dense local work while the others sit
+// on sparse timers (see Cluster.MaxBatch for the safety argument and the
+// knob that restores single-window rounds). Windows jump — T is the global
+// next-event time, not a fixed cadence — so idle stretches cost one barrier
+// round instead of horizon/lookahead rounds.
 //
 // Determinism does not come from the barrier alone: within one timestamp,
 // a single engine orders events by scheduling history, which shards cannot
@@ -42,10 +47,12 @@ import (
 const never = time.Duration(math.MaxInt64)
 
 // xfer is one packet crossing a shard boundary: the cut link's global rank,
-// the absolute arrival time, and the packet's payload fields. The header is
-// a deep copy (links mutate headers in flight); Data and Payload are shared
-// with the sending shard and are read-only by convention — the barrier
-// exchange provides the happens-before edge.
+// the absolute arrival time, and the packet's payload fields. Hdr, Data, and
+// Payload are handed over by pointer, not copied: the transport allocates a
+// fresh header per transmission and never touches it after the delivery that
+// captured it here (link-level duplication clones first), so once the packet
+// leaves via DeliverRemote the sending shard holds no reference. The channel
+// exchange provides the happens-before edge that makes the handoff safe.
 type xfer struct {
 	rank int
 	at   time.Duration
@@ -61,11 +68,16 @@ type xfer struct {
 	flowID                             uint64
 }
 
-// roundMsg is one shard's per-neighbour barrier message: its report and the
-// batch of packets headed that way.
+// roundMsg is one shard's per-neighbour barrier message: its report, the
+// batch of packets headed that way, and a spent batch buffer flowing back to
+// its original owner. The recycle field is the allocation story for the
+// steady state: the receiver of a batch returns its backing array (emptied)
+// on the next round, so each directed pair settles into two alternating
+// buffers and the exchange stops allocating entirely.
 type roundMsg struct {
-	next  time.Duration
-	batch []xfer
+	next    time.Duration
+	batch   []xfer
+	recycle []xfer
 }
 
 // Shard is one partition: a partial fabric (owned pods + cores, with mirror
@@ -76,6 +88,7 @@ type Shard struct {
 	Cut   *topo.ShardCut
 
 	outbox    [][]xfer // per destination shard, filled during the window
+	spent     [][]xfer // per source shard, consumed batches owed back
 	crossings uint64
 	rounds    uint64
 }
@@ -93,16 +106,21 @@ func (sk sink) DeliverRemote(l *simnet.Link, at time.Duration, pkt *simnet.Packe
 	x := xfer{
 		rank: port.Rank, at: at,
 		src: pkt.Src, dst: pkt.Dst, size: pkt.Size,
-		payload: pkt.Payload, data: pkt.Data,
+		hdr: pkt.Hdr, payload: pkt.Payload, data: pkt.Data,
 		ce: pkt.CE, ecnCapable: pkt.ECNCapable,
 		trimmed: pkt.Trimmed, corrupted: pkt.Corrupted,
 		tenant: pkt.Tenant, flowID: pkt.FlowID,
 	}
-	if pkt.Hdr != nil {
-		x.hdr = pkt.Hdr.Clone()
-	}
 	sk.s.outbox[port.DstShard] = append(sk.s.outbox[port.DstShard], x)
 	sk.s.Fab.Net.ReleasePacket(pkt)
+	// This crossing can wake its destination at x.at — earlier than that
+	// shard's barrier report promised — and the earliest echo lands here at
+	// x.at + lookahead. Shrink the current batched window to that point:
+	// everything already executed predates it (the crossing just departed),
+	// so the committed prefix stays safe. Under single-window rounds the
+	// bound is never binding (arrivals sit a full lookahead past the window
+	// end), which is exactly why unbatched runs never needed it.
+	sk.s.Fab.Eng.TightenRunLimit(at + sk.s.Cut.Lookahead)
 }
 
 // inject materializes a received batch in this shard: each packet is
@@ -130,20 +148,25 @@ func (s *Shard) inject(batch []xfer) {
 
 // report is the earliest time anything can still happen because of this
 // shard: its next local event or the earliest arrival it is about to hand a
-// neighbour.
-func (s *Shard) report() time.Duration {
-	next := never
+// neighbour. The outgoing minimum is also returned separately — the batched
+// window bound needs it (see runShard), because handed-over arrivals can
+// wake a neighbour earlier than that neighbour's own report admits.
+func (s *Shard) report() (next, outMin time.Duration) {
+	next, outMin = never, never
 	if at, ok := s.Fab.Eng.NextEventAt(); ok {
 		next = at
 	}
 	for _, batch := range s.outbox {
 		for i := range batch {
-			if batch[i].at < next {
-				next = batch[i].at
+			if batch[i].at < outMin {
+				outMin = batch[i].at
 			}
 		}
 	}
-	return next
+	if outMin < next {
+		next = outMin
+	}
+	return next, outMin
 }
 
 // Cluster is a set of shards jointly simulating one fabric.
@@ -154,6 +177,18 @@ type Cluster struct {
 	// by one so every shard can send all its messages before receiving any —
 	// the exchange doubles as the barrier.
 	chans [][]chan roundMsg
+
+	// MaxBatch bounds how many lookahead windows one barrier round may
+	// commit. Each round, a shard may safely run past the classic window
+	// [T, T+L) all the way to min(min_{j≠s} next_j, outMin_s)+L — the
+	// earliest instant any OTHER shard can still act, counting both their
+	// reports and the batches this shard just handed them — because
+	// anything born there spends at least the lookahead L on the wire
+	// before it can land here (see runShard for the full argument).
+	// MaxBatch <= 0 (the default) lets the bound float freely; MaxBatch ==
+	// 1 reproduces the unbatched schedule exactly, window for window —
+	// useful for equivalence tests and bisection.
+	MaxBatch int
 }
 
 // NewFatTreeCluster partitions cfg across shards engines. Shard 0's fabric
@@ -161,6 +196,26 @@ type Cluster struct {
 // owned hosts (Fabric.OwnsHost) and schedule initial work before Run.
 func NewFatTreeCluster(cfg topo.FatTreeConfig, shards int) *Cluster {
 	plan := topo.PlanFatTreeShards(cfg, shards)
+	return newCluster(plan, func(s int, remote simnet.RemoteHook) (*topo.Fabric, *topo.ShardCut) {
+		return topo.NewFatTreeShard(cfg, plan, s, remote)
+	})
+}
+
+// NewLeafSpineCluster partitions cfg rack-wise across shards engines: each
+// shard owns a contiguous block of leaves with their hosts, spines are dealt
+// round-robin, and the leaf↔spine trunks form the cut (see
+// topo.PlanLeafSpineShards). Usage is identical to NewFatTreeCluster.
+func NewLeafSpineCluster(cfg topo.LeafSpineConfig, shards int) *Cluster {
+	plan := topo.PlanLeafSpineShards(cfg, shards)
+	return newCluster(plan, func(s int, remote simnet.RemoteHook) (*topo.Fabric, *topo.ShardCut) {
+		return topo.NewLeafSpineShard(cfg, plan, s, remote)
+	})
+}
+
+// newCluster assembles the shard array and barrier channels around a
+// topology-specific slice builder.
+func newCluster(plan topo.ShardPlan, build func(s int, remote simnet.RemoteHook) (*topo.Fabric, *topo.ShardCut)) *Cluster {
+	shards := plan.Shards
 	c := &Cluster{plan: plan, shards: make([]*Shard, shards), chans: make([][]chan roundMsg, shards)}
 	for i := 0; i < shards; i++ {
 		c.chans[i] = make([]chan roundMsg, shards)
@@ -171,8 +226,8 @@ func NewFatTreeCluster(cfg topo.FatTreeConfig, shards int) *Cluster {
 		}
 	}
 	for s := 0; s < shards; s++ {
-		sh := &Shard{Index: s, outbox: make([][]xfer, shards)}
-		sh.Fab, sh.Cut = topo.NewFatTreeShard(cfg, plan, s, sink{sh})
+		sh := &Shard{Index: s, outbox: make([][]xfer, shards), spent: make([][]xfer, shards)}
+		sh.Fab, sh.Cut = build(s, sink{sh})
 		c.shards[s] = sh
 	}
 	return c
@@ -240,20 +295,24 @@ func (c *Cluster) Run(horizon time.Duration) RunStats {
 
 func (c *Cluster) runShard(s *Shard, horizon time.Duration) {
 	eng := s.Fab.Eng
+	L := c.plan.Lookahead
 	for {
-		next := s.report()
+		next, outMin := s.report()
 		// Exchange: send every neighbour our report and its batch, then
 		// collect theirs. The one-slot channel buffers make the full send
 		// phase non-blocking, so the pairwise exchange is deadlock-free and
-		// acts as the barrier.
+		// acts as the barrier. Each message also carries back the batch
+		// buffer consumed from that neighbour last round.
 		for j := range c.shards {
 			if j == s.Index {
 				continue
 			}
-			c.chans[s.Index][j] <- roundMsg{next: next, batch: s.outbox[j]}
+			c.chans[s.Index][j] <- roundMsg{next: next, batch: s.outbox[j], recycle: s.spent[j]}
 			s.outbox[j] = nil
+			s.spent[j] = nil
 		}
 		T := next
+		minOther := never
 		for j := range c.shards {
 			if j == s.Index {
 				continue
@@ -262,18 +321,67 @@ func (c *Cluster) runShard(s *Shard, horizon time.Duration) {
 			if m.next < T {
 				T = m.next
 			}
+			if m.next < minOther {
+				minOther = m.next
+			}
 			s.inject(m.batch)
+			if m.batch != nil {
+				// Hand the buffer back next round; clear it first so the
+				// consumed headers and payloads are not pinned meanwhile.
+				clear(m.batch)
+				s.spent[j] = m.batch[:0]
+			}
+			if m.recycle != nil {
+				// A buffer we filled earlier, emptied by j: reuse it for
+				// the next outgoing batch instead of growing a fresh one.
+				s.outbox[j] = m.recycle
+			}
 		}
 		// Every shard computed the same T, so all of them terminate on the
 		// same round.
 		if T > horizon {
 			return
 		}
-		limit := T + c.plan.Lookahead
-		if limit > horizon {
-			// Cap at horizon inclusively: Run(horizon) executes events at
-			// exactly the horizon, so the strict window must reach past it.
+		// Batched window: the classic conservative bound is [T, T+L), but a
+		// tighter per-shard bound holds. Everything any other shard does
+		// this round happens at or after bound = min(minOther, outMin):
+		// neighbour j's own pending work starts at next_j >= minOther, and
+		// the only arrivals injected into j this round that undercut that
+		// are the ones THIS shard just handed over, none earlier than
+		// outMin (batches from a third shard i start at next_i >= minOther
+		// too). A crossing born at time t reaches us no sooner than t+L, so
+		// nothing can land strictly before bound+L and this shard may
+		// commit that whole span in one round. RunBefore is exclusive, so
+		// an arrival at exactly bound+L falls in a later window. When the
+		// laggard is this shard's own dense local work (incast: minOther
+		// and outMin both far ahead), the bound stretches over many idle
+		// neighbour windows at once.
+		bound := minOther
+		if outMin < bound {
+			bound = outMin
+		}
+		var limit time.Duration
+		if bound >= horizon {
+			// Nothing can reach us before the horizon (bound may be
+			// `never`, so adding L could overflow): run out the remainder.
 			limit = horizon + 1
+		} else {
+			limit = bound + L
+			if limit > horizon {
+				// Cap at horizon inclusively: Run(horizon) executes events
+				// at exactly the horizon, so the strict window must reach
+				// past it.
+				limit = horizon + 1
+			}
+		}
+		if c.MaxBatch > 0 {
+			capped := T + time.Duration(c.MaxBatch)*L
+			if capped > horizon {
+				capped = horizon + 1
+			}
+			if capped < limit {
+				limit = capped
+			}
 		}
 		eng.RunBefore(limit)
 		s.rounds++

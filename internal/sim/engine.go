@@ -91,6 +91,10 @@ type Engine struct {
 
 	processed uint64
 	running   bool
+	// runLimit is the exclusive bound of the RunBefore window currently
+	// executing. Event callbacks may lower it via TightenRunLimit; RunBefore
+	// re-reads it every iteration.
+	runLimit Time
 
 	// step, when non-nil, observes every event execution (internal/check's
 	// clock-monotonicity and ordering invariants). Nil in normal operation so
@@ -123,6 +127,29 @@ func (e *Engine) SetStepHook(fn func(at Time, pri, seq uint64)) { e.step = fn }
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// Reserve grows the arena, heap, and free-list capacity so at least n events
+// can be pending at once without reallocation. Topology builders call it with
+// an estimate derived from the fabric's element count (hosts, links, timers),
+// so a shard's engine reaches its steady-state footprint at construction time
+// instead of through repeated doubling during the first congestion burst.
+func (e *Engine) Reserve(n int) {
+	if cap(e.arena) < n {
+		arena := make([]event, len(e.arena), n)
+		copy(arena, e.arena)
+		e.arena = arena
+	}
+	if cap(e.order) < n {
+		order := make([]int32, len(e.order), n)
+		copy(order, e.order)
+		e.order = order
+	}
+	if cap(e.free) < n {
+		free := make([]int32, len(e.free), n)
+		copy(free, e.free)
+		e.free = free
+	}
+}
 
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.order) }
@@ -350,20 +377,25 @@ func (e *Engine) Run(until Time) Time {
 }
 
 // RunBefore executes every event strictly before until (exclusive, unlike
-// Run's inclusive bound) and advances the clock to until. It is the
-// conservative-synchronization window primitive for internal/shard: a shard
-// may safely run [now, until) exactly when no cross-shard arrival can land
-// before until.
-func (e *Engine) RunBefore(until Time) {
+// Run's inclusive bound) and advances the clock to the window's end. It is
+// the conservative-synchronization window primitive for internal/shard: a
+// shard may safely run [now, until) exactly when no cross-shard arrival can
+// land before until. Callbacks may shrink the window mid-run with
+// TightenRunLimit — the shard driver does so when an event emits a boundary
+// crossing, because that crossing can wake a neighbour earlier than the
+// neighbour's barrier report promised, invalidating the rest of the window.
+// It returns the (possibly tightened) window end the clock advanced to.
+func (e *Engine) RunBefore(until Time) Time {
 	if e.running {
 		panic("sim: RunBefore re-entered")
 	}
 	e.running = true
+	e.runLimit = until
 	defer func() { e.running = false }()
 	for len(e.order) > 0 {
 		slot := e.order[0]
 		ev := &e.arena[slot]
-		if ev.at >= until {
+		if ev.at >= e.runLimit {
 			break
 		}
 		e.now = ev.at
@@ -380,9 +412,27 @@ func (e *Engine) RunBefore(until Time) {
 			afn(a1, a2)
 		}
 	}
-	if e.now < until {
-		e.now = until
+	if e.now < e.runLimit {
+		e.now = e.runLimit
 	}
+	return e.runLimit
+}
+
+// TightenRunLimit lowers the exclusive bound of the RunBefore window
+// currently executing. It never raises the bound, never cuts below the
+// clock (events at the current timestamp still run to completion, which
+// preserves same-timestamp atomicity), and is a no-op outside RunBefore.
+func (e *Engine) TightenRunLimit(until Time) {
+	if !e.running || until >= e.runLimit {
+		return
+	}
+	if until <= e.now {
+		// The clock is already at or past the requested bound; stop as soon
+		// as the current timestamp finishes (e.now < runLimit inside the
+		// loop, so this never raises the bound).
+		until = e.now + 1
+	}
+	e.runLimit = until
 }
 
 // NextEventAt returns the firing time of the earliest pending event. ok is

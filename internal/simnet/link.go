@@ -77,8 +77,14 @@ type LinkConfig struct {
 }
 
 // RemoteHook receives packets leaving the local shard. DeliverRemote owns
-// pkt afterwards: it must copy what crosses the boundary and release pkt
-// into the local pool before returning.
+// pkt afterwards: it must capture what crosses the boundary and release pkt
+// into the local pool before returning. The Packet struct itself is pooled
+// and must not escape, but its Hdr, Data, and Payload references may be
+// handed across by pointer — the transport allocates a fresh header per
+// transmission and nothing on the sending side touches those fields after
+// the transmit-done that invoked the hook (duplication paths clone before
+// enqueueing), so the shard barrier's happens-before edge is the only
+// synchronization the handoff needs.
 type RemoteHook interface {
 	DeliverRemote(l *Link, deliverAt time.Duration, pkt *Packet)
 }
@@ -288,6 +294,7 @@ func (l *Link) FlushQueues() int {
 		}
 		l.queues[i] = q[:0]
 	}
+	l.net.queuedPkts -= n
 	return n
 }
 
@@ -428,6 +435,7 @@ func (l *Link) enqueue(pkt *Packet) {
 		l.net.obs.PacketEnqueued(l, pkt, qi, len(q), ecnMarked)
 	}
 	l.queues[qi] = append(q, pkt)
+	l.net.queuedPkts++
 	if l.cfg.PauseThreshold > 0 && l.QueueLen() >= l.cfg.PauseThreshold {
 		l.pauseUpstream()
 	}
@@ -509,6 +517,7 @@ func (l *Link) transmitNext() {
 	pkt := l.queues[qi][0]
 	copy(l.queues[qi], l.queues[qi][1:])
 	l.queues[qi] = l.queues[qi][:len(l.queues[qi])-1]
+	l.net.queuedPkts--
 
 	l.busy = true
 	txDelay := l.SerializationDelay(pkt.Size)

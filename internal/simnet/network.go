@@ -25,6 +25,19 @@ type Network struct {
 	// the steady-state forwarding path allocates nothing. The engine is
 	// single-threaded, so no locking.
 	pktFree []*Packet
+	// pktLive counts pooled packets currently out of the free-list;
+	// pktHigh is its high-water mark. Together they tell a shard whether
+	// its PreallocPackets sizing was right: high-water above the prealloc
+	// count means the pool grew (allocated) mid-run.
+	pktLive int
+	pktHigh int
+
+	// queuedPkts counts packets sitting in link egress queues network-wide,
+	// maintained exactly by the three queue mutation sites (enqueue, the
+	// transmit pop, FlushQueues). Occupancy probes use it to skip scanning
+	// thousands of links when the fabric is quiescent — in a scale run's
+	// drain phase that scan is most of the remaining event cost.
+	queuedPkts int
 
 	// obs, when non-nil, sees every packet event (see Observer). Nil in
 	// normal operation.
@@ -45,6 +58,10 @@ func SetPoisonFreed(on bool) { poisonFreed = on }
 // fresh one). It is recycled automatically when a host delivers it or a link
 // drops it; senders must not retain it past that point.
 func (n *Network) AllocPacket() *Packet {
+	n.pktLive++
+	if n.pktLive > n.pktHigh {
+		n.pktHigh = n.pktLive
+	}
 	if k := len(n.pktFree); k > 0 {
 		p := n.pktFree[k-1]
 		n.pktFree[k-1] = nil
@@ -54,6 +71,37 @@ func (n *Network) AllocPacket() *Packet {
 	}
 	return &Packet{pooled: true}
 }
+
+// PreallocPackets seeds the free-list with count packets in one contiguous
+// slab. Shard builders size it from the owned host/link count so the
+// forwarding path never grows the pool mid-run; PoolStats verifies the
+// sizing after the fact.
+func (n *Network) PreallocPackets(count int) {
+	if count <= len(n.pktFree) {
+		return
+	}
+	slab := make([]Packet, count-len(n.pktFree))
+	if cap(n.pktFree) < count {
+		free := make([]*Packet, len(n.pktFree), count)
+		copy(free, n.pktFree)
+		n.pktFree = free
+	}
+	for i := range slab {
+		slab[i].pooled = true
+		slab[i].released = true
+		n.pktFree = append(n.pktFree, &slab[i])
+	}
+}
+
+// PoolStats reports packet-pool occupancy: pooled packets currently checked
+// out, the high-water mark of that count, and the free-list length.
+func (n *Network) PoolStats() (live, highWater, free int) {
+	return n.pktLive, n.pktHigh, len(n.pktFree)
+}
+
+// QueuedPackets returns the exact number of packets currently queued across
+// every link in the network.
+func (n *Network) QueuedPackets() int { return n.queuedPkts }
 
 // ReleasePacket returns a pooled packet to the free-list. Packets not built
 // by AllocPacket are ignored, so callers may release unconditionally.
@@ -70,6 +118,7 @@ func (n *Network) ReleasePacket(p *Packet) {
 	if p.released {
 		panic("simnet: double release of pooled packet")
 	}
+	n.pktLive--
 	if poisonFreed {
 		// Poison and withhold from the pool: stale readers see nonsense
 		// values instead of the next packet's fields.

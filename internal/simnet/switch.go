@@ -109,8 +109,10 @@ func (s *Switch) EgressLinks() []*Link { return s.egress }
 // (or from the route function when no explicit entry exists). Callers must
 // not mutate the returned slice.
 func (s *Switch) Routes(dst NodeID) []*Link {
-	if c, ok := s.routes[dst]; ok {
-		return c
+	if len(s.routes) > 0 {
+		if c, ok := s.routes[dst]; ok {
+			return c
+		}
 	}
 	if s.routeFn != nil {
 		return s.routeFn(dst)
@@ -160,8 +162,13 @@ func (s *Switch) Receive(pkt *Packet, from *Link) {
 
 // Forward routes a packet (also used by offloads that generate packets).
 func (s *Switch) Forward(pkt *Packet) {
-	candidates, ok := s.routes[pkt.Dst]
-	if !ok && s.routeFn != nil {
+	// Computed-routing switches (fat-tree tiers) keep the routes map empty,
+	// so the per-packet path skips the map hash entirely.
+	var candidates []*Link
+	if len(s.routes) > 0 {
+		candidates = s.routes[pkt.Dst]
+	}
+	if candidates == nil && s.routeFn != nil {
 		candidates = s.routeFn(pkt.Dst)
 	}
 	if len(candidates) == 0 {

@@ -114,7 +114,7 @@ func buildFatTree(cfg FatTreeConfig, plan *ShardPlan, shard int, remote simnet.R
 		for e := 0; e < half; e++ {
 			for h := 0; h < half; h++ {
 				if ownPod(p) {
-					f.addHost(p, edges[p][e], cfg.HostLink)
+					f.addHost(p, edges[p][e], cfg.HostLink, false)
 				} else {
 					f.skipHost(p)
 				}
@@ -217,29 +217,30 @@ func buildFatTree(cfg FatTreeConfig, plan *ShardPlan, shard int, remote simnet.R
 
 	// Routing is computed, not tabulated: per-host route maps in every
 	// switch would need O(k⁵/4) entries fabric-wide (~10M at k=32), so each
-	// switch decomposes the contiguous host ID arithmetically. Candidate
-	// sets and their order are exactly what the AddRoute-based construction
-	// produced: all uplinks upward, the unique downlink downward. Local
-	// host downlinks stay as explicit AddRoute entries (installed by
-	// addHost), which take precedence over the route function.
+	// switch decomposes the contiguous host ID via the shared per-radix
+	// class tables (see ftclass.go) — two int32 loads per packet instead of
+	// two divisions. Candidate sets and their order are exactly what the
+	// AddRoute-based construction produced: all uplinks upward, the unique
+	// downlink downward, and the host's access link at its own edge (folded
+	// into the route function so edge route maps stay empty and Forward
+	// skips the map probe entirely).
 	hostBase := simnet.NodeID(numSwitches)
 	nHosts := k * half * half
-	locate := func(dst simnet.NodeID) (int, bool) {
-		hi := int(dst - hostBase)
-		if hi < 0 || hi >= nHosts {
-			return 0, false
-		}
-		return hi, true
-	}
+	cls := fatTreeClasses(k)
 	for p := 0; p < k; p++ {
 		if !ownPod(p) {
 			continue
 		}
 		for e := 0; e < half; e++ {
 			ups := edgeUp[p][e]
+			base := (p*half + e) * half // first host index under this edge
 			edges[p][e].SetRouteFunc(func(dst simnet.NodeID) []*simnet.Link {
-				if _, ok := locate(dst); !ok {
+				hi := int(dst - hostBase)
+				if uint(hi) >= uint(nHosts) {
 					return nil
+				}
+				if local := hi - base; uint(local) < uint(half) {
+					return f.hostDown[hi : hi+1]
 				}
 				return ups
 			})
@@ -251,12 +252,12 @@ func buildFatTree(cfg FatTreeConfig, plan *ShardPlan, shard int, remote simnet.R
 				downs[e] = aggDown[p][a][e : e+1]
 			}
 			aggs[p][a].SetRouteFunc(func(dst simnet.NodeID) []*simnet.Link {
-				hi, ok := locate(dst)
-				if !ok {
+				hi := int(dst - hostBase)
+				if uint(hi) >= uint(nHosts) {
 					return nil
 				}
-				if hi/(half*half) == p {
-					return downs[(hi/half)%half]
+				if int(cls.podOf[hi]) == p {
+					return downs[cls.edgeOf[hi]]
 				}
 				return ups
 			})
@@ -271,12 +272,36 @@ func buildFatTree(cfg FatTreeConfig, plan *ShardPlan, shard int, remote simnet.R
 			downs[p] = coreDown[ci][p : p+1]
 		}
 		cores[ci].SetRouteFunc(func(dst simnet.NodeID) []*simnet.Link {
-			hi, ok := locate(dst)
-			if !ok {
+			hi := int(dst - hostBase)
+			if uint(hi) >= uint(nHosts) {
 				return nil
 			}
-			return downs[hi/(half*half)]
+			return downs[cls.podOf[hi]]
 		})
 	}
+
+	// Size the packet pool and event arena from what this shard actually
+	// owns, so the hot path never grows either mid-run: roughly one in-
+	// flight packet per host plus a queue share per trunk, and one pending
+	// event per link plus a few timers per host. Both are capped — an
+	// unsharded k=64 build would otherwise reserve tens of MB it may never
+	// touch.
+	ownedHosts := 0
+	for _, h := range f.hosts {
+		if h != nil {
+			ownedHosts++
+		}
+	}
+	nLinks := len(f.Net.Links())
+	pkts := ownedHosts + nLinks/4 + 256
+	if pkts > 1<<16 {
+		pkts = 1 << 16
+	}
+	f.Net.PreallocPackets(pkts)
+	events := nLinks + 4*ownedHosts + 1024
+	if events > 1<<18 {
+		events = 1 << 18
+	}
+	f.Eng.Reserve(events)
 	return f, cut
 }

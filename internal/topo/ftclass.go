@@ -1,0 +1,36 @@
+package topo
+
+import "sync"
+
+// ftClasses are the per-radix destination-class tables the fat-tree route
+// functions index instead of computing divisions per packet: for host index
+// hi, podOf[hi] = hi/(half·half) and edgeOf[hi] = (hi/half) mod half. The
+// tables depend only on the radix, so one read-only copy per k serves every
+// fabric built at that radix — including all shards of a partitioned build,
+// which share the cache across their goroutines. Total cost is 8 bytes per
+// host per radix (512 KB at k=64), versus O(k³) route-map entries per switch
+// the arithmetic routing replaced in the first place.
+type ftClasses struct {
+	podOf  []int32 // host index -> pod
+	edgeOf []int32 // host index -> edge switch index within the pod
+}
+
+// ftClassCache maps radix k -> *ftClasses. Entries are immutable after
+// construction; concurrent builders may race to insert, LoadOrStore keeps
+// the winner.
+var ftClassCache sync.Map
+
+func fatTreeClasses(k int) *ftClasses {
+	if c, ok := ftClassCache.Load(k); ok {
+		return c.(*ftClasses)
+	}
+	half := k / 2
+	n := k * half * half
+	c := &ftClasses{podOf: make([]int32, n), edgeOf: make([]int32, n)}
+	for hi := 0; hi < n; hi++ {
+		c.podOf[hi] = int32(hi / (half * half))
+		c.edgeOf[hi] = int32((hi / half) % half)
+	}
+	actual, _ := ftClassCache.LoadOrStore(k, c)
+	return actual.(*ftClasses)
+}

@@ -1,6 +1,10 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"mtp/internal/simnet"
+)
 
 // LeafSpineConfig parameterizes a two-tier leaf-spine fabric: Leaves ToR
 // switches each hosting HostsPerLeaf hosts, fully meshed to Spines spine
@@ -39,6 +43,31 @@ func (c LeafSpineConfig) withDefaults() LeafSpineConfig {
 	return c
 }
 
+// PlanLeafSpineShards computes the rack partition for cfg across shards:
+// leaves (and their hosts — a rack never splits) in contiguous blocks,
+// spines round-robin, exactly parallel to the fat-tree plan's pods/cores.
+// The PodShard slice is indexed by leaf. It panics when shards is out of
+// range — callers decide policy (clamping, refusing) before planning.
+func PlanLeafSpineShards(cfg LeafSpineConfig, shards int) ShardPlan {
+	cfg = cfg.withDefaults()
+	if shards < 1 || shards > cfg.Leaves {
+		panic(fmt.Sprintf("topo: leaf-spine with %d leaves cannot split into %d shards", cfg.Leaves, shards))
+	}
+	plan := ShardPlan{
+		Shards:    shards,
+		PodShard:  make([]int, cfg.Leaves),
+		CoreShard: make([]int, cfg.Spines),
+		Lookahead: cfg.FabricLink.Delay,
+	}
+	for l := 0; l < cfg.Leaves; l++ {
+		plan.PodShard[l] = l * shards / cfg.Leaves
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		plan.CoreShard[s] = s % shards
+	}
+	return plan
+}
+
 // NewLeafSpine builds a leaf-spine fabric. Hosts are ordered leaf-major:
 // host i sits under leaf i/HostsPerLeaf. Each leaf routes local hosts via
 // their access link and every remote host via all Spines uplinks (the
@@ -47,55 +76,174 @@ func (c LeafSpineConfig) withDefaults() LeafSpineConfig {
 // routing is loop-free by construction and CountPaths(i,j) == Spines for
 // inter-rack pairs.
 func NewLeafSpine(cfg LeafSpineConfig) *Fabric {
+	f, _ := buildLeafSpine(cfg, nil, 0, nil)
+	return f
+}
+
+// NewLeafSpineShard builds the slice of a leaf-spine fabric that shard owns
+// under plan: its racks (leaf switch plus hosts), its round-robin share of
+// the spines, and every link whose transmitting side it owns. As with
+// NewFatTreeShard, the walk is the full topology's walk with unowned
+// elements skipped, so node IDs, pathlet IDs, and link ranks match the
+// unsharded build; boundary egresses get the remote hook and boundary
+// ingresses materialize as rank-keyed mirrors, indexed by the returned
+// ShardCut. Host↔leaf links never cross (a rack is atomic); only leaf↔spine
+// trunks do.
+func NewLeafSpineShard(cfg LeafSpineConfig, plan ShardPlan, shard int, remote simnet.RemoteHook) (*Fabric, *ShardCut) {
+	return buildLeafSpine(cfg, &plan, shard, remote)
+}
+
+func buildLeafSpine(cfg LeafSpineConfig, plan *ShardPlan, shard int, remote simnet.RemoteHook) (*Fabric, *ShardCut) {
 	cfg = cfg.withDefaults()
 	if cfg.Leaves < 1 || cfg.Spines < 1 || cfg.HostsPerLeaf < 1 {
 		panic("topo: leaf-spine needs at least one leaf, spine, and host per leaf")
 	}
 	f := newFabric(cfg.Seed)
+	cut := &ShardCut{
+		Out:       make(map[*simnet.Link]CutPort),
+		In:        make(map[int]*simnet.Link),
+		Lookahead: cfg.FabricLink.Delay,
+	}
+	ownLeaf := func(li int) bool { return plan == nil || plan.PodShard[li] == shard }
+	ownSpine := func(si int) bool { return plan == nil || plan.CoreShard[si] == shard }
 
 	// Switches first, in tier order, so IDs and pathlets are stable.
+	spines := make([]*simnet.Switch, cfg.Spines)
 	for s := 0; s < cfg.Spines; s++ {
-		f.addSwitch(TierSpine, -1, cfg.Policy)
+		if ownSpine(s) {
+			spines[s] = f.addSwitch(TierSpine, -1, cfg.Policy)
+		} else {
+			f.Net.SkipIDs(1)
+		}
 	}
+	leaves := make([]*simnet.Switch, cfg.Leaves)
 	for l := 0; l < cfg.Leaves; l++ {
-		f.addSwitch(TierLeaf, l, cfg.Policy)
+		if ownLeaf(l) {
+			leaves[l] = f.addSwitch(TierLeaf, l, cfg.Policy)
+		} else {
+			f.Net.SkipIDs(1)
+		}
 	}
-	spines := f.switches[TierSpine]
-	leaves := f.switches[TierLeaf]
+	// Unowned switches keep their positional IDs for cut-link bookkeeping.
+	spineID := func(si int) simnet.NodeID { return simnet.NodeID(si) }
+	leafID := func(li int) simnet.NodeID { return simnet.NodeID(cfg.Spines + li) }
 
-	for li, leaf := range leaves {
+	for li := 0; li < cfg.Leaves; li++ {
 		for h := 0; h < cfg.HostsPerLeaf; h++ {
-			f.addHost(li, leaf, cfg.HostLink)
+			if ownLeaf(li) {
+				f.addHost(li, leaves[li], cfg.HostLink, true)
+			} else {
+				f.skipHost(li)
+			}
 		}
 	}
 
+	// addTrunk wires one directed leaf↔spine trunk, advancing the pathlet
+	// and rank counters whether or not this shard materializes it (same
+	// contract as the fat-tree's boundary-aware addTrunk).
+	addTrunk := func(from, to *simnet.Switch, toID simnet.NodeID, dstShard int, fromTier, toTier Tier, pod int, name string) *simnet.Link {
+		id := f.nextPathlet
+		f.nextPathlet++
+		rank := f.allocRank()
+		if from == nil && to == nil {
+			return nil
+		}
+		pathlet := id
+		spec := cfg.FabricLink
+		lcfg := simnet.LinkConfig{
+			Rate: spec.Rate, Delay: spec.Delay,
+			QueueCap: spec.QueueCap, ECNThreshold: spec.ECNThreshold,
+			Pathlet: &pathlet, StampECN: true,
+			Rank: rank,
+		}
+		if from != nil && to != nil {
+			l := f.Net.Connect(to, lcfg, name)
+			from.AddEgress(l)
+			f.trunks = append(f.trunks, &Trunk{
+				Link: l, From: from, To: to,
+				FromTier: fromTier, ToTier: toTier, Pod: pod, Pathlet: id,
+			})
+			return l
+		}
+		if from != nil {
+			// Boundary egress: queue and wire live here, delivery crosses.
+			lcfg.Remote = remote
+			l := f.Net.Connect(remoteNode{id: toID}, lcfg, name)
+			from.AddEgress(l)
+			f.trunks = append(f.trunks, &Trunk{
+				Link: l, From: from, To: nil,
+				FromTier: fromTier, ToTier: toTier, Pod: pod, Pathlet: id,
+			})
+			cut.Out[l] = CutPort{Rank: rank, DstShard: dstShard}
+			return l
+		}
+		// Boundary ingress: a rank-keyed mirror of the owning shard's egress.
+		l := f.Net.Connect(to, lcfg, name)
+		cut.In[rank] = l
+		return l
+	}
+
 	// Full leaf↔spine mesh.
-	ups := make([][]*Trunk, cfg.Leaves)   // [leaf][spine]
-	downs := make([][]*Trunk, cfg.Leaves) // [leaf][spine]
-	for li, leaf := range leaves {
-		for si, spine := range spines {
-			ups[li] = append(ups[li], f.addTrunk(leaf, spine, TierLeaf, TierSpine, li,
-				cfg.FabricLink, fmt.Sprintf("leaf%d-spine%d", li, si)))
-			downs[li] = append(downs[li], f.addTrunk(spine, leaf, TierSpine, TierLeaf, li,
-				cfg.FabricLink, fmt.Sprintf("spine%d-leaf%d", si, li)))
+	ups := make([][]*simnet.Link, cfg.Leaves)   // [leaf][spine]
+	downs := make([][]*simnet.Link, cfg.Leaves) // [leaf][spine]
+	for li := 0; li < cfg.Leaves; li++ {
+		ups[li] = make([]*simnet.Link, cfg.Spines)
+		downs[li] = make([]*simnet.Link, cfg.Spines)
+		leafShard := shard
+		if plan != nil {
+			leafShard = plan.PodShard[li]
+		}
+		for si := 0; si < cfg.Spines; si++ {
+			spineShard := shard
+			if plan != nil {
+				spineShard = plan.CoreShard[si]
+			}
+			ups[li][si] = addTrunk(leaves[li], spines[si], spineID(si), spineShard,
+				TierLeaf, TierSpine, li, fmt.Sprintf("leaf%d-spine%d", li, si))
+			downs[li][si] = addTrunk(spines[si], leaves[li], leafID(li), leafShard,
+				TierSpine, TierLeaf, li, fmt.Sprintf("spine%d-leaf%d", si, li))
 		}
 	}
 
 	// Routes: leaves spread remote traffic across every spine; spines have
-	// one way down to each leaf.
-	for hi, h := range f.hosts {
+	// one way down to each leaf. Destination IDs come from the hostIDs
+	// inventory, which is populated for owned and unowned hosts alike.
+	for hi := 0; hi < cfg.Leaves*cfg.HostsPerLeaf; hi++ {
+		hid := f.HostID(hi)
 		hl := f.hostPod[hi]
 		for li := range leaves {
-			if li == hl {
+			if li == hl || leaves[li] == nil {
 				continue // local access route installed by addHost
 			}
 			for si := range spines {
-				leaves[li].AddRoute(h.ID(), ups[li][si].Link)
+				leaves[li].AddRoute(hid, ups[li][si])
 			}
 		}
 		for si := range spines {
-			spines[si].AddRoute(h.ID(), downs[hl][si].Link)
+			if spines[si] != nil {
+				spines[si].AddRoute(hid, downs[hl][si])
+			}
 		}
 	}
-	return f
+
+	// Size the packet pool and event arena from the owned element counts
+	// (see buildFatTree for rationale and the caps).
+	ownedHosts := 0
+	for _, h := range f.hosts {
+		if h != nil {
+			ownedHosts++
+		}
+	}
+	nLinks := len(f.Net.Links())
+	pkts := ownedHosts + nLinks/4 + 256
+	if pkts > 1<<16 {
+		pkts = 1 << 16
+	}
+	f.Net.PreallocPackets(pkts)
+	events := nLinks + 4*ownedHosts + 1024
+	if events > 1<<18 {
+		events = 1 << 18
+	}
+	f.Eng.Reserve(events)
+	return f, cut
 }

@@ -134,6 +134,112 @@ func TestFatTreeShardSlices(t *testing.T) {
 	}
 }
 
+// TestPlanLeafSpineShards pins the rack partition: contiguous leaf blocks,
+// round-robin spines, lookahead from the trunk delay, and a panic on
+// out-of-range shard counts.
+func TestPlanLeafSpineShards(t *testing.T) {
+	cfg := LeafSpineConfig{Leaves: 4, Spines: 3, HostsPerLeaf: 2,
+		FabricLink: LinkSpec{Delay: 5 * time.Microsecond}}
+	plan := PlanLeafSpineShards(cfg, 2)
+	if got, want := plan.PodShard, []int{0, 0, 1, 1}; len(got) != 4 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		t.Fatalf("PodShard = %v, want %v", got, want)
+	}
+	if got, want := plan.CoreShard, []int{0, 1, 0}; len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("CoreShard = %v, want %v", got, want)
+	}
+	if plan.Lookahead != 5*time.Microsecond {
+		t.Fatalf("Lookahead = %v, want the trunk delay", plan.Lookahead)
+	}
+	for _, bad := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PlanLeafSpineShards(leaves=4, shards=%d) did not panic", bad)
+				}
+			}()
+			PlanLeafSpineShards(cfg, bad)
+		}()
+	}
+}
+
+// TestLeafSpineShardSlices checks that the union of leaf-spine shard builds
+// is the unsharded fabric, mirroring TestFatTreeShardSlices: stable host
+// IDs, rack-atomic ownership, spine round-robin, and rank-matched cut
+// mirrors.
+func TestLeafSpineShardSlices(t *testing.T) {
+	cfg := LeafSpineConfig{Leaves: 4, Spines: 4, HostsPerLeaf: 3}
+	full := NewLeafSpine(cfg)
+	const S = 2
+	plan := PlanLeafSpineShards(cfg, S)
+
+	fabs := make([]*Fabric, S)
+	cuts := make([]*ShardCut, S)
+	for s := 0; s < S; s++ {
+		fabs[s], cuts[s] = NewLeafSpineShard(cfg, plan, s, nullHook{})
+		if cuts[s].Lookahead != plan.Lookahead {
+			t.Fatalf("shard %d cut lookahead %v, want %v", s, cuts[s].Lookahead, plan.Lookahead)
+		}
+	}
+
+	for i := 0; i < full.NumHosts(); i++ {
+		owner := plan.PodShard[full.HostPod(i)]
+		for s := 0; s < S; s++ {
+			fab := fabs[s]
+			if fab.HostID(i) != full.HostID(i) {
+				t.Fatalf("shard %d host %d ID %d, want unsharded %d", s, i, fab.HostID(i), full.HostID(i))
+			}
+			if owns := fab.OwnsHost(i); owns != (s == owner) {
+				t.Fatalf("shard %d OwnsHost(%d) = %v, owner is %d", s, i, owns, owner)
+			}
+			up, down := fab.HostLinks(i)
+			if (up != nil) != (s == owner) || (down != nil) != (s == owner) {
+				t.Fatalf("shard %d host %d links materialized = (%v,%v), owner is %d", s, i, up != nil, down != nil, owner)
+			}
+		}
+	}
+
+	// Leaves only in owning shards; spines round-robin and disjoint.
+	for s := 0; s < S; s++ {
+		for _, sw := range fabs[s].Switches(TierLeaf) {
+			if pod := fabs[s].SwitchPod(sw); plan.PodShard[pod] != s {
+				t.Fatalf("shard %d built leaf %d owned by %d", s, pod, plan.PodShard[pod])
+			}
+		}
+	}
+	ownedSpines := 0
+	for s := 0; s < S; s++ {
+		ownedSpines += len(fabs[s].Switches(TierSpine))
+	}
+	if want := len(full.Switches(TierSpine)); ownedSpines != want {
+		t.Fatalf("spines across shards = %d, want %d", ownedSpines, want)
+	}
+
+	// Every cut-out port must have a rank-matched mirror in its destination
+	// shard, ranks globally unique across shards.
+	seenRank := map[int]int{}
+	for s := 0; s < S; s++ {
+		for l, port := range cuts[s].Out {
+			if port.DstShard == s {
+				t.Fatalf("shard %d cut link %s claims itself as destination", s, l.Name())
+			}
+			if prev, dup := seenRank[port.Rank]; dup {
+				t.Fatalf("rank %d exported by shards %d and %d", port.Rank, prev, s)
+			}
+			seenRank[port.Rank] = s
+			mirror := cuts[port.DstShard].In[port.Rank]
+			if mirror == nil {
+				t.Fatalf("shard %d has no mirror for rank %d from shard %d", port.DstShard, port.Rank, s)
+			}
+			if mirror.Name() != l.Name() {
+				t.Fatalf("mirror name %q for cut link %q", mirror.Name(), l.Name())
+			}
+		}
+	}
+	if len(seenRank) == 0 {
+		t.Fatal("no cut links found on a 2-shard leaf-spine")
+	}
+}
+
 // TestRemoteStubNeverReceives pins the contract that a remote stand-in node
 // only exists to carry an ID: a local delivery to it is a wiring bug and
 // must panic loudly rather than silently vanish.

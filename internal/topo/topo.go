@@ -228,7 +228,13 @@ func (f *Fabric) allocRank() int {
 	return f.nextRank
 }
 
-func (f *Fabric) addHost(pod int, leaf *simnet.Switch, spec LinkSpec) *simnet.Host {
+// addHost materializes one host under leaf. installRoute selects whether the
+// leaf gets an explicit AddRoute entry for the host's downlink: leaf-spine
+// keeps table routing, while the fat-tree folds local-host delivery into its
+// computed route function so the leaf's routes map stays empty and the
+// per-packet forwarding path never hashes a map (simnet.Switch.Forward's
+// fast path).
+func (f *Fabric) addHost(pod int, leaf *simnet.Switch, spec LinkSpec, installRoute bool) *simnet.Host {
 	h := simnet.NewHost(f.Net)
 	i := len(f.hosts)
 	up := f.Net.Connect(leaf, simnet.LinkConfig{
@@ -242,7 +248,9 @@ func (f *Fabric) addHost(pod int, leaf *simnet.Switch, spec LinkSpec) *simnet.Ho
 		Rank: f.allocRank(),
 	}, fmt.Sprintf("host%d-down", i))
 	h.SetUplink(up)
-	leaf.AddRoute(h.ID(), down)
+	if installRoute {
+		leaf.AddRoute(h.ID(), down)
+	}
 	f.hosts = append(f.hosts, h)
 	f.hostPod = append(f.hostPod, pod)
 	f.hostUp = append(f.hostUp, up)
