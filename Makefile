@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify exp bench shardbench cover scenario fuzz
+.PHONY: build test race vet verify exp bench shardbench netbench netbench-record cover scenario fuzz
 
 build:
 	$(GO) build ./...
@@ -57,3 +57,18 @@ shardbench: build
 	$(GO) test -run XXX -bench 'BenchmarkShardedKSweep/k16' -benchtime 1x -benchmem . | \
 		$(GO) run ./cmd/benchjson -o /tmp/BENCH_shard_smoke.json \
 		-gate BENCH_shard.json -gate-metrics 'mtp-Mev/s-8shard,dctcp-Mev/s-8shard'
+
+# netbench is the real-socket smoke gate: the platform launcher runs the
+# loopback runfile (multi-process, real UDP, re-exec workers), the launcher
+# itself fails on any lost message, and benchjson fails on a >25% msgs/sec
+# regression against the committed BENCH_net.json baseline. Results land in
+# a scratch file; refresh the committed baseline with `make netbench-record`
+# on a quiet machine.
+netbench: build
+	$(GO) run ./cmd/mtploadgen -runfile ci/netbench.run | \
+		$(GO) run ./cmd/benchjson -o /tmp/BENCH_net_smoke.json \
+		-gate BENCH_net.json -gate-metrics 'msgs/s'
+
+netbench-record: build
+	$(GO) run ./cmd/mtploadgen -runfile ci/netbench.run | \
+		$(GO) run ./cmd/benchjson -merge -o BENCH_net.json

@@ -87,12 +87,7 @@ func (n *Node) SendBlob(addr string, dstPort uint16, data []byte) (*BlobOutgoing
 func (n *Node) feedBlob(m *core.InMessage) {
 	if n.blob.reasm == nil {
 		n.blob.reasm = core.NewBlobReassembler(func(b *core.Blob) {
-			addrStr, _ := b.From.(string)
-			from := n.peers[addrStr]
-			if from == nil {
-				from = memAddr(addrStr)
-			}
-			n.blob.inbox = append(n.blob.inbox, Blob{From: from, ID: b.ID, Data: b.Data})
+			n.blob.inbox = append(n.blob.inbox, Blob{From: n.fromAddr(b.From), ID: b.ID, Data: b.Data})
 		})
 	}
 	// Malformed chunks are dropped; transport-level integrity already

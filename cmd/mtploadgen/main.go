@@ -6,6 +6,14 @@
 //	mtploadgen -local -count 2000 -size 16384 -concurrency 16
 //	mtploadgen -sink 127.0.0.1:9999            # run the sink
 //	mtploadgen -target 127.0.0.1:9999 -count 100
+//
+// With -runfile, mtploadgen becomes the deployment launcher: it parses the
+// experiment points (onet-style table or JSON; see internal/platform),
+// re-execs itself once per process per point, coordinates the workers over
+// a TCP control channel, and prints one benchmark line per point on stdout
+// — pipe through cmd/benchjson to record or gate BENCH_net.json:
+//
+//	mtploadgen -runfile ci/netbench.run | benchjson -o BENCH_net.json
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"time"
 
 	"mtp"
+	"mtp/internal/platform"
 )
 
 func main() {
@@ -31,10 +40,23 @@ func main() {
 		size        = flag.Int("size", 16384, "message size in bytes")
 		concurrency = flag.Int("concurrency", 8, "concurrent outstanding messages")
 		port        = flag.Uint("port", 7, "MTP service port")
+		runfile     = flag.String("runfile", "", "run a multi-process experiment series from this runfile")
+
+		// Internal: the launcher re-execs itself with these to become one
+		// worker of a point.
+		workerMode  = flag.Bool("platform-worker", false, "internal: run as a platform worker")
+		controlAddr = flag.String("control", "", "internal: launcher control address")
+		workerIndex = flag.Int("index", -1, "internal: worker index (0 = sink)")
 	)
 	flag.Parse()
 
 	switch {
+	case *workerMode:
+		if err := platform.RunWorker(*controlAddr, *workerIndex); err != nil {
+			log.Fatalf("worker %d: %v", *workerIndex, err)
+		}
+	case *runfile != "":
+		runRunfile(*runfile)
 	case *sink != "":
 		runSink(*sink, uint16(*port))
 	case *local:
@@ -53,6 +75,30 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runRunfile is launcher mode: execute every point, bench lines on
+// stdout, progress on stderr. Any failed point — including the zero-loss
+// gate — exits non-zero after the remaining points have run.
+func runRunfile(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("runfile: %v", err)
+	}
+	points, err := platform.ParseRunfile(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := platform.Run(points, platform.Options{
+		Spawn: platform.ReexecSpawn("-platform-worker", "-control", "{control}", "-index", "{index}"),
+		Log:   log.Printf,
+	})
+	for _, r := range results {
+		fmt.Println(r.BenchLine())
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -5,10 +5,14 @@
 // Client:  mtpping -connect 127.0.0.1:9999 -count 5 -size 32768
 //
 // The client sends messages of the given size and reports per-message
-// round-trip times measured at message (not packet) granularity.
+// round-trip times measured at message (not packet) granularity, plus the
+// packet-level retransmissions each ping cost. -interval paces the pings;
+// -json switches the client to machine-readable output (one JSON object
+// per ping, then a summary object).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,13 +28,15 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "", "run an echo server on this UDP address")
-		connect = flag.String("connect", "", "send pings to this server address")
-		count   = flag.Int("count", 5, "number of messages to send")
-		size    = flag.Int("size", 1024, "message size in bytes")
-		port    = flag.Uint("port", 7, "MTP service port")
-		ccAlgo  = flag.String("cc", "dctcp", "congestion control: dctcp, aimd, rcp, swift, dcqcn")
-		doTrace = flag.Bool("trace", false, "dump the protocol event trace at exit (client)")
+		listen   = flag.String("listen", "", "run an echo server on this UDP address")
+		connect  = flag.String("connect", "", "send pings to this server address")
+		count    = flag.Int("count", 5, "number of messages to send")
+		size     = flag.Int("size", 1024, "message size in bytes")
+		port     = flag.Uint("port", 7, "MTP service port")
+		ccAlgo   = flag.String("cc", "dctcp", "congestion control: dctcp, aimd, rcp, swift, dcqcn")
+		doTrace  = flag.Bool("trace", false, "dump the protocol event trace at exit (client)")
+		interval = flag.Duration("interval", 0, "pause between pings (like ping -i)")
+		jsonOut  = flag.Bool("json", false, "emit JSON lines instead of text (client)")
 	)
 	flag.Parse()
 
@@ -38,7 +44,7 @@ func main() {
 	case *listen != "":
 		runServer(*listen, uint16(*port), *ccAlgo)
 	case *connect != "":
-		runClient(*connect, uint16(*port), *ccAlgo, *count, *size, *doTrace)
+		runClient(*connect, uint16(*port), *ccAlgo, *count, *size, *doTrace, *interval, *jsonOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -73,7 +79,28 @@ func runServer(addr string, port uint16, ccAlgo string) {
 	log.Printf("stats: %+v", node.Stats())
 }
 
-func runClient(addr string, port uint16, ccAlgo string, count, size int, doTrace bool) {
+// pingReport is one ping's -json line.
+type pingReport struct {
+	Seq   int     `json:"seq"`
+	Bytes int     `json:"bytes"`
+	RTTus float64 `json:"rtt_us"`
+	// Retx is the packet-level retransmission count this ping incurred
+	// (delta of the endpoint's PktsRetx across the exchange).
+	Retx uint64 `json:"retx"`
+}
+
+// pingSummary is the final -json line.
+type pingSummary struct {
+	Count     int     `json:"count"`
+	Bytes     int     `json:"bytes"`
+	MinRTTus  float64 `json:"min_rtt_us"`
+	AvgRTTus  float64 `json:"avg_rtt_us"`
+	MaxRTTus  float64 `json:"max_rtt_us"`
+	TotalRetx uint64  `json:"total_retx"`
+	PktsSent  uint64  `json:"pkts_sent"`
+}
+
+func runClient(addr string, port uint16, ccAlgo string, count, size int, doTrace bool, interval time.Duration, jsonOut bool) {
 	pc, err := net.ListenPacket("udp", "0.0.0.0:0")
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -107,8 +134,13 @@ func runClient(addr string, port uint16, ccAlgo string, count, size int, doTrace
 
 	payload := make([]byte, size)
 	rand.New(rand.NewSource(time.Now().UnixNano())).Read(payload)
+	enc := json.NewEncoder(os.Stdout)
 	var rtts []time.Duration
+	retxBase := node.Stats().PktsRetx
 	for i := 0; i < count; i++ {
+		if i > 0 && interval > 0 {
+			time.Sleep(interval)
+		}
 		payload[0], payload[1] = byte(i>>8), byte(i)
 		t0 := time.Now()
 		out, err := node.Send(addr, port, payload)
@@ -129,14 +161,42 @@ func runClient(addr string, port uint16, ccAlgo string, count, size int, doTrace
 		rtt := echoAt[i].Sub(t0)
 		mu.Unlock()
 		rtts = append(rtts, rtt)
-		fmt.Printf("msg %d: %d bytes echoed in %v\n", i, size, rtt)
+		retxNow := node.Stats().PktsRetx
+		retx := retxNow - retxBase
+		retxBase = retxNow
+		if jsonOut {
+			_ = enc.Encode(pingReport{Seq: i, Bytes: size, RTTus: float64(rtt) / float64(time.Microsecond), Retx: retx})
+		} else if retx > 0 {
+			fmt.Printf("msg %d: %d bytes echoed in %v (%d pkt retransmissions)\n", i, size, rtt, retx)
+		} else {
+			fmt.Printf("msg %d: %d bytes echoed in %v\n", i, size, rtt)
+		}
 	}
 	var total time.Duration
+	min, max := rtts[0], rtts[0]
 	for _, r := range rtts {
 		total += r
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
 	}
-	fmt.Printf("avg message RTT: %v over %d messages\n", total/time.Duration(len(rtts)), len(rtts))
-	fmt.Printf("client stats: %+v\n", node.Stats())
+	st := node.Stats()
+	if jsonOut {
+		us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+		_ = enc.Encode(pingSummary{
+			Count: len(rtts), Bytes: size,
+			MinRTTus: us(min), AvgRTTus: us(total / time.Duration(len(rtts))), MaxRTTus: us(max),
+			TotalRetx: st.PktsRetx, PktsSent: st.PktsSent,
+		})
+	} else {
+		fmt.Printf("avg message RTT: %v over %d messages (min %v, max %v)\n",
+			total/time.Duration(len(rtts)), len(rtts), min, max)
+		fmt.Printf("packets: %d sent, %d retransmitted\n", st.PktsSent, st.PktsRetx)
+		fmt.Printf("client stats: %+v\n", st)
+	}
 	if doTrace {
 		fmt.Print(node.TraceDump())
 	}

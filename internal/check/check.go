@@ -162,6 +162,66 @@ func NewMsgRegistry() *MsgRegistry {
 // every shard's checker before the simulation runs.
 func (c *Checker) ShareMessages(reg *MsgRegistry) { c.shared = reg }
 
+// RecordSend registers a message queued at a real-network sender — the
+// socket-backed counterpart of the Observer's MessageQueued hook, for tests
+// that run the endpoint over internal/udpnet instead of the simulator. node
+// is any stable per-process identity the test assigns. It returns an error
+// when (node, srcPort, msgID) was already used.
+func (r *MsgRegistry) RecordSend(node simnet.NodeID, srcPort uint16, msgID uint64, data []byte) error {
+	key := msgKey{node: node, port: srcPort, id: msgID}
+	rec := &msgRec{size: len(data)}
+	if data != nil {
+		rec.hasData = true
+		rec.crc = crc32.ChecksumIEEE(data)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.msgs[key]; dup {
+		return fmt.Errorf("check: node %d reused message ID %d", node, msgID)
+	}
+	r.msgs[key] = rec
+	return nil
+}
+
+// RecordDelivery validates one real-network delivery against the ledger:
+// the message must have been recorded with RecordSend, not delivered
+// before, and carry the same size and payload CRC — the exactly-once
+// delivery invariant, enforced across processes and real sockets.
+func (r *MsgRegistry) RecordDelivery(node simnet.NodeID, srcPort uint16, msgID uint64, data []byte) error {
+	key := msgKey{node: node, port: srcPort, id: msgID}
+	r.mu.Lock()
+	rec := r.msgs[key]
+	if rec != nil {
+		rec.deliveries++
+	}
+	r.mu.Unlock()
+	switch {
+	case rec == nil:
+		return fmt.Errorf("check: message %d from node %d port %d delivered but never sent", msgID, node, srcPort)
+	case rec.deliveries > 1:
+		return fmt.Errorf("check: message %d from node %d delivered %d times", msgID, node, rec.deliveries)
+	case len(data) != rec.size:
+		return fmt.Errorf("check: message %d from node %d delivered %d bytes, sent %d", msgID, node, len(data), rec.size)
+	case rec.hasData && crc32.ChecksumIEEE(data) != rec.crc:
+		return fmt.Errorf("check: message %d from node %d payload CRC mismatch", msgID, node)
+	}
+	return nil
+}
+
+// Undelivered counts recorded sends that have never been delivered — zero
+// once a soak has fully drained.
+func (r *MsgRegistry) Undelivered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rec := range r.msgs {
+		if rec.deliveries == 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // putMsg records a queued message, reporting whether the key was already
 // taken (a reused message ID).
 func (c *Checker) putMsg(key msgKey, rec *msgRec) (dup bool) {

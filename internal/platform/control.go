@@ -1,0 +1,97 @@
+package platform
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// The control channel is JSON-lines over TCP, launcher as server. Per
+// point the exchange is:
+//
+//	worker → launcher   hello {index}
+//	launcher → worker   setup {point}
+//	worker → launcher   ready {addr}        (addr set by the sink only)
+//	launcher → worker   start {addr}        (the sink's UDP address)
+//	generator → launcher done {result}      (when its load completes)
+//	launcher → sink     stop                (after every generator is done)
+//	sink → launcher     done {result}
+//	launcher → all      stop                (release workers to exit)
+//
+// Every message shares one envelope; unused fields stay empty. A worker
+// that fails sends type "error" and exits non-zero.
+type ctrlMsg struct {
+	Type   string        `json:"type"`
+	Index  int           `json:"index,omitempty"`
+	Point  *Point        `json:"point,omitempty"`
+	Addr   string        `json:"addr,omitempty"`
+	Result *WorkerResult `json:"result,omitempty"`
+	Err    string        `json:"error,omitempty"`
+}
+
+// WorkerResult is one worker's measurements for one point.
+type WorkerResult struct {
+	// Sink: messages and payload bytes received.
+	Received int    `json:"received,omitempty"`
+	Bytes    uint64 `json:"bytes,omitempty"`
+	// Generator: messages sent / end-to-end acknowledged / timed out.
+	Sent      int `json:"sent,omitempty"`
+	Completed int `json:"completed,omitempty"`
+	Timeouts  int `json:"timeouts,omitempty"`
+	// Hist is the generator's message-RTT histogram (log buckets,
+	// trailing zeros trimmed; see hist.go).
+	Hist []uint64 `json:"hist,omitempty"`
+	// Resource accounting, both roles.
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+	CPUSec     float64 `json:"cpu_sec,omitempty"`
+	Mallocs    uint64  `json:"mallocs,omitempty"`
+	Retx       uint64  `json:"retx,omitempty"`
+}
+
+// ctrlConn frames ctrlMsgs over one TCP connection.
+type ctrlConn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	enc *json.Encoder
+}
+
+func newCtrlConn(c net.Conn) *ctrlConn {
+	return &ctrlConn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+}
+
+func (cc *ctrlConn) send(m ctrlMsg) error { return cc.enc.Encode(m) }
+
+// recv reads the next message, failing after the deadline.
+func (cc *ctrlConn) recv(timeout time.Duration) (ctrlMsg, error) {
+	var m ctrlMsg
+	if err := cc.c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return m, err
+	}
+	line, err := cc.r.ReadBytes('\n')
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(line, &m); err != nil {
+		return m, fmt.Errorf("control: bad message %q: %w", line, err)
+	}
+	if m.Type == "error" {
+		return m, fmt.Errorf("worker %d failed: %s", m.Index, m.Err)
+	}
+	return m, nil
+}
+
+// expect reads the next message and checks its type.
+func (cc *ctrlConn) expect(typ string, timeout time.Duration) (ctrlMsg, error) {
+	m, err := cc.recv(timeout)
+	if err != nil {
+		return m, err
+	}
+	if m.Type != typ {
+		return m, fmt.Errorf("control: got %q, want %q", m.Type, typ)
+	}
+	return m, nil
+}
+
+func (cc *ctrlConn) Close() error { return cc.c.Close() }

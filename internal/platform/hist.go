@@ -1,0 +1,89 @@
+package platform
+
+import (
+	"math"
+	"time"
+)
+
+// Latency histograms use log-spaced buckets so workers can report compact
+// fixed-size count vectors that the launcher merges exactly: bucket i
+// covers latencies around 1µs × growth^i, giving ~4% relative resolution
+// from 1µs to beyond 30s in histBuckets counts. Percentiles merged across
+// workers this way are exact up to bucket width, unlike merging per-worker
+// percentiles (which is statistically meaningless).
+const (
+	histBuckets = 512
+	histGrowth  = 1.04
+)
+
+var histLogGrowth = math.Log(histGrowth)
+
+// histBucket maps a latency to its bucket index.
+func histBucket(d time.Duration) int {
+	us := float64(d) / float64(time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	i := int(math.Log(us) / histLogGrowth)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// histValue returns the representative latency (bucket midpoint) of i.
+func histValue(i int) time.Duration {
+	us := math.Pow(histGrowth, float64(i)+0.5)
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// hist is a latency histogram. The zero value is ready to use.
+type hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+func (h *hist) add(d time.Duration) {
+	h.counts[histBucket(d)]++
+	h.total++
+}
+
+// merge accumulates a worker-reported count vector (any length ≤
+// histBuckets) into h.
+func (h *hist) merge(counts []uint64) {
+	for i, c := range counts {
+		if i >= histBuckets {
+			break
+		}
+		h.counts[i] += c
+		h.total += c
+	}
+}
+
+// percentile returns the latency at quantile q in [0,1].
+func (h *hist) percentile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total-1))
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if c > 0 && seen > rank {
+			return histValue(i)
+		}
+	}
+	return histValue(histBuckets - 1)
+}
+
+// slice returns the counts trimmed of trailing zeros, for compact
+// transfer over the control channel.
+func (h *hist) slice() []uint64 {
+	last := -1
+	for i, c := range h.counts {
+		if c != 0 {
+			last = i
+		}
+	}
+	return h.counts[:last+1]
+}

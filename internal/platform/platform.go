@@ -1,0 +1,306 @@
+package platform
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SpawnFunc starts worker number index for the current point, pointed at
+// the launcher's control address, and returns a handle to wait on it.
+type SpawnFunc func(index int, controlAddr string) (Proc, error)
+
+// Proc is a spawned worker: Wait blocks until it exits; Kill tears it
+// down early (cleanup after a failed point).
+type Proc interface {
+	Wait() error
+	Kill()
+}
+
+// ReexecSpawn spawns workers by re-executing the current binary — the
+// onet localhost pattern: one binary is both launcher and worker. Each
+// occurrence of "{control}" and "{index}" in args is substituted; worker
+// output goes to the launcher's stderr.
+func ReexecSpawn(args ...string) SpawnFunc {
+	return func(index int, controlAddr string) (Proc, error) {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		argv := make([]string, len(args))
+		for i, a := range args {
+			a = strings.ReplaceAll(a, "{control}", controlAddr)
+			a = strings.ReplaceAll(a, "{index}", strconv.Itoa(index))
+			argv[i] = a
+		}
+		cmd := exec.Command(self, argv...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return (*procCmd)(cmd), nil
+	}
+}
+
+type procCmd exec.Cmd
+
+func (p *procCmd) Wait() error { return (*exec.Cmd)(p).Wait() }
+func (p *procCmd) Kill() {
+	if p.Process != nil {
+		_ = p.Process.Kill()
+	}
+}
+
+// GoSpawn runs workers as goroutines of the launcher process — same
+// control protocol over real TCP, no fork. Tests (and -local mode) use
+// it; note msgs/sec/core degenerates because every "process" shares one
+// rusage domain.
+func GoSpawn() SpawnFunc {
+	return func(index int, controlAddr string) (Proc, error) {
+		p := &procGo{done: make(chan struct{})}
+		go func() {
+			p.err = RunWorker(controlAddr, index)
+			close(p.done)
+		}()
+		return p, nil
+	}
+}
+
+type procGo struct {
+	done chan struct{}
+	err  error
+}
+
+func (p *procGo) Wait() error { <-p.done; return p.err }
+func (p *procGo) Kill()       {} // exits when its control conn closes
+
+// Options tunes a Run.
+type Options struct {
+	// Spawn starts workers. Nil panics — commands pass ReexecSpawn with
+	// their worker flag spelling, tests pass GoSpawn.
+	Spawn SpawnFunc
+	// PointTimeout bounds one experiment point end to end. Default 5min.
+	PointTimeout time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// PointResult is the merged outcome of one experiment point.
+type PointResult struct {
+	Point Point
+	// Msgs is the total end-to-end acknowledged message count across
+	// generators; Lost is acknowledged-but-not-delivered (exactly-once
+	// violations) plus never-acknowledged sends — zero on a clean run.
+	Msgs int
+	Lost int
+	// Elapsed is the slowest generator's send-loop wall time.
+	Elapsed time.Duration
+	// CPUSec sums user+system CPU over all workers including the sink.
+	CPUSec float64
+	// Derived rates and latencies.
+	MsgsPerSec     float64
+	MsgsPerSecCore float64
+	P50, P99       time.Duration
+	AllocsPerMsg   float64
+	Retx           uint64
+}
+
+// BenchLine renders the result as one `go test -bench`-style line, which
+// is exactly what cmd/benchjson parses: custom units become gate-able
+// metrics in BENCH_net.json.
+func (r PointResult) BenchLine() string {
+	nsPerOp := 0.0
+	if r.Msgs > 0 {
+		nsPerOp = r.Elapsed.Seconds() * 1e9 / float64(r.Msgs)
+	}
+	return fmt.Sprintf("BenchmarkNetPoint/%s %d %.1f ns/op %.0f msgs/s %.0f msgs/s-core %.1f p50-us %.1f p99-us %.1f allocs/msg %d retx",
+		r.Point.label(), r.Msgs, nsPerOp, r.MsgsPerSec, r.MsgsPerSecCore,
+		float64(r.P50)/float64(time.Microsecond), float64(r.P99)/float64(time.Microsecond),
+		r.AllocsPerMsg, r.Retx)
+}
+
+// Run executes every point in order, spawning opts.Spawn workers per
+// point and merging their reports. It keeps going across points and
+// returns every completed result; the error covers the first failed
+// point (spawn failure, worker error, or lost messages — the zero-loss
+// gate is part of the contract, not an option).
+func Run(points []Point, opts Options) ([]PointResult, error) {
+	if opts.Spawn == nil {
+		panic("platform.Run: nil Spawn")
+	}
+	if opts.PointTimeout <= 0 {
+		opts.PointTimeout = 5 * time.Minute
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var results []PointResult
+	var firstErr error
+	for _, p := range points {
+		logf("point %s: %d procs, %d msgs/gen x %dB, concurrency %d",
+			p.label(), p.Procs, p.Messages, p.Size, p.Concurrency)
+		r, err := runPoint(p, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("point %s: %w", p.label(), err)
+			}
+			logf("point %s FAILED: %v", p.label(), err)
+			continue
+		}
+		results = append(results, r)
+		logf("point %s: %.0f msgs/s, %.0f msgs/s/core, p99 %v", p.label(), r.MsgsPerSec, r.MsgsPerSecCore, r.P99)
+	}
+	return results, firstErr
+}
+
+// runPoint drives one point through the control-channel state machine.
+func runPoint(p Point, opts Options) (PointResult, error) {
+	var res PointResult
+	res.Point = p
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer ln.Close()
+	controlAddr := ln.Addr().String()
+
+	procs := make([]Proc, 0, p.Procs)
+	defer func() {
+		for _, pr := range procs {
+			pr.Kill()
+		}
+		for _, pr := range procs {
+			_ = pr.Wait()
+		}
+	}()
+	for i := 0; i < p.Procs; i++ {
+		pr, err := opts.Spawn(i, controlAddr)
+		if err != nil {
+			return res, fmt.Errorf("spawn worker %d: %w", i, err)
+		}
+		procs = append(procs, pr)
+	}
+
+	// Accept and identify every worker.
+	conns := make([]*ctrlConn, p.Procs)
+	defer func() {
+		for _, cc := range conns {
+			if cc != nil {
+				cc.Close()
+			}
+		}
+	}()
+	deadline := time.Now().Add(opts.PointTimeout)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		_ = tl.SetDeadline(deadline)
+	}
+	for i := 0; i < p.Procs; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return res, fmt.Errorf("accept: %w", err)
+		}
+		cc := newCtrlConn(c)
+		hello, err := cc.expect("hello", time.Until(deadline))
+		if err != nil {
+			cc.Close()
+			return res, err
+		}
+		if hello.Index < 0 || hello.Index >= p.Procs || conns[hello.Index] != nil {
+			cc.Close()
+			return res, fmt.Errorf("bad worker index %d", hello.Index)
+		}
+		conns[hello.Index] = cc
+	}
+
+	// Setup → ready (the sink reports its data-plane address) → start.
+	for _, cc := range conns {
+		if err := cc.send(ctrlMsg{Type: "setup", Point: &p}); err != nil {
+			return res, err
+		}
+	}
+	var sinkAddr string
+	for i, cc := range conns {
+		ready, err := cc.expect("ready", time.Until(deadline))
+		if err != nil {
+			return res, fmt.Errorf("worker %d ready: %w", i, err)
+		}
+		if i == 0 {
+			sinkAddr = ready.Addr
+		}
+	}
+	if sinkAddr == "" {
+		return res, fmt.Errorf("sink reported no address")
+	}
+	for _, cc := range conns {
+		if err := cc.send(ctrlMsg{Type: "start", Addr: sinkAddr}); err != nil {
+			return res, err
+		}
+	}
+
+	// Collect generator results, then drain the sink.
+	var h hist
+	var sent, completed, timeouts int
+	var mallocs uint64
+	for i := 1; i < p.Procs; i++ {
+		done, err := conns[i].expect("done", time.Until(deadline))
+		if err != nil || done.Result == nil {
+			return res, fmt.Errorf("worker %d done: %v", i, err)
+		}
+		wr := done.Result
+		sent += wr.Sent
+		completed += wr.Completed
+		timeouts += wr.Timeouts
+		mallocs += wr.Mallocs
+		res.Retx += wr.Retx
+		res.CPUSec += wr.CPUSec
+		h.merge(wr.Hist)
+		if e := time.Duration(wr.ElapsedSec * float64(time.Second)); e > res.Elapsed {
+			res.Elapsed = e
+		}
+	}
+	if err := conns[0].send(ctrlMsg{Type: "stop"}); err != nil {
+		return res, err
+	}
+	sinkDone, err := conns[0].expect("done", time.Until(deadline))
+	if err != nil || sinkDone.Result == nil {
+		return res, fmt.Errorf("sink done: %v", err)
+	}
+	res.CPUSec += sinkDone.Result.CPUSec
+	for i := 1; i < p.Procs; i++ {
+		_ = conns[i].send(ctrlMsg{Type: "stop"})
+	}
+
+	res.Msgs = completed
+	// Exactly-once audit: every acknowledged message must have been
+	// delivered exactly once. Fewer receipts is loss past the ACK
+	// (impossible unless the protocol lies); more is duplicate delivery.
+	res.Lost = timeouts + (sent - completed)
+	if d := sinkDone.Result.Received - completed; d != 0 {
+		if d < 0 {
+			res.Lost += -d
+		}
+		return res, fmt.Errorf("sink received %d messages, generators confirmed %d", sinkDone.Result.Received, completed)
+	}
+	if res.Lost > 0 {
+		return res, fmt.Errorf("%d messages lost (%d timeouts, %d failed sends)", res.Lost, timeouts, sent-completed)
+	}
+	if res.Elapsed > 0 {
+		res.MsgsPerSec = float64(res.Msgs) / res.Elapsed.Seconds()
+	}
+	if res.CPUSec > 0 {
+		res.MsgsPerSecCore = float64(res.Msgs) / res.CPUSec
+	}
+	if res.Msgs > 0 {
+		res.AllocsPerMsg = float64(mallocs) / float64(res.Msgs)
+	}
+	res.P50 = h.percentile(0.50)
+	res.P99 = h.percentile(0.99)
+	return res, nil
+}

@@ -1,0 +1,233 @@
+// Package platform is the deployment runner for real-socket MTP
+// experiments: a declarative runfile describes a series of experiment
+// points, and a localhost launcher executes each point by spawning one
+// process per node, coordinating them over a small TCP control channel,
+// and merging their measurements into benchmark lines.
+//
+// The runfile follows the two-part shape of onet's simulation files: a
+// block of global "key = value" defaults, a blank line, then a CSV-ish
+// table with a header row naming per-point fields and one experiment
+// point per line. A JSON form ({"defaults": {...}, "points": [...]}) is
+// accepted too, keyed off a leading '{'.
+//
+//	size = 512
+//	concurrency = 16
+//
+//	procs, messages, size
+//	2, 5000, 512
+//	3, 3000, 2048
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one experiment point: a process count plus a workload. Procs
+// includes the sink (process 0); every other process is a closed-loop
+// generator sending Messages messages of Size bytes at the given
+// concurrency.
+type Point struct {
+	// Name labels the point in benchmark output. Auto-derived from the
+	// workload when empty.
+	Name string `json:"name,omitempty"`
+	// Procs is the total process count including the sink. Minimum 2.
+	Procs int `json:"procs"`
+	// Messages is the per-generator message count.
+	Messages int `json:"messages"`
+	// Size is the message payload size in bytes.
+	Size int `json:"size"`
+	// Concurrency is the per-generator outstanding-message window.
+	Concurrency int `json:"concurrency,omitempty"`
+	// Port is the MTP service port on the sink. Default 7.
+	Port uint16 `json:"port,omitempty"`
+	// CC selects the congestion controller (empty = node default).
+	CC string `json:"cc,omitempty"`
+	// MSS overrides the message segment size (0 = node default).
+	MSS int `json:"mss,omitempty"`
+	// RTOMillis overrides the retransmission timeout (0 = node default).
+	RTOMillis int `json:"rto_ms,omitempty"`
+}
+
+// label returns the point's display name, deriving one when unset.
+func (p Point) label() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return fmt.Sprintf("p%d_m%d_s%d", p.Procs, p.Messages, p.Size)
+}
+
+// rto converts the runfile's integer milliseconds to a duration.
+func (p Point) rto() time.Duration { return time.Duration(p.RTOMillis) * time.Millisecond }
+
+// withDefaults fills zero fields from d and validates.
+func (p Point) withDefaults(d Point) (Point, error) {
+	if p.Procs == 0 {
+		p.Procs = d.Procs
+	}
+	if p.Messages == 0 {
+		p.Messages = d.Messages
+	}
+	if p.Size == 0 {
+		p.Size = d.Size
+	}
+	if p.Concurrency == 0 {
+		p.Concurrency = d.Concurrency
+	}
+	if p.Port == 0 {
+		p.Port = d.Port
+	}
+	if p.CC == "" {
+		p.CC = d.CC
+	}
+	if p.MSS == 0 {
+		p.MSS = d.MSS
+	}
+	if p.RTOMillis == 0 {
+		p.RTOMillis = d.RTOMillis
+	}
+	// Final fallbacks for fields neither the point nor the globals set.
+	if p.Concurrency == 0 {
+		p.Concurrency = 8
+	}
+	if p.Port == 0 {
+		p.Port = 7
+	}
+	if p.Procs < 2 {
+		return p, fmt.Errorf("point %q: procs = %d, need >= 2 (sink + generators)", p.label(), p.Procs)
+	}
+	if p.Messages <= 0 || p.Size <= 0 {
+		return p, fmt.Errorf("point %q: messages and size must be positive", p.label())
+	}
+	return p, nil
+}
+
+// ParseRunfile parses either runfile form and returns the fully
+// defaulted, validated experiment points in file order.
+func ParseRunfile(data []byte) ([]Point, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, fmt.Errorf("runfile: empty")
+	}
+	if trimmed[0] == '{' {
+		return parseJSONRunfile([]byte(trimmed))
+	}
+	return parseTableRunfile(trimmed)
+}
+
+func parseJSONRunfile(data []byte) ([]Point, error) {
+	var rf struct {
+		Defaults Point   `json:"defaults"`
+		Points   []Point `json:"points"`
+	}
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return nil, fmt.Errorf("runfile: %w", err)
+	}
+	if len(rf.Points) == 0 {
+		return nil, fmt.Errorf("runfile: no points")
+	}
+	out := make([]Point, 0, len(rf.Points))
+	for _, p := range rf.Points {
+		p, err := p.withDefaults(rf.Defaults)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseTableRunfile parses the onet-style two-part text form: globals,
+// blank line, header row, one point per row. '#' starts a comment.
+func parseTableRunfile(text string) ([]Point, error) {
+	var defaults Point
+	var header []string
+	var out []Point
+	inTable := false
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			if defaults != (Point{}) || inTable {
+				inTable = true // blank line after globals: table follows
+			}
+			continue
+		}
+		switch {
+		case !inTable && strings.Contains(line, "="):
+			k, v, _ := strings.Cut(line, "=")
+			if err := setField(&defaults, strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+				return nil, fmt.Errorf("runfile line %d: %w", ln+1, err)
+			}
+		case header == nil:
+			inTable = true
+			for _, c := range strings.Split(line, ",") {
+				header = append(header, strings.ToLower(strings.TrimSpace(c)))
+			}
+		default:
+			cols := strings.Split(line, ",")
+			if len(cols) != len(header) {
+				return nil, fmt.Errorf("runfile line %d: %d columns, header has %d", ln+1, len(cols), len(header))
+			}
+			p := Point{}
+			for i, c := range cols {
+				if err := setField(&p, header[i], strings.TrimSpace(c)); err != nil {
+					return nil, fmt.Errorf("runfile line %d: %w", ln+1, err)
+				}
+			}
+			p, err := p.withDefaults(defaults)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("runfile: no points (need a header row and at least one data row)")
+	}
+	return out, nil
+}
+
+// setField assigns one runfile key to its Point field.
+func setField(p *Point, key, val string) error {
+	atoi := func() (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %q is not an integer", key, val)
+		}
+		return n, nil
+	}
+	var err error
+	switch key {
+	case "name":
+		p.Name = val
+	case "procs", "hosts":
+		p.Procs, err = atoi()
+	case "messages", "msgs", "count":
+		p.Messages, err = atoi()
+	case "size", "bytes":
+		p.Size, err = atoi()
+	case "concurrency", "window":
+		p.Concurrency, err = atoi()
+	case "port":
+		var n int
+		if n, err = atoi(); err == nil {
+			p.Port = uint16(n)
+		}
+	case "cc":
+		p.CC = val
+	case "mss":
+		p.MSS, err = atoi()
+	case "rto_ms", "rto":
+		p.RTOMillis, err = atoi()
+	default:
+		return fmt.Errorf("unknown runfile key %q", key)
+	}
+	return err
+}

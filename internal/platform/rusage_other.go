@@ -1,0 +1,6 @@
+//go:build !unix
+
+package platform
+
+// cpuSeconds is unavailable off unix; msgs/sec/core reports 0 there.
+func cpuSeconds() float64 { return 0 }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package platform
+
+import "syscall"
+
+// cpuSeconds returns the process's consumed user+system CPU time. Each
+// worker is its own process under the launcher, so RUSAGE_SELF is exactly
+// that worker's share — summing across workers yields the cores-seconds
+// denominator for msgs/sec/core.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	tv := func(t syscall.Timeval) float64 {
+		return float64(t.Sec) + float64(t.Usec)/1e6
+	}
+	return tv(ru.Utime) + tv(ru.Stime)
+}

@@ -1,0 +1,178 @@
+package platform
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtp"
+)
+
+// workerTimeout bounds every control-channel wait inside a worker; a dead
+// launcher must not leave orphan processes behind.
+const workerTimeout = 5 * time.Minute
+
+// RunWorker executes one node of an experiment point, driven entirely by
+// the launcher over the control channel at controlAddr. Index 0 is the
+// sink; every other index is a closed-loop generator. Commands embed this
+// behind a hidden flag and re-exec themselves as workers.
+func RunWorker(controlAddr string, index int) error {
+	conn, err := net.DialTimeout("tcp", controlAddr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("worker %d: dial control: %w", index, err)
+	}
+	cc := newCtrlConn(conn)
+	defer cc.Close()
+	if err := cc.send(ctrlMsg{Type: "hello", Index: index}); err != nil {
+		return err
+	}
+	setup, err := cc.expect("setup", workerTimeout)
+	if err != nil || setup.Point == nil {
+		return fmt.Errorf("worker %d: setup: %v", index, err)
+	}
+	if index == 0 {
+		err = runSink(cc, *setup.Point)
+	} else {
+		err = runGenerator(cc, *setup.Point)
+	}
+	if err != nil {
+		_ = cc.send(ctrlMsg{Type: "error", Index: index, Err: err.Error()})
+	}
+	return err
+}
+
+// nodeConfig maps a point's overrides onto the node config.
+func nodeConfig(p Point, port uint16, onMsg func(mtp.Message)) mtp.Config {
+	return mtp.Config{Port: port, MSS: p.MSS, CC: p.CC, RTO: p.rto(), OnMessage: onMsg}
+}
+
+// runSink receives until the launcher says every generator is done, then
+// reports totals.
+func runSink(cc *ctrlConn, p Point) error {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	var received atomic.Int64
+	var bytes atomic.Uint64
+	node, err := mtp.NewNode(pc, nodeConfig(p, p.Port, func(m mtp.Message) {
+		received.Add(1)
+		bytes.Add(uint64(len(m.Data)))
+	}))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	if err := cc.send(ctrlMsg{Type: "ready", Index: 0, Addr: node.Addr().String()}); err != nil {
+		return err
+	}
+	if _, err := cc.expect("start", workerTimeout); err != nil {
+		return err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	cpu0 := cpuSeconds()
+	t0 := time.Now()
+	// The launcher sends stop only after every generator reported done,
+	// and generators only finish once their messages are end-to-end
+	// acknowledged — which MTP does strictly after delivery. So at stop
+	// time the sink's counters are final.
+	if _, err := cc.expect("stop", workerTimeout); err != nil {
+		return err
+	}
+	runtime.ReadMemStats(&ms1)
+	res := WorkerResult{
+		Received:   int(received.Load()),
+		Bytes:      bytes.Load(),
+		ElapsedSec: time.Since(t0).Seconds(),
+		CPUSec:     cpuSeconds() - cpu0,
+		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+	}
+	return cc.send(ctrlMsg{Type: "done", Index: 0, Result: &res})
+}
+
+// runGenerator sends the point's closed-loop workload at the sink and
+// reports per-message RTTs plus resource use.
+func runGenerator(cc *ctrlConn, p Point) error {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	node, err := mtp.NewNode(pc, nodeConfig(p, 100, nil))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	if err := cc.send(ctrlMsg{Type: "ready"}); err != nil {
+		return err
+	}
+	start, err := cc.expect("start", workerTimeout)
+	if err != nil {
+		return err
+	}
+	target := start.Addr
+
+	payload := make([]byte, p.Size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var mu sync.Mutex
+	var h hist
+	var sent, completed, timeouts int
+	sem := make(chan struct{}, p.Concurrency)
+	var wg sync.WaitGroup
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	cpu0 := cpuSeconds()
+	t0 := time.Now()
+	for i := 0; i < p.Messages; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s0 := time.Now()
+			out, err := node.Send(target, p.Port, payload)
+			if err != nil {
+				return // counted as lost via sent == completed mismatch
+			}
+			mu.Lock()
+			sent++
+			mu.Unlock()
+			select {
+			case <-out.Done():
+				mu.Lock()
+				completed++
+				h.add(time.Since(s0))
+				mu.Unlock()
+			case <-time.After(30 * time.Second):
+				mu.Lock()
+				timeouts++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	res := WorkerResult{
+		Sent:       sent,
+		Completed:  completed,
+		Timeouts:   timeouts,
+		Hist:       h.slice(),
+		ElapsedSec: elapsed.Seconds(),
+		CPUSec:     cpuSeconds() - cpu0,
+		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+		Retx:       node.Stats().PktsRetx,
+	}
+	if err := cc.send(ctrlMsg{Type: "done", Result: &res}); err != nil {
+		return err
+	}
+	// Stay alive (still ACK-reachable) until the sink has been drained.
+	_, err = cc.expect("stop", workerTimeout)
+	return err
+}

@@ -1,0 +1,96 @@
+package udpnet
+
+import (
+	"net"
+	"net/netip"
+)
+
+// dgram is one datagram in flight through the transport: a contiguous
+// encoded buffer (header followed by payload) and the peer address. Outbound
+// dgrams are pooled — Send fills one, the writer goroutine transmits it and
+// returns it to the pool. Inbound dgrams are the reader's fixed buffer set,
+// reused across batches (the packet callback contract is copy-what-you-keep,
+// mirroring core.Inbound).
+type dgram struct {
+	buf  []byte // full capacity backing array
+	n    int    // valid bytes
+	addr netip.AddrPort
+}
+
+// batchIO reads and writes datagram batches on one socket. readBatch blocks
+// until at least one datagram is available, fills ms[i].buf/.n/.addr for the
+// first k entries, and returns k. writeBatch transmits ms and returns how
+// many were sent. Implementations: mmsgIO (Linux recvmmsg/sendmmsg, many
+// datagrams per syscall) and connIO (portable, one datagram per syscall).
+type batchIO interface {
+	readBatch(ms []*dgram) (int, error)
+	writeBatch(ms []*dgram) (int, error)
+}
+
+// newBatchIO selects the best batch implementation for pc: the mmsg syscall
+// path when pc is a real UDP socket on a supported platform, else the
+// portable one-datagram-per-syscall fallback.
+func newBatchIO(pc net.PacketConn) batchIO {
+	if uc, ok := pc.(*net.UDPConn); ok {
+		if io := newMmsgIO(uc); io != nil {
+			return io
+		}
+	}
+	return &connIO{pc: pc}
+}
+
+// connIO is the portable fallback: ReadFrom/WriteTo, one datagram per call.
+// It also serves non-UDP net.PacketConns (the in-memory test network, lossy
+// interposers), which is what keeps the protocol-level tests platform-
+// independent.
+type connIO struct {
+	pc net.PacketConn
+}
+
+// readBatch reads exactly one datagram (the portable API has no way to read
+// more without risking a block with data already in hand).
+func (c *connIO) readBatch(ms []*dgram) (int, error) {
+	m := ms[0]
+	n, from, err := c.pc.ReadFrom(m.buf)
+	if err != nil {
+		return 0, err
+	}
+	m.n = n
+	m.addr = toAddrPort(from)
+	return 1, nil
+}
+
+// writeBatch writes every datagram, one syscall each.
+func (c *connIO) writeBatch(ms []*dgram) (int, error) {
+	sent := 0
+	for _, m := range ms {
+		if _, err := c.pc.WriteTo(m.buf[:m.n], net.UDPAddrFromAddrPort(m.addr)); err != nil {
+			// Transient per-datagram errors (e.g. ICMP-induced ECONNREFUSED
+			// on loopback) drop the datagram; reliability recovers it. A
+			// closed socket surfaces on the next read.
+			continue
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// toAddrPort converts a net.Addr to a normalized netip.AddrPort. Peer
+// identity must be comparable and stable across the resolve and receive
+// paths, so 4-in-6 mapped addresses are unmapped everywhere.
+func toAddrPort(a net.Addr) netip.AddrPort {
+	switch v := a.(type) {
+	case *net.UDPAddr:
+		ap := v.AddrPort()
+		return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	default:
+		if a == nil {
+			return netip.AddrPort{}
+		}
+		ap, err := netip.ParseAddrPort(a.String())
+		if err != nil {
+			return netip.AddrPort{}
+		}
+		return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
+}

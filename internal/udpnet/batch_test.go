@@ -1,0 +1,56 @@
+package udpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestToAddrPort(t *testing.T) {
+	if ap := toAddrPort(nil); ap.IsValid() {
+		t.Fatalf("nil addr produced %v", ap)
+	}
+	ua := &net.UDPAddr{IP: net.ParseIP("::ffff:10.0.0.1"), Port: 99}
+	if ap := toAddrPort(ua); !ap.Addr().Is4() || ap.Port() != 99 {
+		t.Fatalf("4-in-6 UDPAddr not unmapped: %v", ap)
+	}
+	// Non-UDP addrs go through the string parse path.
+	ta := &net.TCPAddr{IP: net.ParseIP("127.0.0.1"), Port: 8}
+	if ap := toAddrPort(ta); !ap.IsValid() || ap.Port() != 8 {
+		t.Fatalf("parseable addr rejected: %v", ap)
+	}
+	if ap := toAddrPort(memAddrStub("not-an-addrport")); ap.IsValid() {
+		t.Fatalf("garbage addr produced %v", ap)
+	}
+}
+
+type memAddrStub string
+
+func (m memAddrStub) Network() string { return "mem" }
+func (m memAddrStub) String() string  { return string(m) }
+
+func TestWheelDoubleClose(t *testing.T) {
+	w := NewWheel(time.Millisecond, 8)
+	w.Close()
+	w.Close() // second close is a no-op, not a panic
+	// Scheduling on a closed wheel is ignored.
+	tm := NewTimer(func() { t.Error("fired on closed wheel") })
+	w.Schedule(tm, time.Millisecond)
+}
+
+func TestLossyDoubleClose(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLossy(pc, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.WriteTo([]byte{1}, pc.LocalAddr()); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}

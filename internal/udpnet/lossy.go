@@ -1,0 +1,105 @@
+package udpnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Lossy wraps a net.PacketConn and injects seed-deterministic drop,
+// duplication, and reordering on the send side — a userspace interposer for
+// soak-testing the real-socket stack without network namespaces. Wrapping
+// the sender means the wire, the kernel, and the receiving transport all see
+// genuinely hostile traffic.
+//
+// Reordering holds a datagram back and releases it after HoldFor (default
+// 2ms) from a background goroutine, so a held packet really does arrive
+// behind packets sent after it.
+type Lossy struct {
+	net.PacketConn
+
+	// Drop, Dup, Reorder are per-datagram probabilities in [0,1).
+	Drop, Dup, Reorder float64
+	// HoldFor is the reorder delay. Zero means 2ms.
+	HoldFor time.Duration
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	wg     sync.WaitGroup
+	closed bool
+
+	drops, dups, reorders int
+}
+
+// Counts reports injected events so far. Safe to call while traffic flows
+// (node close still trickles ACKs after a test's send phase ends).
+func (l *Lossy) Counts() (drops, dups, reorders int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.drops, l.dups, l.reorders
+}
+
+// NewLossy wraps pc with deterministic fault injection seeded by seed.
+func NewLossy(pc net.PacketConn, seed int64) *Lossy {
+	return &Lossy{PacketConn: pc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// WriteTo implements net.PacketConn with fault injection.
+func (l *Lossy) WriteTo(p []byte, addr net.Addr) (int, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	roll := l.rng.Float64()
+	switch {
+	case roll < l.Drop:
+		l.drops++
+		l.mu.Unlock()
+		return len(p), nil // swallowed
+	case roll < l.Drop+l.Dup:
+		l.dups++
+		l.mu.Unlock()
+		n, err := l.PacketConn.WriteTo(p, addr)
+		if err != nil {
+			return n, err
+		}
+		return l.PacketConn.WriteTo(p, addr)
+	case roll < l.Drop+l.Dup+l.Reorder:
+		l.reorders++
+		hold := l.HoldFor
+		if hold == 0 {
+			hold = 2 * time.Millisecond
+		}
+		cp := append([]byte(nil), p...)
+		l.wg.Add(1)
+		l.mu.Unlock()
+		time.AfterFunc(hold, func() {
+			defer l.wg.Done()
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if !closed {
+				_, _ = l.PacketConn.WriteTo(cp, addr)
+			}
+		})
+		return len(p), nil
+	}
+	l.mu.Unlock()
+	return l.PacketConn.WriteTo(p, addr)
+}
+
+// Close waits for held (reordered) datagrams before closing the socket so a
+// late release never writes to a closed conn.
+func (l *Lossy) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.wg.Wait()
+	return l.PacketConn.Close()
+}

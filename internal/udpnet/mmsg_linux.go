@@ -1,0 +1,186 @@
+//go:build linux && (amd64 || arm64)
+
+// recvmmsg/sendmmsg batching for real UDP sockets. golang.org/x/net/ipv4
+// provides the same thing as ReadBatch/WriteBatch, but this repository is
+// dependency-free, so the two syscalls are invoked directly; the build tag
+// restricts the file to the linux ABIs where Msghdr.Iovlen/Iovec.Len are
+// uint64, and every other platform takes the portable connIO fallback.
+
+package udpnet
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr from <sys/socket.h>.
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msgLen uint32
+	_      [4]byte
+}
+
+// mmsgIO batches datagrams through recvmmsg/sendmmsg on one UDP socket: one
+// syscall moves up to len(ms) datagrams, integrated with the runtime
+// netpoller through SyscallConn so blocked reads park the goroutine instead
+// of spinning.
+type mmsgIO struct {
+	rc syscall.RawConn
+	v6 bool // socket family: v6 sockets need v4-mapped destination sockaddrs
+
+	rhdrs, whdrs []mmsghdr
+	riovs, wiovs []syscall.Iovec
+	// rnames/wnames hold peer sockaddrs; RawSockaddrInet6 (28 bytes) is
+	// large enough for both families.
+	rnames, wnames []syscall.RawSockaddrInet6
+}
+
+// newMmsgIO returns the batched implementation for uc, or nil if the raw
+// descriptor is unavailable.
+func newMmsgIO(uc *net.UDPConn) batchIO {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	la, _ := uc.LocalAddr().(*net.UDPAddr)
+	v6 := la != nil && la.IP.To4() == nil
+	return &mmsgIO{rc: rc, v6: v6}
+}
+
+func (m *mmsgIO) ensure(hdrs *[]mmsghdr, iovs *[]syscall.Iovec, names *[]syscall.RawSockaddrInet6, n int) {
+	if len(*hdrs) < n {
+		*hdrs = make([]mmsghdr, n)
+		*iovs = make([]syscall.Iovec, n)
+		*names = make([]syscall.RawSockaddrInet6, n)
+	}
+}
+
+// readBatch fills ms from one recvmmsg call, blocking via the netpoller
+// until at least one datagram is ready.
+func (m *mmsgIO) readBatch(ms []*dgram) (int, error) {
+	m.ensure(&m.rhdrs, &m.riovs, &m.rnames, len(ms))
+	for i, d := range ms {
+		m.riovs[i] = syscall.Iovec{Base: &d.buf[0], Len: uint64(len(d.buf))}
+		m.rnames[i] = syscall.RawSockaddrInet6{}
+		h := &m.rhdrs[i]
+		h.hdr = syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&m.rnames[i])),
+			Namelen: uint32(unsafe.Sizeof(m.rnames[i])),
+			Iov:     &m.riovs[i],
+			Iovlen:  1,
+		}
+		h.msgLen = 0
+	}
+	var n int
+	var operr syscall.Errno
+	err := m.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&m.rhdrs[0])), uintptr(len(ms)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park on the poller until readable
+		}
+		operr, n = e, int(r1)
+		return true
+	})
+	if err != nil {
+		return 0, err // socket closed
+	}
+	if operr != 0 {
+		if operr == syscall.EINTR || operr == syscall.ECONNREFUSED {
+			return 0, nil // transient; caller loops
+		}
+		return 0, operr
+	}
+	for i := 0; i < n; i++ {
+		ms[i].n = int(m.rhdrs[i].msgLen)
+		ms[i].addr = saToAddrPort(&m.rnames[i])
+	}
+	return n, nil
+}
+
+// writeBatch transmits every datagram in ms, issuing as few sendmmsg calls
+// as the kernel allows. Per-datagram errors drop that datagram (UDP
+// semantics; the protocol's reliability recovers).
+func (m *mmsgIO) writeBatch(ms []*dgram) (int, error) {
+	m.ensure(&m.whdrs, &m.wiovs, &m.wnames, len(ms))
+	sent := 0
+	for sent < len(ms) {
+		batch := ms[sent:]
+		for i, d := range batch {
+			m.wiovs[i] = syscall.Iovec{Base: &d.buf[0], Len: uint64(d.n)}
+			h := &m.whdrs[i]
+			h.hdr = syscall.Msghdr{
+				Name:    (*byte)(unsafe.Pointer(&m.wnames[i])),
+				Namelen: m.putSockaddr(&m.wnames[i], d.addr),
+				Iov:     &m.wiovs[i],
+				Iovlen:  1,
+			}
+			h.msgLen = 0
+		}
+		var n int
+		var operr syscall.Errno
+		err := m.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.whdrs[0])), uintptr(len(batch)),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // park until writable
+			}
+			operr, n = e, int(r1)
+			return true
+		})
+		if err != nil {
+			return sent, err // socket closed
+		}
+		switch {
+		case operr == syscall.EINTR:
+			// retry the same span
+		case operr != 0:
+			sent++ // drop the offending datagram and keep the rest moving
+		case n <= 0:
+			sent++
+		default:
+			sent += n
+		}
+	}
+	return sent, nil
+}
+
+// putSockaddr encodes ap into sa and returns the sockaddr length for the
+// socket's family. v6 sockets take v4 destinations in 4-in-6 mapped form.
+func (m *mmsgIO) putSockaddr(sa *syscall.RawSockaddrInet6, ap netip.AddrPort) uint32 {
+	a := ap.Addr()
+	if !m.v6 && a.Is4() {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		*sa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: a.As4()}
+		putPort((*[2]byte)(unsafe.Pointer(&sa4.Port)), ap.Port())
+		return uint32(unsafe.Sizeof(*sa4))
+	}
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Addr: a.As16()}
+	putPort((*[2]byte)(unsafe.Pointer(&sa.Port)), ap.Port())
+	return uint32(unsafe.Sizeof(*sa))
+}
+
+// putPort stores a port in network byte order independent of host
+// endianness.
+func putPort(b *[2]byte, port uint16) {
+	b[0], b[1] = byte(port>>8), byte(port)
+}
+
+// saToAddrPort decodes a kernel-written sockaddr into a normalized (4-in-6
+// unmapped) AddrPort.
+func saToAddrPort(sa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), uint16(p[0])<<8|uint16(p[1]))
+	}
+	return netip.AddrPort{}
+}

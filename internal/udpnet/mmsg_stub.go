@@ -1,0 +1,9 @@
+//go:build !(linux && (amd64 || arm64))
+
+package udpnet
+
+import "net"
+
+// newMmsgIO reports no batched syscall support on this platform; the
+// transport falls back to one datagram per syscall (connIO).
+func newMmsgIO(uc *net.UDPConn) batchIO { return nil }

@@ -1,0 +1,92 @@
+package udpnet
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingFIFOAndCapacity(t *testing.T) {
+	r := newRing(4) // capacity 4
+	ds := make([]dgram, 5)
+	for i := 0; i < 4; i++ {
+		if !r.push(&ds[i]) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if r.push(&ds[4]) {
+		t.Fatal("push succeeded on full ring")
+	}
+	for i := 0; i < 4; i++ {
+		d, ok := r.pop()
+		if !ok || d != &ds[i] {
+			t.Fatalf("pop %d: got %p ok=%v, want %p", i, d, ok, &ds[i])
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+	// Wraparound: interleave past the capacity boundary.
+	for lap := 0; lap < 10; lap++ {
+		for i := 0; i < 3; i++ {
+			if !r.push(&ds[i]) {
+				t.Fatalf("lap %d push %d failed", lap, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if d, ok := r.pop(); !ok || d != &ds[i] {
+				t.Fatalf("lap %d pop %d wrong", lap, i)
+			}
+		}
+	}
+}
+
+func TestRingConcurrentProducers(t *testing.T) {
+	const producers = 4
+	const perProducer = 10000
+	r := newRing(256)
+	var wg sync.WaitGroup
+	// Tag each dgram with a producer/sequence pair via the n field.
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				d := &dgram{n: p<<20 | i}
+				for !r.push(d) {
+				}
+			}
+		}(p)
+	}
+	got := make([]int, 0, producers*perProducer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(got) < producers*perProducer {
+			if d, ok := r.pop(); ok {
+				got = append(got, d.n)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	// Every element exactly once, and per-producer order preserved.
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	seen := make(map[int]bool, len(got))
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("value %x dequeued twice", v)
+		}
+		seen[v] = true
+		p, seq := v>>20, v&(1<<20-1)
+		if seq <= lastSeq[p] {
+			t.Fatalf("producer %d order violated: %d after %d", p, seq, lastSeq[p])
+		}
+		lastSeq[p] = seq
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("dequeued %d values, want %d", len(got), producers*perProducer)
+	}
+}

@@ -1,0 +1,8 @@
+package udpnet
+
+// Linux/amd64 syscall numbers for the mmsg pair; sendmmsg postdates the
+// frozen stdlib syscall tables.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,7 @@
+package udpnet
+
+// Linux/arm64 syscall numbers for the mmsg pair.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

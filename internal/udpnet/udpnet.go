@@ -1,0 +1,348 @@
+// Package udpnet is the real-socket backend for the MTP endpoint: a
+// batched, pooled, wall-clock implementation of the I/O half of core.Env
+// over UDP.
+//
+// The simulator drives the endpoint under virtual time; this package drives
+// the identical protocol code from real sockets:
+//
+//   - Batched syscalls. On Linux a reader goroutine pulls up to Config.Batch
+//     datagrams per recvmmsg call into a fixed set of receive buffers, and a
+//     writer goroutine drains the outbound ring into sendmmsg batches.
+//     Elsewhere (and over non-UDP net.PacketConns such as test interposers)
+//     the same loops run one datagram per syscall.
+//   - Zero-copy decode. Each received datagram is decoded in place with
+//     wire.DecodeInto into a single reused header; the packet callback gets
+//     buffer-backed slices and must copy what it keeps — the same ownership
+//     contract as core.Inbound, which is what lets receive buffers recycle
+//     without ever escaping to the heap.
+//   - A lock-free outbound ring. Send encodes header+payload into a pooled
+//     buffer and pushes it onto a bounded MPMC ring, so the protocol engine
+//     never performs a syscall while its owner's lock is held. A full ring
+//     drops the datagram like a full NIC queue; reliability recovers it.
+//   - A timer wheel. SetTimer deadlines are served by a shared hashed
+//     timing wheel (one goroutine per process, not one runtime timer per
+//     endpoint), at one-tick resolution.
+//
+// The public mtp.Node rebases onto a Transport whenever its PacketConn
+// carries UDP addresses; internal/platform deploys multi-process load tests
+// over it.
+package udpnet
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtp/internal/wire"
+)
+
+// Config parameterizes a Transport.
+type Config struct {
+	// Conn is the socket. A *net.UDPConn engages the batched syscall path
+	// on supported platforms; any other net.PacketConn (lossy interposers,
+	// test wrappers) runs one datagram per syscall.
+	Conn net.PacketConn
+
+	// Batch caps datagrams per syscall in both directions. Default 32.
+	Batch int
+
+	// RingSize is the outbound ring capacity (rounded up to a power of
+	// two). Default 1024.
+	RingSize int
+
+	// MaxDatagram sizes receive buffers and the initial capacity of pooled
+	// send buffers. It must cover header + MSS. Default 2048 (fits the
+	// default 1200-byte MSS with generous header room).
+	MaxDatagram int
+
+	// SocketBuffer sizes the kernel send/receive buffers when Conn is a
+	// real UDP socket. Batched senders burst far faster than a default
+	// ~200KB rmem drains, and UDP silently drops on overflow even over
+	// loopback. Default 4MB; negative leaves the kernel default.
+	SocketBuffer int
+
+	// Wheel, when non-nil, shares a process-wide timer wheel; otherwise the
+	// transport owns a private one.
+	Wheel *Wheel
+
+	// OnPacket delivers one decoded datagram. hdr and data are valid only
+	// during the call (copy what you keep). Called from the reader
+	// goroutine.
+	OnPacket func(from netip.AddrPort, hdr *wire.Header, data []byte)
+
+	// OnBatchEnd, when non-nil, runs after each inbound batch has been
+	// delivered — the natural point to flush work staged by OnPacket
+	// (completed-message callbacks, ACK coalescing).
+	OnBatchEnd func()
+
+	// OnTimer runs when the SetTimer deadline arrives. Called from the
+	// wheel goroutine.
+	OnTimer func()
+}
+
+// Stats counts transport-level events. Snapshot with Transport.Stats.
+type Stats struct {
+	DatagramsIn, DatagramsOut uint64
+	// BatchesIn/Out count syscalls (recvmmsg/sendmmsg or their fallback
+	// equivalents); DatagramsIn/BatchesIn is the achieved read batching.
+	BatchesIn, BatchesOut uint64
+	// MaxBatchIn/Out are the largest single batches observed.
+	MaxBatchIn, MaxBatchOut uint64
+	// RingFullDrops counts datagrams dropped because the outbound ring was
+	// full (backpressure; recovered by retransmission).
+	RingFullDrops uint64
+	// DecodeErrors counts inbound datagrams that were not MTP packets.
+	DecodeErrors uint64
+	// EncodeErrors counts outbound packets whose header failed to encode.
+	EncodeErrors uint64
+}
+
+// Transport runs batched socket I/O and timers for one endpoint.
+type Transport struct {
+	cfg      Config
+	io       batchIO
+	wheel    *Wheel
+	ownWheel bool
+	timer    *Timer
+
+	out     *ring
+	pool    sync.Pool // *dgram send buffers
+	sendSig chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	dgramsIn, dgramsOut   atomic.Uint64
+	batchesIn, batchesOut atomic.Uint64
+	maxIn, maxOut         atomic.Uint64
+	ringDrops             atomic.Uint64
+	decodeErrs, encErrs   atomic.Uint64
+}
+
+// NewTransport validates cfg and builds a transport. Call Start to spawn the
+// I/O goroutines.
+func NewTransport(cfg Config) (*Transport, error) {
+	if cfg.Conn == nil {
+		return nil, errors.New("udpnet: nil Conn")
+	}
+	if cfg.OnPacket == nil {
+		return nil, errors.New("udpnet: nil OnPacket")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.MaxDatagram <= 0 {
+		cfg.MaxDatagram = 2048
+	}
+	if cfg.SocketBuffer == 0 {
+		cfg.SocketBuffer = 4 << 20
+	}
+	if uc, ok := cfg.Conn.(*net.UDPConn); ok && cfg.SocketBuffer > 0 {
+		// Best effort: the kernel clamps to net.core.{r,w}mem_max.
+		_ = uc.SetReadBuffer(cfg.SocketBuffer)
+		_ = uc.SetWriteBuffer(cfg.SocketBuffer)
+	}
+	t := &Transport{
+		cfg:     cfg,
+		io:      newBatchIO(cfg.Conn),
+		wheel:   cfg.Wheel,
+		out:     newRing(cfg.RingSize),
+		sendSig: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	if t.wheel == nil {
+		t.wheel = NewWheel(0, 0)
+		t.ownWheel = true
+	}
+	if cfg.OnTimer != nil {
+		t.timer = NewTimer(cfg.OnTimer)
+	}
+	t.pool.New = func() any {
+		return &dgram{buf: make([]byte, 0, cfg.MaxDatagram)}
+	}
+	return t, nil
+}
+
+// Start spawns the reader and writer goroutines.
+func (t *Transport) Start() {
+	t.wg.Add(2)
+	go t.readLoop()
+	go t.writeLoop()
+}
+
+// LocalAddrPort returns the socket's bound address as a normalized
+// AddrPort (zero when the conn's address is not UDP-shaped).
+func (t *Transport) LocalAddrPort() netip.AddrPort {
+	return toAddrPort(t.cfg.Conn.LocalAddr())
+}
+
+// Now returns the transport's monotonic clock (the wheel's epoch). Feed
+// endpoint events with this clock so SetTimer deadlines share a timebase.
+func (t *Transport) Now() time.Duration { return t.wheel.Now() }
+
+// SetTimer arms Config.OnTimer to run at absolute wheel time `at`
+// (replacing any previous deadline); non-positive cancels. Mirrors
+// core.Env.SetTimer semantics.
+func (t *Transport) SetTimer(at time.Duration) {
+	if t.timer == nil {
+		return
+	}
+	if at <= 0 || t.closed.Load() {
+		t.wheel.Stop(t.timer)
+		return
+	}
+	t.wheel.Schedule(t.timer, at-t.wheel.Now())
+}
+
+// Send encodes hdr+payload into a pooled buffer and queues it for the
+// writer goroutine. It never blocks and never performs a syscall; it
+// reports false when the datagram was dropped (ring full or encode error).
+// hdr and payload are not retained past the call.
+func (t *Transport) Send(dst netip.AddrPort, hdr *wire.Header, payload []byte) bool {
+	d := t.pool.Get().(*dgram)
+	buf, err := hdr.Encode(d.buf[:0])
+	if err != nil {
+		t.encErrs.Add(1)
+		t.pool.Put(d)
+		return false
+	}
+	buf = append(buf, payload...)
+	d.buf = buf[:cap(buf)]
+	d.n = len(buf)
+	d.addr = dst
+	if !t.out.push(d) {
+		t.ringDrops.Add(1)
+		t.pool.Put(d)
+		return false
+	}
+	select {
+	case t.sendSig <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Close stops the goroutines and closes the socket. Safe to call twice.
+func (t *Transport) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if t.timer != nil {
+		t.wheel.Stop(t.timer)
+	}
+	err := t.cfg.Conn.Close() // unblocks the reader
+	close(t.done)             // unblocks the writer
+	t.wg.Wait()
+	if t.ownWheel {
+		t.wheel.Close()
+	}
+	return err
+}
+
+// Stats snapshots the transport counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		DatagramsIn:   t.dgramsIn.Load(),
+		DatagramsOut:  t.dgramsOut.Load(),
+		BatchesIn:     t.batchesIn.Load(),
+		BatchesOut:    t.batchesOut.Load(),
+		MaxBatchIn:    t.maxIn.Load(),
+		MaxBatchOut:   t.maxOut.Load(),
+		RingFullDrops: t.ringDrops.Load(),
+		DecodeErrors:  t.decodeErrs.Load(),
+		EncodeErrors:  t.encErrs.Load(),
+	}
+}
+
+// maxUpdate raises m to v (single-writer counters; a plain load/store race
+// window is acceptable for a high-water mark, but keep it atomic anyway).
+func maxUpdate(m *atomic.Uint64, v uint64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// readLoop owns the fixed receive buffer set: recvmmsg fills up to Batch of
+// them per syscall, each datagram is decoded in place and delivered, and the
+// buffers go right back into the next batch — a free list with zero
+// steady-state allocation.
+func (t *Transport) readLoop() {
+	defer t.wg.Done()
+	bufs := make([]*dgram, t.cfg.Batch)
+	for i := range bufs {
+		bufs[i] = &dgram{buf: make([]byte, t.cfg.MaxDatagram)}
+	}
+	var hdr wire.Header
+	for {
+		n, err := t.io.readBatch(bufs)
+		if err != nil {
+			return // socket closed
+		}
+		if n == 0 {
+			continue // transient error inside the batch read
+		}
+		t.batchesIn.Add(1)
+		t.dgramsIn.Add(uint64(n))
+		maxUpdate(&t.maxIn, uint64(n))
+		for i := 0; i < n; i++ {
+			d := bufs[i]
+			consumed, derr := wire.DecodeInto(&hdr, d.buf[:d.n])
+			if derr != nil || !d.addr.IsValid() {
+				t.decodeErrs.Add(1)
+				continue
+			}
+			var data []byte
+			if consumed < d.n {
+				data = d.buf[consumed:d.n]
+			}
+			t.cfg.OnPacket(d.addr, &hdr, data)
+		}
+		if t.cfg.OnBatchEnd != nil {
+			t.cfg.OnBatchEnd()
+		}
+	}
+}
+
+// writeLoop drains the outbound ring into sendmmsg batches and recycles the
+// buffers.
+func (t *Transport) writeLoop() {
+	defer t.wg.Done()
+	batch := make([]*dgram, 0, t.cfg.Batch)
+	for {
+		batch = batch[:0]
+		for len(batch) < cap(batch) {
+			d, ok := t.out.pop()
+			if !ok {
+				break
+			}
+			batch = append(batch, d)
+		}
+		if len(batch) == 0 {
+			select {
+			case <-t.sendSig:
+				continue
+			case <-t.done:
+				return
+			}
+		}
+		sent, err := t.io.writeBatch(batch)
+		t.batchesOut.Add(1)
+		t.dgramsOut.Add(uint64(sent))
+		maxUpdate(&t.maxOut, uint64(len(batch)))
+		for _, d := range batch {
+			t.pool.Put(d)
+		}
+		if err != nil {
+			return // socket closed
+		}
+	}
+}

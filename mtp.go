@@ -35,12 +35,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
 	"mtp/internal/cc"
 	"mtp/internal/core"
 	"mtp/internal/trace"
+	"mtp/internal/udpnet"
 	"mtp/internal/wire"
 )
 
@@ -142,6 +144,13 @@ type Node struct {
 	cfg   Config
 	start time.Time
 
+	// tr is the batched real-socket backend (internal/udpnet), engaged when
+	// pc carries UDP addresses. It owns the I/O goroutines, the outbound
+	// ring, and the timer wheel; peers are then keyed by netip.AddrPort
+	// instead of address strings. nil for in-memory and custom PacketConns,
+	// which keep the portable single-buffer read loop.
+	tr *udpnet.Transport
+
 	mu      sync.Mutex
 	ep      *core.Endpoint
 	peers   map[string]net.Addr
@@ -151,6 +160,13 @@ type Node struct {
 	// addrKeys caches peer address strings pre-boxed as core.Addr so the
 	// per-packet paths do not allocate an interface header per conversion.
 	addrKeys map[string]core.Addr
+	// apByName/udpFrom are the transport-mode peer caches: address string →
+	// normalized AddrPort key, and AddrPort key → net.Addr for Message.From.
+	apByName map[string]netip.AddrPort
+	udpFrom  map[netip.AddrPort]*net.UDPAddr
+	// trIn is the reused Inbound for transport-delivered packets (the
+	// endpoint copies what it keeps before OnPacket returns).
+	trIn core.Inbound
 	// wbuf is the reused datagram encode buffer (Output runs under mu).
 	wbuf []byte
 	// inbox stages completed messages while mu is held; they are handed to
@@ -197,6 +213,27 @@ func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
 		waiters:  make(map[uint64]*Outgoing),
 		addrKeys: make(map[string]core.Addr),
 	}
+	if _, udp := pc.LocalAddr().(*net.UDPAddr); udp {
+		// Real-socket path: batched syscalls, pooled buffers, timer wheel.
+		maxDgram := cfg.MSS + 1024 // header room; ACK-only packets are smaller
+		if maxDgram < 4096 {
+			maxDgram = 4096
+		}
+		tr, err := udpnet.NewTransport(udpnet.Config{
+			Conn:        pc,
+			MaxDatagram: maxDgram,
+			Wheel:       nodeWheel(),
+			OnPacket:    n.onTransportPacket,
+			OnBatchEnd:  n.drainAll,
+			OnTimer:     n.onTimer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mtp: %w", err)
+		}
+		n.tr = tr
+		n.apByName = make(map[string]netip.AddrPort)
+		n.udpFrom = make(map[netip.AddrPort]*net.UDPAddr)
+	}
 	var ring *trace.Ring
 	if cfg.TraceEvents > 0 {
 		ring = trace.NewRing(cfg.TraceEvents)
@@ -228,9 +265,42 @@ func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
 	}
 	n.ep = core.NewEndpoint(n, coreCfg)
 
-	n.wg.Add(1)
-	go n.readLoop()
+	if n.tr != nil {
+		n.tr.Start()
+	} else {
+		n.wg.Add(1)
+		go n.readLoop()
+	}
 	return n, nil
+}
+
+// nodeWheel returns the process-wide timer wheel shared by every
+// socket-backed Node: one wheel goroutine serves all endpoint RTO/pacing
+// timers instead of one runtime timer per node per rearm.
+var (
+	wheelOnce   sync.Once
+	sharedWheel *udpnet.Wheel
+)
+
+func nodeWheel() *udpnet.Wheel {
+	wheelOnce.Do(func() { sharedWheel = udpnet.NewWheel(0, 0) })
+	return sharedWheel
+}
+
+// onTransportPacket feeds one decoded datagram from the transport reader
+// into the engine. hdr and data are only valid during the call; the
+// endpoint copies what it keeps (core.Inbound contract).
+func (n *Node) onTransportPacket(from netip.AddrPort, hdr *wire.Header, data []byte) {
+	n.mu.Lock()
+	if !n.closed {
+		if _, ok := n.udpFrom[from]; !ok {
+			n.udpFrom[from] = net.UDPAddrFromAddrPort(from)
+		}
+		n.trIn = core.Inbound{From: from, Hdr: hdr, Data: data}
+		n.ep.OnPacket(&n.trIn)
+	}
+	n.mu.Unlock()
+	// Completed messages are drained once per batch via OnBatchEnd.
 }
 
 // Addr returns the node's network address.
@@ -273,14 +343,11 @@ func (n *Node) SendPriority(addr string, dstPort uint16, data []byte, priority u
 	if n.closed {
 		return nil, errors.New("mtp: node closed")
 	}
-	if _, ok := n.peers[addr]; !ok {
-		resolved, err := n.resolve(addr)
-		if err != nil {
-			return nil, err
-		}
-		n.peers[addr] = resolved
+	key, err := n.sendKey(addr)
+	if err != nil {
+		return nil, err
 	}
-	m := n.ep.Send(n.addrKey(addr), dstPort, data, core.SendOptions{Priority: priority})
+	m := n.ep.Send(key, dstPort, data, core.SendOptions{Priority: priority})
 	out := &Outgoing{ID: m.ID, done: make(chan struct{})}
 	if m.Done() {
 		close(out.done) // tiny message fully acked already (loopback)
@@ -288,6 +355,36 @@ func (n *Node) SendPriority(addr string, dstPort uint16, data []byte, priority u
 		n.waiters[m.ID] = out
 	}
 	return out, nil
+}
+
+// sendKey resolves a peer address string to its core.Addr form — a
+// normalized netip.AddrPort in transport mode (comparable without per-packet
+// string conversions), the interned string otherwise. Called under mu.
+func (n *Node) sendKey(addr string) (core.Addr, error) {
+	if n.tr != nil {
+		if ap, ok := n.apByName[addr]; ok {
+			return ap, nil
+		}
+		ua, err := net.ResolveUDPAddr(n.pc.LocalAddr().Network(), addr)
+		if err != nil {
+			return nil, err
+		}
+		p := ua.AddrPort()
+		ap := netip.AddrPortFrom(p.Addr().Unmap(), p.Port())
+		n.apByName[addr] = ap
+		if _, ok := n.udpFrom[ap]; !ok {
+			n.udpFrom[ap] = ua
+		}
+		return ap, nil
+	}
+	if _, ok := n.peers[addr]; !ok {
+		resolved, err := n.resolve(addr)
+		if err != nil {
+			return nil, err
+		}
+		n.peers[addr] = resolved
+	}
+	return n.addrKey(addr), nil
 }
 
 // addrKey returns the cached boxed form of a peer address string, avoiding
@@ -299,6 +396,24 @@ func (n *Node) addrKey(addr string) core.Addr {
 		n.addrKeys[addr] = a
 	}
 	return a
+}
+
+// fromAddr converts a core.Addr peer key back to a net.Addr for delivery to
+// the application. Called under mu.
+func (n *Node) fromAddr(key core.Addr) net.Addr {
+	switch a := key.(type) {
+	case netip.AddrPort:
+		if ua := n.udpFrom[a]; ua != nil {
+			return ua
+		}
+		return net.UDPAddrFromAddrPort(a)
+	case string:
+		if from := n.peers[a]; from != nil {
+			return from
+		}
+		return memAddr(a)
+	}
+	return nil
 }
 
 func (n *Node) resolve(addr string) (net.Addr, error) {
@@ -324,6 +439,11 @@ func (n *Node) Close() error {
 		n.timer.Stop()
 	}
 	n.mu.Unlock()
+	if n.tr != nil {
+		// Transport owns the socket, the I/O goroutines, and the wheel
+		// timer; Close tears all three down and waits for the goroutines.
+		return n.tr.Close()
+	}
 	err := n.pc.Close()
 	n.wg.Wait()
 	return err
@@ -338,11 +458,7 @@ func (n *Node) deliver(m *core.InMessage) {
 	if n.cfg.OnMessage == nil && n.rpcHandlers == nil && n.rpc.pending == nil {
 		return
 	}
-	addrStr, _ := m.From.(string)
-	from := n.peers[addrStr]
-	if from == nil {
-		from = memAddr(addrStr)
-	}
+	from := n.fromAddr(m.From)
 	n.inbox = append(n.inbox, Message{
 		From:     from,
 		SrcPort:  m.SrcPort,
@@ -386,10 +502,24 @@ func (n *Node) drainAll() {
 // --- core.Env implementation (wall-clock) ---
 
 // Now implements core.Env.
-func (n *Node) Now() time.Duration { return time.Since(n.start) }
+func (n *Node) Now() time.Duration {
+	if n.tr != nil {
+		// The wheel's clock, so SetTimer deadlines share a timebase.
+		return n.tr.Now()
+	}
+	return time.Since(n.start)
+}
 
-// Output implements core.Env: encode and transmit. Called under mu.
+// Output implements core.Env: encode and transmit. Called under mu. In
+// transport mode the packet is encoded into a pooled buffer and queued on
+// the lock-free outbound ring; the writer goroutine performs the syscalls.
 func (n *Node) Output(pkt *core.Outbound) {
+	if n.tr != nil {
+		if ap, ok := pkt.Dst.(netip.AddrPort); ok {
+			n.tr.Send(ap, pkt.Hdr, pkt.Data)
+		}
+		return
+	}
 	addrStr, _ := pkt.Dst.(string)
 	to := n.peers[addrStr]
 	if to == nil {
@@ -420,6 +550,10 @@ func (n *Node) OutputNonRetaining() bool { return true }
 // worst delivers one spurious OnTimer, which the endpoint tolerates (it
 // re-derives its deadlines every call).
 func (n *Node) SetTimer(at time.Duration) {
+	if n.tr != nil {
+		n.tr.SetTimer(at)
+		return
+	}
 	if n.timer == nil {
 		n.timer = time.AfterFunc(time.Hour, n.onTimer)
 		n.timer.Stop()

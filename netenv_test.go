@@ -1,0 +1,62 @@
+package mtp
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestFromAddrKeys covers the peer-key to net.Addr mapping for both
+// backend modes: cached and uncached netip keys (transport mode), string
+// keys (legacy mode), and unknown key types.
+func TestFromAddrKeys(t *testing.T) {
+	mn := NewMemNetwork(1)
+	pc, err := mn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(pc, Config{Port: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	ap := netip.MustParseAddrPort("10.1.2.3:77")
+	if got := node.fromAddr(ap); got.String() != "10.1.2.3:77" {
+		t.Fatalf("uncached netip key: %v", got)
+	}
+	cached := &net.UDPAddr{IP: net.IPv4(10, 1, 2, 3), Port: 77}
+	node.udpFrom = map[netip.AddrPort]*net.UDPAddr{ap: cached}
+	if got := node.fromAddr(ap); got != net.Addr(cached) {
+		t.Fatalf("cached netip key not reused: %v", got)
+	}
+	if got := node.fromAddr("peer-x"); got.String() != "peer-x" {
+		t.Fatalf("string key: %v", got)
+	}
+	if got := node.fromAddr(42); got != nil {
+		t.Fatalf("unknown key type: %v", got)
+	}
+}
+
+// TestMemConnDeadlines pins the net.PacketConn no-op deadline surface the
+// in-memory network must provide (the transport sets deadlines on real
+// sockets; memnet accepts and ignores them).
+func TestMemConnDeadlines(t *testing.T) {
+	mn := NewMemNetwork(1)
+	pc, err := mn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	now := time.Now()
+	if err := pc.SetReadDeadline(now); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.SetWriteDeadline(now); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.SetDeadline(now); err != nil {
+		t.Fatal(err)
+	}
+}
