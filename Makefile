@@ -28,12 +28,13 @@ SCENARIO_SEEDS ?=
 scenario:
 	SCENARIO_SEEDS=$(SCENARIO_SEEDS) $(GO) test ./internal/scenario -run Scenario -count=1 -v
 
-# fuzz runs both native fuzz targets (reassembly state machine, wire decoder)
-# for FUZZTIME each.
+# fuzz runs the native fuzz targets (reassembly state machine, wire decoder,
+# QUIC-baseline stream reassembly) for FUZZTIME each.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run XXX -fuzz FuzzReassembly -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzQUICStreamReassembly -fuzztime $(FUZZTIME) ./internal/baseline
 
 # exp regenerates the paper's figures on the simulator.
 exp: build

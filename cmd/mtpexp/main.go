@@ -39,6 +39,8 @@ func main() {
 		radix    = flag.Int("k", 0, "scale: fat-tree radix (with -topo fattree)")
 		pattern  = flag.String("pattern", "", "scale traffic: permutation (default), incast, shuffle")
 		msgSize  = flag.Int("msgsize", 0, "scale: message size in bytes")
+		rival    = flag.String("baseline", "dctcp", "rival transport for failover/scale/scalesweep: dctcp, mptcp-lia, mptcp-olia, quic")
+		rivalRnd = flag.Bool("rival", false, "scenario: sample the rival baseline type per seed instead of always DCTCP")
 		verbose  = flag.Bool("v", false, "verbose output (table1 evidence)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		chkOn    = flag.Bool("check", false, "run scale/failover under the protocol invariant harness (internal/check)")
@@ -52,6 +54,13 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	switch *rival {
+	case "dctcp", "mptcp-lia", "mptcp-olia", "quic":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -baseline %q (want dctcp, mptcp-lia, mptcp-olia, or quic)\n", *rival)
+		os.Exit(2)
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -139,7 +148,7 @@ func main() {
 	}
 	if run("failover") {
 		ran = true
-		fr := exp.FailoverConfig{Seed: *seed, Check: *chkOn}
+		fr := exp.FailoverConfig{Seed: *seed, Check: *chkOn, Baseline: *rival}
 		if *duration > 0 {
 			fr.Duration = *duration
 		}
@@ -169,6 +178,7 @@ func main() {
 		Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
 		K: *radix, Pattern: *pattern, MsgSize: *msgSize, Messages: *messages,
 		Seed: *seed, Workers: *parallel, Shards: *shards, MaxBatch: *maxbatch, Check: *chkOn,
+		Baseline: *rival,
 	}
 	if *duration > 0 {
 		scaleCfg.Timeout = *duration
@@ -208,7 +218,7 @@ func main() {
 		ov := scenario.Overrides{
 			Topo: *topoName, Leaves: *leaves, Spines: *spines, HostsPerLeaf: *perLeaf,
 			Messages: *messages, MaxFaults: *faults, Horizon: *duration,
-			Offload: *offOn,
+			Offload: *offOn, Rival: *rivalRnd,
 		}
 		failed := false
 		for s := *seed; s < *seed+int64(*nScen); s++ {

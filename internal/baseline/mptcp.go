@@ -8,24 +8,66 @@ import (
 	"mtp/internal/simnet"
 )
 
-// MPTCP is a simplified multipath TCP model: one byte stream striped over N
-// subflows, each an independent sequence space with its own congestion
-// window (per-subflow windows are what give MPTCP its multi-resource
-// congestion control in Table 1). Segments carry their global stream offset
-// so the receiver can merge subflows; a subflow's losses are recovered on
-// that subflow.
+// MPTCP is a multipath TCP model: one byte stream striped over N subflows,
+// each an independent sequence space with its own loss recovery. Segments
+// carry their global stream offset so the receiver can merge subflows.
 //
-// The model deliberately omits LIA-style window coupling: coupling only
-// matters for bottleneck fairness between MPTCP and single-path flows,
-// which none of the probes measure. What the probes do measure — stream
-// semantics per subflow (mutation still breaks), receiver-side merge
-// buffering, per-path window sizing, and the failure mode when the network
-// (not the host) picks paths — all hold with or without coupling.
+// Two knobs turn the original simplified model into a credible rival:
+//
+//   - Coupling links the subflow congestion windows (LIA per RFC 6356 or
+//     OLIA per Khalili et al.), so one connection's subflows collectively
+//     take a single flow's share on a shared bottleneck while shifting load
+//     toward the less congested path.
+//   - Scheduler picks the subflow for each MSS chunk (max free window,
+//     lowest RTT, or round-robin).
+//
+// With FailoverRTOs set, a subflow whose path stops acking is declared dead
+// after that many consecutive timeouts and its unacked bytes are reinjected
+// on the surviving subflows (opportunistic reinjection) — without it, a
+// blackholed subflow stalls the merged stream until the path heals, exactly
+// the failure mode the failover experiment measures.
 type MPTCP struct {
 	subflows []*Sender
-	total    int64
-	next     int64 // next global offset to assign
-	closed   bool
+	subs     []*msub
+	sched    SubflowScheduler
+	coupler  *Coupler
+
+	total  int64
+	next   int64 // next global offset to assign
+	closed bool
+
+	// ackedGlobal accumulates acked global byte ranges across subflows
+	// (reinjection can ack the same range on two subflows; the span set
+	// counts it once).
+	ackedGlobal spanSet
+	done        bool
+
+	failRTOs   int
+	onComplete func(time.Duration)
+
+	// liveBuf/liveIdx are reusable scratch for scheduling around dead
+	// subflows without per-chunk allocation.
+	liveBuf []*Sender
+	liveIdx []int
+
+	// Reinjected counts stream bytes re-striped off dead subflows.
+	Reinjected int64
+}
+
+// msub is the striper's per-subflow bookkeeping.
+type msub struct {
+	s *Sender
+	// stripes records (local offset, global offset, length) for every chunk
+	// assigned to this subflow, in local-offset order; fully acked stripes
+	// are pruned from the front.
+	stripes []mstripe
+	// rtoStreak counts consecutive timeouts with no ack progress.
+	rtoStreak int
+	dead      bool
+}
+
+type mstripe struct {
+	local, global, n int64
 }
 
 // MPTCPConfig parameterizes the sender side.
@@ -41,24 +83,57 @@ type MPTCPConfig struct {
 	CCConfig cc.Config
 	RTO      time.Duration
 	Tenant   int
+	// Coupling selects coupled congestion control across the subflows
+	// (CouplingLIA, CouplingOLIA); empty keeps independent windows.
+	Coupling Coupling
+	// Scheduler picks the subflow for each chunk; nil means SchedMaxFree.
+	Scheduler SubflowScheduler
+	// FailoverRTOs enables dead-path reinjection: after this many
+	// consecutive timeouts on a subflow without ack progress, its unacked
+	// bytes are re-striped onto the other subflows. 0 disables (legacy).
+	FailoverRTOs int
+	// OnComplete fires once, when every written byte has been acknowledged
+	// (write the whole stream before relying on it).
+	OnComplete func(now time.Duration)
 }
-
-// globalSegment rides in Segment.GlobalSeq (added field) — see Segment.
 
 // NewMPTCP builds a multipath sender whose subflows emit through emit.
 func NewMPTCP(eng *sim.Engine, emit func(*simnet.Packet), cfg MPTCPConfig) *MPTCP {
 	if len(cfg.Conns) == 0 {
 		panic("baseline: MPTCP needs subflows")
 	}
-	m := &MPTCP{}
-	for _, conn := range cfg.Conns {
-		s := NewSender(eng, emit, SenderConfig{
+	m := &MPTCP{
+		sched:      cfg.Scheduler,
+		failRTOs:   cfg.FailoverRTOs,
+		onComplete: cfg.OnComplete,
+	}
+	if m.sched == nil {
+		m.sched = SchedMaxFree{}
+	}
+	if cfg.Coupling != CouplingNone {
+		ccCfg := cfg.CCConfig
+		ccCfg.MSS = cfg.MSS
+		if ccCfg.MSS <= 0 {
+			ccCfg.MSS = 1460
+		}
+		m.coupler = NewCoupler(cfg.Coupling, ccCfg, len(cfg.Conns))
+	}
+	for i, conn := range cfg.Conns {
+		i := i
+		sc := SenderConfig{
 			Conn: conn, Dst: cfg.Dst, MSS: cfg.MSS, CC: cfg.CC, CCConfig: cfg.CCConfig,
 			RTO: cfg.RTO, Tenant: cfg.Tenant, SkipHandshake: true,
-			// Re-stripe whenever a subflow's window opens.
-			OnAcked: func(time.Duration, int64) { m.pump() },
-		})
+			// Re-stripe whenever a subflow's window opens, and track acked
+			// global coverage for completion.
+			OnAcked:   func(now time.Duration, _ int64) { m.onSubAcked(i, now) },
+			OnTimeout: func(now time.Duration) { m.onSubTimeout(i, now) },
+		}
+		if m.coupler != nil {
+			sc.Algo = m.coupler.Sub(i)
+		}
+		s := NewSender(eng, emit, sc)
 		m.subflows = append(m.subflows, s)
+		m.subs = append(m.subs, &msub{s: s})
 	}
 	return m
 }
@@ -66,39 +141,39 @@ func NewMPTCP(eng *sim.Engine, emit func(*simnet.Packet), cfg MPTCPConfig) *MPTC
 // Subflows exposes the per-path senders (tests inspect their windows).
 func (m *MPTCP) Subflows() []*Sender { return m.subflows }
 
+// Coupler exposes the shared coupled-CC state (nil when uncoupled).
+func (m *MPTCP) Coupler() *Coupler { return m.coupler }
+
 // Write appends n bytes to the stream and stripes them across subflows.
 func (m *MPTCP) Write(n int) {
 	m.total += int64(n)
 	m.pump()
 }
 
-// pump assigns unscheduled stream bytes to the subflow with the most free
-// window, in MSS chunks, recording each chunk's global offset.
+// pump assigns unscheduled stream bytes to scheduler-picked subflows in MSS
+// chunks, recording each chunk's global offset.
 func (m *MPTCP) pump() {
 	for m.next < m.total {
-		best := -1
-		var bestFree float64
-		for i, s := range m.subflows {
-			free := s.Algo().Window() - float64(s.Outstanding()) - float64(s.total-s.sndNxt)
-			if best == -1 || free > bestFree {
-				best, bestFree = i, free
-			}
+		live, idx := m.liveSenders()
+		i := m.sched.Pick(live)
+		if i < 0 {
+			break
 		}
-		s := m.subflows[best]
+		if idx != nil {
+			i = idx[i]
+		}
+		s := m.subs[i].s
 		chunk := int64(s.cfg.MSS)
 		if m.total-m.next < chunk {
 			chunk = m.total - m.next
 		}
-		// Record the mapping: this subflow's local offset [total, total+chunk)
-		// carries global [next, next+chunk).
-		s.noteGlobal(s.total, m.next)
-		s.Write(int(chunk))
+		m.assign(i, m.next, chunk)
 		m.next += chunk
-		// Stop once every subflow is saturated well past its window, so a
-		// huge stream does not pre-assign everything to the first subflow.
+		// Stop once every live subflow is saturated well past its window,
+		// so a huge stream does not pre-assign everything up front.
 		allFull := true
-		for _, sf := range m.subflows {
-			if float64(sf.total-sf.sndUna) < 2*sf.Algo().Window() {
+		for _, sf := range live {
+			if !saturated(sf) {
 				allFull = false
 				break
 			}
@@ -109,10 +184,141 @@ func (m *MPTCP) pump() {
 	}
 }
 
+// assign stripes global bytes [global, global+n) onto subflow i.
+func (m *MPTCP) assign(i int, global, n int64) {
+	sub := m.subs[i]
+	sub.stripes = append(sub.stripes, mstripe{local: sub.s.total, global: global, n: n})
+	sub.s.noteGlobal(sub.s.total, global)
+	sub.s.Write(int(n))
+}
+
+// liveSenders returns the schedulable subflows. idx maps the returned slice
+// back to m.subs indices; nil idx means identity. When every subflow is
+// dead, all are returned (there is nothing better to do than retry).
+func (m *MPTCP) liveSenders() ([]*Sender, []int) {
+	anyDead := false
+	for _, sub := range m.subs {
+		if sub.dead {
+			anyDead = true
+			break
+		}
+	}
+	if !anyDead {
+		return m.subflows, nil
+	}
+	m.liveBuf = m.liveBuf[:0]
+	m.liveIdx = m.liveIdx[:0]
+	for i, sub := range m.subs {
+		if !sub.dead {
+			m.liveBuf = append(m.liveBuf, sub.s)
+			m.liveIdx = append(m.liveIdx, i)
+		}
+	}
+	if len(m.liveBuf) == 0 {
+		return m.subflows, nil
+	}
+	return m.liveBuf, m.liveIdx
+}
+
+// onSubAcked maps subflow i's newly acked local bytes to global ranges,
+// prunes finished stripes, revives the path, and re-pumps.
+func (m *MPTCP) onSubAcked(i int, now time.Duration) {
+	sub := m.subs[i]
+	sub.rtoStreak = 0
+	sub.dead = false
+	una := sub.s.Acked()
+	for len(sub.stripes) > 0 {
+		st := sub.stripes[0]
+		if st.local >= una {
+			break
+		}
+		hi := st.local + st.n
+		if una < hi {
+			hi = una
+		}
+		m.ackedGlobal.add(st.global, st.global+(hi-st.local))
+		if st.local+st.n > una {
+			break // partially acked; keep for the rest
+		}
+		sub.stripes = sub.stripes[1:]
+	}
+	m.pump()
+	m.checkDone(now)
+}
+
+func (m *MPTCP) checkDone(now time.Duration) {
+	if m.done || m.total == 0 || m.next < m.total {
+		return
+	}
+	if m.ackedGlobal.contiguous() >= m.total {
+		m.done = true
+		if m.onComplete != nil {
+			m.onComplete(now)
+		}
+	}
+}
+
+// onSubTimeout counts a consecutive-RTO streak; at the configured threshold
+// the subflow is declared dead and its unacked bytes reinjected elsewhere.
+func (m *MPTCP) onSubTimeout(i int, now time.Duration) {
+	sub := m.subs[i]
+	sub.rtoStreak++
+	if m.failRTOs <= 0 || sub.dead || sub.rtoStreak < m.failRTOs {
+		return
+	}
+	alive := false
+	for j, other := range m.subs {
+		if j != i && !other.dead {
+			alive = true
+			break
+		}
+	}
+	if !alive {
+		return // nowhere to shift the bytes
+	}
+	sub.dead = true
+	m.reinject(i)
+}
+
+// reinject re-stripes subflow i's unacked global ranges onto the live
+// subflows. The dead subflow keeps its own retransmission state (the path
+// may heal); the receiver's merge dedups whichever copy arrives first.
+func (m *MPTCP) reinject(i int) {
+	sub := m.subs[i]
+	una := sub.s.Acked()
+	for _, st := range sub.stripes {
+		lo := st.local
+		if una > lo {
+			lo = una
+		}
+		if lo >= st.local+st.n {
+			continue
+		}
+		g := st.global + (lo - st.local)
+		n := st.local + st.n - lo
+		live, idx := m.liveSenders()
+		j := m.sched.Pick(live)
+		if j < 0 {
+			return
+		}
+		if idx != nil {
+			j = idx[j]
+		}
+		if j == i {
+			continue // scheduler fell back to the dead subflow itself
+		}
+		m.assign(j, g, n)
+		m.Reinjected += n
+	}
+}
+
 // Pump re-runs striping (call from ack hooks or timers when windows open).
 func (m *MPTCP) Pump() { m.pump() }
 
-// Acked returns total stream bytes acknowledged across subflows.
+// Acked returns total stream bytes acknowledged across subflows. With
+// reinjection this can exceed the stream length (two subflows may both
+// carry and ack the same global bytes); AckedGlobal counts each global byte
+// once.
 func (m *MPTCP) Acked() int64 {
 	var t int64
 	for _, s := range m.subflows {
@@ -120,6 +326,9 @@ func (m *MPTCP) Acked() int64 {
 	}
 	return t
 }
+
+// AckedGlobal returns the contiguously acknowledged global stream prefix.
+func (m *MPTCP) AckedGlobal() int64 { return m.ackedGlobal.contiguous() }
 
 // MPTCPReceiver merges the subflow streams back into the global stream and
 // tracks the contiguous prefix plus the out-of-order merge buffer (the
@@ -168,6 +377,9 @@ func NewMPTCPReceiver(eng *sim.Engine, emit func(*simnet.Packet), src simnet.Nod
 // subflow has delivered in order so far (including segments that arrived
 // out of order earlier and just became contiguous).
 func (r *MPTCPReceiver) OnPacket(pkt *simnet.Packet) {
+	if pkt.Corrupted {
+		return // failed checksum
+	}
 	seg, ok := pkt.Payload.(*Segment)
 	if !ok {
 		return
@@ -199,6 +411,11 @@ func (r *MPTCPReceiver) merge(global, n int64) {
 	if global+n <= r.contiguous {
 		return // duplicate
 	}
+	if global < r.contiguous {
+		// Reinjected overlap: only the tail is new.
+		n -= r.contiguous - global
+		global = r.contiguous
+	}
 	if old, ok := r.pending[global]; !ok || n > old {
 		r.pending[global] = n
 	}
@@ -212,7 +429,13 @@ func (r *MPTCPReceiver) merge(global, n int64) {
 		r.contiguous += n
 	}
 	var buf int64
-	for _, n := range r.pending {
+	for k, n := range r.pending {
+		// Reinjection can leave duplicate entries fully behind the prefix;
+		// drop them rather than counting them as buffered.
+		if k+n <= r.contiguous {
+			delete(r.pending, k)
+			continue
+		}
 		buf += n
 	}
 	if buf > r.MaxPending {

@@ -94,6 +94,9 @@ func (r *Receiver) window() int64 {
 
 // OnPacket handles an arriving data segment (or SYN).
 func (r *Receiver) OnPacket(pkt *simnet.Packet) {
+	if pkt.Corrupted {
+		return // failed checksum
+	}
 	seg, ok := pkt.Payload.(*Segment)
 	if !ok || seg.Conn != r.cfg.Conn || seg.Ack {
 		return
@@ -183,13 +186,20 @@ func (d *Demux) Add(conn uint64, h func(*simnet.Packet)) {
 	d.handlers[conn] = append(d.handlers[conn], h)
 }
 
+// connPayload is implemented by every baseline payload that belongs to a
+// connection (TCP segments, QUIC packets); Demux routes on it.
+type connPayload interface{ ConnID() uint64 }
+
+// ConnID implements connPayload.
+func (s *Segment) ConnID() uint64 { return s.Conn }
+
 // Handle dispatches one packet (install as host.SetHandler(d.Handle)).
 func (d *Demux) Handle(pkt *simnet.Packet) {
-	seg, ok := pkt.Payload.(*Segment)
+	cp, ok := pkt.Payload.(connPayload)
 	if !ok {
 		return
 	}
-	for _, h := range d.handlers[seg.Conn] {
+	for _, h := range d.handlers[cp.ConnID()] {
 		h(pkt)
 	}
 }

@@ -20,6 +20,10 @@ type SenderConfig struct {
 	CC cc.Kind
 	// CCConfig tunes the algorithm; MSS is filled automatically.
 	CCConfig cc.Config
+	// Algo, when non-nil, supplies a pre-built congestion-control instance
+	// and overrides CC/CCConfig — how MPTCP injects one subflow of a
+	// coupled controller (see Coupler).
+	Algo cc.Algorithm
 	// RTO is the retransmission timeout. Default 1ms.
 	RTO time.Duration
 	// Tenant tags outgoing packets for per-entity policies.
@@ -32,6 +36,10 @@ type SenderConfig struct {
 	// OnAcked fires whenever new bytes are cumulatively acknowledged
 	// (backpressure hook for proxies).
 	OnAcked func(now time.Duration, n int64)
+	// OnTimeout fires on each retransmission timeout of an established
+	// connection with bytes outstanding (MPTCP uses consecutive timeouts
+	// without ack progress to declare a subflow's path dead).
+	OnTimeout func(now time.Duration)
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -84,11 +92,15 @@ type Sender struct {
 // NewSender builds a sender that transmits packets through emit.
 func NewSender(eng *sim.Engine, emit func(*simnet.Packet), cfg SenderConfig) *Sender {
 	cfg = cfg.withDefaults()
-	ccCfg := cfg.CCConfig
-	ccCfg.MSS = cfg.MSS
-	algo, err := cc.New(cfg.CC, ccCfg)
-	if err != nil {
-		panic("baseline: " + err.Error())
+	algo := cfg.Algo
+	if algo == nil {
+		ccCfg := cfg.CCConfig
+		ccCfg.MSS = cfg.MSS
+		var err error
+		algo, err = cc.New(cfg.CC, ccCfg)
+		if err != nil {
+			panic("baseline: " + err.Error())
+		}
 	}
 	s := &Sender{
 		cfg:       cfg,
@@ -112,6 +124,10 @@ func (s *Sender) Outstanding() int64 { return s.sndNxt - s.sndUna }
 
 // Acked returns cumulatively acknowledged bytes.
 func (s *Sender) Acked() int64 { return s.sndUna }
+
+// SRTT returns the smoothed round-trip time estimate (0 until the first
+// sample) — the signal RTT-aware subflow schedulers read.
+func (s *Sender) SRTT() time.Duration { return s.srtt }
 
 // Write appends n bytes to the stream and pumps transmission.
 func (s *Sender) Write(n int) {
@@ -182,6 +198,9 @@ func (s *Sender) send(seg *Segment, size int) {
 
 // OnPacket handles an arriving ACK (or SYNACK) for this connection.
 func (s *Sender) OnPacket(pkt *simnet.Packet) {
+	if pkt.Corrupted {
+		return // failed checksum
+	}
 	seg, ok := pkt.Payload.(*Segment)
 	if !ok || seg.Conn != s.cfg.Conn || !seg.Ack {
 		return
@@ -331,4 +350,7 @@ func (s *Sender) onRTO() {
 	}
 	s.pump()
 	s.armRTO()
+	if s.cfg.OnTimeout != nil {
+		s.cfg.OnTimeout(s.eng.Now())
+	}
 }

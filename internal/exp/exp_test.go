@@ -264,6 +264,18 @@ func TestTable1Matrix(t *testing.T) {
 	expect("MPTCP (2 subflows)", 2, true)
 	expect("MPTCP (2 subflows)", 3, true)
 	expect("MPTCP (2 subflows)", 4, false)
+	// Coupled MPTCP: same shape — coupling fixes inter-connection fairness,
+	// not per-entity isolation, and leaves the merge buffer alone.
+	expect("MPTCP (OLIA coupled)", 0, false)
+	expect("MPTCP (OLIA coupled)", 1, false)
+	expect("MPTCP (OLIA coupled)", 2, true)
+	expect("MPTCP (OLIA coupled)", 3, true)
+	expect("MPTCP (OLIA coupled)", 4, false)
+	// QUIC: every feature measured absent — streams fix retransmission HoL,
+	// not the one-flow-one-window-one-5-tuple architecture.
+	for i := range table1Features {
+		expect("QUIC", i, false)
+	}
 	if !strings.Contains(r.Verbose(), "Evidence") == strings.Contains(r.Verbose(), "") {
 		_ = r
 	}

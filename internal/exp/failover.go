@@ -37,6 +37,12 @@ type FailoverConfig struct {
 	SampleInterval     time.Duration // 100 µs
 	Seed               int64
 	MaxWindow          float64 // socket-buffer cap, default 256 KiB
+	// Baseline selects the rival transport run against MTP: "dctcp"
+	// (default), "mptcp-lia" / "mptcp-olia" (coupled multipath TCP with
+	// dead-path reinjection — the strongest rival here, since it holds a
+	// subflow on the surviving path), or "quic" (multiplexed streams, one
+	// connection pinned to the blackholed path like DCTCP).
+	Baseline string
 	// Check runs the MTP side under the protocol invariant harness
 	// (internal/check) — the failover invariants (no sends onto excluded
 	// pathlets, readmission only on live feedback) are this experiment's
@@ -87,7 +93,25 @@ func (c FailoverConfig) withDefaults() FailoverConfig {
 	if c.MaxWindow == 0 {
 		c.MaxWindow = 256 << 10
 	}
+	if c.Baseline == "" {
+		c.Baseline = "dctcp"
+	}
 	return c
+}
+
+// failoverRivalName is the series label for the configured rival.
+func failoverRivalName(b string) string {
+	switch b {
+	case "", "dctcp":
+		return "DCTCP"
+	case "mptcp-lia":
+		return "MPTCP-LIA"
+	case "mptcp-olia":
+		return "MPTCP-OLIA"
+	case "quic":
+		return "QUIC"
+	}
+	panic(fmt.Sprintf("exp: unknown baseline %q", b))
 }
 
 // FailoverSeries is one system's trace plus its recovery metrics.
@@ -112,8 +136,11 @@ type FailoverSeries struct {
 type FailoverResult struct {
 	Config FailoverConfig
 	MTP    FailoverSeries
-	DCTCP  FailoverSeries
-	// Speedup is DCTCP recovery time over MTP recovery time.
+	// DCTCP is the rival transport's trace. The field keeps its historical
+	// name for the default baseline; Series.Name carries the configured one
+	// (DCTCP, MPTCP-LIA, MPTCP-OLIA, or QUIC).
+	DCTCP FailoverSeries
+	// Speedup is the rival's recovery time over MTP's recovery time.
 	Speedup float64
 	// Failovers/ProbesSent/Readmissions are the MTP sender's fault counters.
 	Failovers, ProbesSent, Readmissions uint64
@@ -126,15 +153,20 @@ type FailoverResult struct {
 	ViolationCount int
 }
 
-// failoverTopo builds the two-path topology. Unlike fig5Topo the switch uses
-// SingleRoute, so all traffic takes the fast path until a header's exclude
-// list forces the slow one — rerouting is entirely end-host-driven.
-func failoverTopo(cfg FailoverConfig, pathlets bool) (*sim.Engine, *simnet.Network, *simnet.Host, *simnet.Host, *simnet.Link) {
+// failoverTopo builds the two-path topology. Unlike fig5Topo the switch
+// defaults to SingleRoute, so all traffic takes the fast path until a
+// header's exclude list forces the slow one — rerouting is entirely
+// end-host-driven. The MPTCP rival passes ECMP instead: its two subflows
+// carry distinct flow IDs precisely so the network spreads them.
+func failoverTopo(cfg FailoverConfig, pathlets bool, policy simnet.ForwardPolicy) (*sim.Engine, *simnet.Network, *simnet.Host, *simnet.Host, *simnet.Link) {
 	eng := sim.NewEngine(cfg.Seed)
 	net := simnet.NewNetwork(eng)
 	snd := simnet.NewHost(net)
 	rcv := simnet.NewHost(net)
-	sw := simnet.NewSwitch(net, simnet.SingleRoute{})
+	if policy == nil {
+		policy = simnet.SingleRoute{}
+	}
+	sw := simnet.NewSwitch(net, policy)
 
 	snd.SetUplink(net.Connect(sw, simnet.LinkConfig{
 		Rate: cfg.FastRate, Delay: cfg.LinkDelay, QueueCap: 4096,
@@ -192,7 +224,7 @@ func RunFailover(cfg FailoverConfig) FailoverResult {
 
 	// --- MTP run: pathlet failover around the blackhole ---
 	{
-		eng, net, snd, rcv, fastLink := failoverTopo(cfg, true)
+		eng, net, snd, rcv, fastLink := failoverTopo(cfg, true, nil)
 		var chk *check.Checker
 		if cfg.Check {
 			chk = check.New(eng, net)
@@ -243,35 +275,126 @@ func RunFailover(cfg FailoverConfig) FailoverResult {
 		}
 	}
 
-	// --- DCTCP run: one connection pinned to the blackholed path ---
-	{
-		eng, _, snd, rcv, fastLink := failoverTopo(cfg, false)
-		in := fault.NewInjector(eng, cfg.Seed)
-		in.Blackhole(fastLink, cfg.FaultAt, cfg.FaultFor)
-
-		sender := baseline.NewSender(eng, snd.Send, baseline.SenderConfig{
-			Conn: 1, Dst: rcv.ID(), SkipHandshake: true,
-			RTO:      cfg.RTO,
-			CCConfig: cc.Config{MaxWindow: cfg.MaxWindow},
-		})
-		receiver := baseline.NewReceiver(eng, rcv.Send, baseline.ReceiverConfig{
-			Conn: 1, Src: snd.ID(),
-		})
-		series, buckets := byteMeter(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
-			return uint64(receiver.Delivered())
-		})
-		snd.SetHandler(sender.OnPacket)
-		rcv.SetHandler(receiver.OnPacket)
-		sender.Write(1 << 32)
-		eng.Run(cfg.Duration)
-
-		res.DCTCP = summarizeFailover(cfg, "DCTCP", *series, *buckets)
+	// --- Rival run: the configured baseline under the same blackhole ---
+	switch cfg.Baseline {
+	case "", "dctcp":
+		res.DCTCP = runFailoverDCTCP(cfg)
+	case "mptcp-lia":
+		res.DCTCP = runFailoverMPTCP(cfg, baseline.CouplingLIA)
+	case "mptcp-olia":
+		res.DCTCP = runFailoverMPTCP(cfg, baseline.CouplingOLIA)
+	case "quic":
+		res.DCTCP = runFailoverQUIC(cfg)
+	default:
+		panic(fmt.Sprintf("exp: unknown baseline %q", cfg.Baseline))
 	}
 
 	if res.MTP.Recovered && res.DCTCP.Recovered && res.MTP.Recovery > 0 {
 		res.Speedup = float64(res.DCTCP.Recovery) / float64(res.MTP.Recovery)
 	}
 	return res
+}
+
+// runFailoverDCTCP: one connection pinned to the blackholed path. It can
+// only wait the outage out.
+func runFailoverDCTCP(cfg FailoverConfig) FailoverSeries {
+	eng, _, snd, rcv, fastLink := failoverTopo(cfg, false, nil)
+	in := fault.NewInjector(eng, cfg.Seed)
+	in.Blackhole(fastLink, cfg.FaultAt, cfg.FaultFor)
+
+	sender := baseline.NewSender(eng, snd.Send, baseline.SenderConfig{
+		Conn: 1, Dst: rcv.ID(), SkipHandshake: true,
+		RTO:      cfg.RTO,
+		CCConfig: cc.Config{MaxWindow: cfg.MaxWindow},
+	})
+	receiver := baseline.NewReceiver(eng, rcv.Send, baseline.ReceiverConfig{
+		Conn: 1, Src: snd.ID(),
+	})
+	series, buckets := byteMeter(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
+		return uint64(receiver.Delivered())
+	})
+	snd.SetHandler(sender.OnPacket)
+	rcv.SetHandler(receiver.OnPacket)
+	sender.Write(1 << 32)
+	eng.Run(cfg.Duration)
+
+	return summarizeFailover(cfg, "DCTCP", *series, *buckets)
+}
+
+// runFailoverQUIC: multiplexed streams over one connection whose single
+// flow ID is pinned to the blackholed path — stream independence does not
+// help when every stream shares the 5-tuple, so QUIC rides the outage out
+// exactly like DCTCP. Streams run in a closed loop (a completed stream is
+// replaced) to keep offered load up for the whole run.
+func runFailoverQUIC(cfg FailoverConfig) FailoverSeries {
+	eng, _, snd, rcv, fastLink := failoverTopo(cfg, false, nil)
+	in := fault.NewInjector(eng, cfg.Seed)
+	in.Blackhole(fastLink, cfg.FaultAt, cfg.FaultFor)
+
+	const streamSize = 1 << 20
+	var sender *baseline.QUICSender
+	nextStream := uint64(0)
+	openNext := func() {
+		nextStream++
+		sender.OpenStream(nextStream, streamSize)
+	}
+	sender = baseline.NewQUICSender(eng, snd.Send, baseline.QUICSenderConfig{
+		Conn: 1, Dst: rcv.ID(), RTO: cfg.RTO,
+		CCConfig:         cc.Config{MaxWindow: cfg.MaxWindow},
+		OnStreamComplete: func(time.Duration, uint64) { openNext() },
+	})
+	receiver := baseline.NewQUICReceiver(eng, rcv.Send, baseline.QUICReceiverConfig{
+		Conn: 1, Src: snd.ID(),
+	})
+	series, buckets := byteMeter(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
+		return uint64(receiver.Arrived)
+	})
+	snd.SetHandler(sender.OnPacket)
+	rcv.SetHandler(receiver.OnPacket)
+	for i := 0; i < 8; i++ {
+		openNext()
+	}
+	eng.Run(cfg.Duration)
+
+	return summarizeFailover(cfg, "QUIC", *series, *buckets)
+}
+
+// runFailoverMPTCP: two coupled subflows whose flow IDs ECMP-hash onto the
+// fast and slow paths. When the fast path blackholes, dead-path detection
+// (FailoverRTOs consecutive timeouts) reinjects the dead subflow's unacked
+// bytes onto the surviving one — MPTCP is the one rival that recovers
+// during the outage, which is exactly why it is worth beating on detection
+// latency: it still burns RTOs serially where MTP's pathlet state is shared
+// across messages.
+func runFailoverMPTCP(cfg FailoverConfig, coupling baseline.Coupling) FailoverSeries {
+	eng, _, snd, rcv, fastLink := failoverTopo(cfg, false, simnet.ECMP{})
+	in := fault.NewInjector(eng, cfg.Seed)
+	in.Blackhole(fastLink, cfg.FaultAt, cfg.FaultFor)
+
+	// ECMP multiplies the flow ID by an odd constant, so parity is
+	// preserved: an even conn hashes to candidate 0 (fast), an odd conn to
+	// candidate 1 (slow).
+	conns := []uint64{2, 3}
+	m := baseline.NewMPTCP(eng, snd.Send, baseline.MPTCPConfig{
+		Conns: conns, Dst: rcv.ID(), RTO: cfg.RTO,
+		CCConfig:     cc.Config{MaxWindow: cfg.MaxWindow},
+		Coupling:     coupling,
+		FailoverRTOs: cfg.FailoverRTOs,
+	})
+	receiver := baseline.NewMPTCPReceiver(eng, rcv.Send, snd.ID(), conns, 0)
+	series, buckets := byteMeter(eng, cfg.SampleInterval, cfg.Duration, func() uint64 {
+		return uint64(receiver.Contiguous())
+	})
+	snd.SetHandler(func(pkt *simnet.Packet) {
+		for _, s := range m.Subflows() {
+			s.OnPacket(pkt)
+		}
+	})
+	rcv.SetHandler(receiver.OnPacket)
+	m.Write(1 << 32)
+	eng.Run(cfg.Duration)
+
+	return summarizeFailover(cfg, failoverRivalName(cfg.Baseline), *series, *buckets)
 }
 
 func summarizeFailover(cfg FailoverConfig, name string, series []float64, buckets []uint64) FailoverSeries {
@@ -316,7 +439,7 @@ func (r FailoverResult) String() string {
 	fmt.Fprintf(&b, "  MTP sender: %d failover(s), %d probe(s), %d readmission(s)\n",
 		r.Failovers, r.ProbesSent, r.Readmissions)
 	if r.Speedup > 0 {
-		fmt.Fprintf(&b, "  MTP recovered %.1fx faster than DCTCP\n", r.Speedup)
+		fmt.Fprintf(&b, "  MTP recovered %.1fx faster than %s\n", r.Speedup, r.DCTCP.Name)
 	}
 	fmt.Fprintf(&b, "  fault timeline:\n")
 	for _, e := range r.Faults {
@@ -342,7 +465,7 @@ func (r FailoverResult) String() string {
 // Samples renders the two traces side by side for plotting.
 func (r FailoverResult) Samples() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# t_us\tdctcp_gbps\tmtp_gbps\n")
+	fmt.Fprintf(&b, "# t_us\t%s_gbps\tmtp_gbps\n", strings.ToLower(r.DCTCP.Name))
 	n := len(r.MTP.Gbps)
 	if len(r.DCTCP.Gbps) < n {
 		n = len(r.DCTCP.Gbps)

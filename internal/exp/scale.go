@@ -65,6 +65,11 @@ type ScaleConfig struct {
 	// leaf-spine). Results are bit-identical to Shards == 1 — sharding buys
 	// wall-clock speed, not a different experiment. Default 1.
 	Shards int
+	// Baseline selects the rival transport run against MTP: "dctcp"
+	// (default, DCTCP over ECMP), "mptcp-lia" / "mptcp-olia" (coupled
+	// multipath TCP, RFC 6356 / OLIA), or "quic" (multiplexed streams over
+	// one connection, single CC context, pinned to one ECMP path).
+	Baseline string
 	// MaxBatch caps the lookahead windows a shard may commit per barrier
 	// round (shard.Cluster.MaxBatch): 0 lets the batched bound float (the
 	// default), 1 reproduces the legacy one-window rounds — a bisection and
@@ -131,6 +136,9 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 	}
 	if c.SampleInterval == 0 {
 		c.SampleInterval = 100 * time.Microsecond
+	}
+	if c.Baseline == "" {
+		c.Baseline = "dctcp"
 	}
 	if c.Shards < 1 {
 		c.Shards = 1
@@ -397,17 +405,33 @@ func planCount(plan [][]scaleMsg) int {
 	return total
 }
 
-// RunScale runs the configured pattern under MTP and under DCTCP/ECMP on
-// identical fabrics and traffic, fanning the two runs out via Sweep. With
-// Shards > 1 each system's simulation itself runs on a shard cluster.
+// baselineRowName maps a ScaleConfig.Baseline value to its row label.
+func baselineRowName(b string) string {
+	switch b {
+	case "", "dctcp":
+		return "DCTCP/ECMP"
+	case "mptcp-lia":
+		return "MPTCP-LIA"
+	case "mptcp-olia":
+		return "MPTCP-OLIA"
+	case "quic":
+		return "QUIC/ECMP"
+	}
+	panic(fmt.Sprintf("exp: unknown baseline %q", b))
+}
+
+// RunScale runs the configured pattern under MTP and under the configured
+// rival baseline on identical fabrics and traffic, fanning the two runs out
+// via Sweep. With Shards > 1 each system's simulation itself runs on a
+// shard cluster.
 func RunScale(cfg ScaleConfig) ScaleResult {
 	cfg = cfg.withDefaults()
-	systems := []string{"MTP", "DCTCP/ECMP"}
+	systems := []string{"MTP", baselineRowName(cfg.Baseline)}
 	rows := Sweep(CapWorkers(cfg.Workers, cfg.Shards), systems, func(sys string) ScaleRow {
 		if sys == "MTP" {
 			return runScaleMTP(cfg)
 		}
-		return runScaleDCTCP(cfg)
+		return runScaleRival(cfg)
 	})
 	return ScaleResult{Config: cfg, Hosts: scaleHosts(cfg), Rows: rows}
 }
@@ -622,39 +646,59 @@ func setupScaleDCTCP(cfg ScaleConfig, fab *topo.Fabric, owns func(int) bool, pla
 	}
 }
 
-func runScaleDCTCP(cfg ScaleConfig) ScaleRow {
+// setupScaleRival dispatches on the configured baseline and returns a
+// collect function to call after the run (it folds lingering per-connection
+// retransmit counters into acc).
+func setupScaleRival(cfg ScaleConfig, fab *topo.Fabric, owns func(int) bool, plan [][]scaleMsg, acc *scaleAcc) func() {
+	switch cfg.Baseline {
+	case "", "dctcp":
+		setupScaleDCTCP(cfg, fab, owns, plan, acc)
+		return func() {}
+	case "mptcp-lia":
+		return setupScaleMPTCP(cfg, fab, owns, plan, acc, baseline.CouplingLIA)
+	case "mptcp-olia":
+		return setupScaleMPTCP(cfg, fab, owns, plan, acc, baseline.CouplingOLIA)
+	case "quic":
+		return setupScaleQUIC(cfg, fab, owns, plan, acc)
+	}
+	panic(fmt.Sprintf("exp: unknown baseline %q", cfg.Baseline))
+}
+
+func runScaleRival(cfg ScaleConfig) ScaleRow {
 	if cfg.Shards > 1 {
-		return runScaleDCTCPSharded(cfg)
+		return runScaleRivalSharded(cfg)
 	}
 	fab := buildScaleFabric(cfg, nil) // ECMP everywhere
 	plan := scalePlan(cfg, fab.NumHosts())
 	// The network-level invariants (conservation, queue occupancy, ECN)
-	// apply to the DCTCP baseline too; the MTP-specific ones simply never
-	// fire without attached endpoints.
+	// apply to every baseline too; the MTP-specific ones simply never fire
+	// without attached endpoints.
 	var chk *check.Checker
 	if cfg.Check {
 		chk = check.New(fab.Eng, fab.Net)
 	}
 	acc := &scaleAcc{}
-	setupScaleDCTCP(cfg, fab, func(int) bool { return true }, plan, acc)
+	collect := setupScaleRival(cfg, fab, func(int) bool { return true }, plan, acc)
 	probe := &scaleProbe{fab: fab}
 	probe.start(cfg)
 	start := time.Now()
 	fab.Eng.Run(cfg.Timeout)
 	wall := time.Since(start)
-	row := scaleRow(cfg, "DCTCP/ECMP", acc, planCount(plan), probe)
+	collect()
+	row := scaleRow(cfg, baselineRowName(cfg.Baseline), acc, planCount(plan), probe)
 	row.Events, row.Wall, row.Shards = fab.Eng.Processed(), wall, 1
 	applyCheck(&row, chk)
 	return row
 }
 
-func runScaleDCTCPSharded(cfg ScaleConfig) ScaleRow {
+func runScaleRivalSharded(cfg ScaleConfig) ScaleRow {
 	cl := buildScaleCluster(cfg, nil)
 	plan := scalePlan(cfg, cl.Shard(0).Fab.NumHosts())
 	S := cl.NumShards()
 	accs := make([]*scaleAcc, S)
 	probes := make([]*scaleProbe, S)
 	chks := make([]*check.Checker, S)
+	collects := make([]func(), S)
 	var shared *check.MsgRegistry
 	if cfg.Check {
 		shared = check.NewMsgRegistry()
@@ -666,16 +710,172 @@ func runScaleDCTCPSharded(cfg ScaleConfig) ScaleRow {
 			chks[s].ShareMessages(shared)
 		}
 		accs[s] = &scaleAcc{}
-		setupScaleDCTCP(cfg, fab, fab.OwnsHost, plan, accs[s])
+		collects[s] = setupScaleRival(cfg, fab, fab.OwnsHost, plan, accs[s])
 		probes[s] = &scaleProbe{fab: fab}
 		probes[s].start(cfg)
 	}
 	st := cl.Run(cfg.Timeout)
-	row := scaleRow(cfg, "DCTCP/ECMP", mergeScaleAccs(accs), planCount(plan), mergeScaleProbes(probes))
+	for _, collect := range collects {
+		collect()
+	}
+	row := scaleRow(cfg, baselineRowName(cfg.Baseline), mergeScaleAccs(accs), planCount(plan), mergeScaleProbes(probes))
 	row.Events, row.Wall, row.Shards = st.Events, st.Wall, S
 	row.Rounds, row.Crossings = st.Rounds, st.Crossings
 	applyCheckSharded(&row, chks)
 	return row
+}
+
+// mptcpConns derives the two subflow connection IDs for host src's idx-th
+// message: the DCTCP conn shifted up one bit, low bit selecting the subflow.
+// ECMP hashes the two IDs independently, so the subflows usually (not
+// always) land on different paths — exactly MPTCP's deal with the network.
+func mptcpConns(src, idx int) [2]uint64 {
+	base := dctcpConn(src, idx) << 1
+	return [2]uint64{base, base | 1}
+}
+
+// setupScaleMPTCP wires the coupled-CC MPTCP workload onto fab's owned
+// hosts: the same closed loop as DCTCP, with each message striped over two
+// subflows whose windows are coupled (LIA or OLIA). Receivers for every
+// planned message are pre-created on the shard that owns the destination,
+// exactly like setupScaleDCTCP.
+func setupScaleMPTCP(cfg ScaleConfig, fab *topo.Fabric, owns func(int) bool, plan [][]scaleMsg, acc *scaleAcc, coupling baseline.Coupling) func() {
+	n := fab.NumHosts()
+	demux := make([]*baseline.Demux, n)
+	for i := 0; i < n; i++ {
+		if !owns(i) {
+			continue
+		}
+		demux[i] = baseline.NewDemux()
+		fab.Host(i).SetHandler(demux[i].Handle)
+	}
+	for src := 0; src < n; src++ {
+		for idx, msg := range plan[src] {
+			if !owns(msg.dst) {
+				continue
+			}
+			conns := mptcpConns(src, idx)
+			rcv := baseline.NewMPTCPReceiver(fab.Eng, fab.Host(msg.dst).Send, fab.HostID(src), conns[:], 0)
+			demux[msg.dst].Add(conns[0], rcv.OnPacket)
+			demux[msg.dst].Add(conns[1], rcv.OnPacket)
+		}
+	}
+	var startMsg func(src, idx int)
+	startMsg = func(src, idx int) {
+		if idx >= len(plan[src]) {
+			return
+		}
+		msg := plan[src][idx]
+		conns := mptcpConns(src, idx)
+		start := fab.Eng.Now()
+		var m *baseline.MPTCP
+		m = baseline.NewMPTCP(fab.Eng, fab.Host(src).Send, baseline.MPTCPConfig{
+			Conns: conns[:], Dst: fab.HostID(msg.dst), RTO: cfg.RTO,
+			Coupling: coupling,
+			OnComplete: func(now time.Duration) {
+				acc.fcts = append(acc.fcts, float64((now - start).Microseconds()))
+				acc.delivered += uint64(msg.size)
+				acc.lastDone = now
+				for _, s := range m.Subflows() {
+					acc.retx += s.SegsRetx
+				}
+				startMsg(src, idx+1)
+			},
+		})
+		for i, s := range m.Subflows() {
+			demux[src].Add(conns[i], s.OnPacket)
+		}
+		m.Write(msg.size)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		if owns(i) && len(plan[i]) > 0 {
+			fab.Eng.Schedule(0, func() { startMsg(i, 0) })
+		}
+	}
+	return func() {}
+}
+
+// quicConn derives the QUIC connection ID for the (src, dst) host pair: one
+// connection carries every message between the pair, each message one
+// stream. The ID doubles as the FlowID, so ECMP pins all of a pair's
+// streams to a single path — the architectural gap the QUIC row measures.
+func quicConn(src, dst int) uint64 {
+	return 1<<62 | uint64(src)<<24 | uint64(dst)
+}
+
+// setupScaleQUIC wires the QUIC workload onto fab's owned hosts: per
+// (src, dst) pair one connection, per planned message one stream, opened in
+// the same closed loop as the DCTCP connections (stream idx+1 starts when
+// stream idx completes). Receivers are pre-created on the owning shard.
+func setupScaleQUIC(cfg ScaleConfig, fab *topo.Fabric, owns func(int) bool, plan [][]scaleMsg, acc *scaleAcc) func() {
+	n := fab.NumHosts()
+	demux := make([]*baseline.Demux, n)
+	for i := 0; i < n; i++ {
+		if !owns(i) {
+			continue
+		}
+		demux[i] = baseline.NewDemux()
+		fab.Host(i).SetHandler(demux[i].Handle)
+	}
+	for src := 0; src < n; src++ {
+		seen := map[int]bool{}
+		for _, msg := range plan[src] {
+			if seen[msg.dst] {
+				continue
+			}
+			seen[msg.dst] = true
+			if owns(msg.dst) {
+				rcv := baseline.NewQUICReceiver(fab.Eng, fab.Host(msg.dst).Send, baseline.QUICReceiverConfig{
+					Conn: quicConn(src, msg.dst), Src: fab.HostID(src),
+				})
+				demux[msg.dst].Add(quicConn(src, msg.dst), rcv.OnPacket)
+			}
+		}
+	}
+	// One sender per (src, dst) pair, shared by that pair's streams. starts
+	// maps (sender, stream) to submission time for the FCT series.
+	var allSenders []*baseline.QUICSender
+	for src := 0; src < n; src++ {
+		if !owns(src) || len(plan[src]) == 0 {
+			continue
+		}
+		src := src
+		senders := map[int]*baseline.QUICSender{}
+		starts := map[uint64]time.Duration{}
+		var startMsg func(idx int)
+		startMsg = func(idx int) {
+			if idx >= len(plan[src]) {
+				return
+			}
+			msg := plan[src][idx]
+			snd := senders[msg.dst]
+			if snd == nil {
+				snd = baseline.NewQUICSender(fab.Eng, fab.Host(src).Send, baseline.QUICSenderConfig{
+					Conn: quicConn(src, msg.dst), Dst: fab.HostID(msg.dst), RTO: cfg.RTO,
+					OnStreamComplete: func(now time.Duration, stream uint64) {
+						i := int(stream) - 1
+						acc.fcts = append(acc.fcts, float64((now - starts[stream]).Microseconds()))
+						delete(starts, stream)
+						acc.delivered += uint64(plan[src][i].size)
+						acc.lastDone = now
+						startMsg(i + 1)
+					},
+				})
+				senders[msg.dst] = snd
+				allSenders = append(allSenders, snd)
+				demux[src].Add(quicConn(src, msg.dst), snd.OnPacket)
+			}
+			starts[uint64(idx+1)] = fab.Eng.Now()
+			snd.OpenStream(uint64(idx+1), int64(msg.size))
+		}
+		fab.Eng.Schedule(0, func() { startMsg(0) })
+	}
+	return func() {
+		for _, s := range allSenders {
+			acc.retx += s.PktsRetx
+		}
+	}
 }
 
 func scaleRow(cfg ScaleConfig, sys string, acc *scaleAcc, expected int, probe *scaleProbe) ScaleRow {

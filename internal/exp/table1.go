@@ -66,6 +66,8 @@ func RunTable1Workers(workers int) Table1Result {
 		{Transport: "TCP termination (proxy)", Cells: make([]Table1Cell, len(table1Features))},
 		{Transport: "UDP", Cells: make([]Table1Cell, len(table1Features))},
 		{Transport: "MPTCP (2 subflows)", Cells: make([]Table1Cell, len(table1Features))},
+		{Transport: "MPTCP (OLIA coupled)", Cells: make([]Table1Cell, len(table1Features))},
+		{Transport: "QUIC", Cells: make([]Table1Cell, len(table1Features))},
 		{Transport: "MTP", Cells: make([]Table1Cell, len(table1Features))},
 	}}
 
@@ -96,11 +98,25 @@ func RunTable1Workers(workers int) Table1Result {
 		{3, 4, func() Table1Cell {
 			return probeIsolationDCTCP().rename("per-flow fairness; more subflows => more bandwidth (Fig 7 mechanism)")
 		}},
-		{4, 0, probeMutationMTP},
-		{4, 1, probeBufferingMTP},
-		{4, 2, probeIndependenceMTP},
-		{4, 3, probeMultiResourceMTP},
-		{4, 4, probeIsolationMTP},
+		{4, 0, func() Table1Cell {
+			c := probeMutationMPTCP()
+			c.Evidence = "coupling changes window arithmetic only: " + c.Evidence
+			return c
+		}},
+		{4, 1, probeBufferingMPTCPCoupled},
+		{4, 2, probeIndependenceMPTCPCoupled},
+		{4, 3, probeMultiResourceMPTCPCoupled},
+		{4, 4, probeIsolationMPTCPCoupled},
+		{5, 0, probeMutationQUIC},
+		{5, 1, probeBufferingQUIC},
+		{5, 2, probeIndependenceQUIC},
+		{5, 3, probeMultiResourceQUIC},
+		{5, 4, probeIsolationQUIC},
+		{6, 0, probeMutationMTP},
+		{6, 1, probeBufferingMTP},
+		{6, 2, probeIndependenceMTP},
+		{6, 3, probeMultiResourceMTP},
+		{6, 4, probeIsolationMTP},
 	}
 	cells := Sweep(workers, tasks, func(t table1Task) Table1Cell { return t.fn() })
 	for i, t := range tasks {

@@ -17,8 +17,9 @@ import (
 // when the network (not the host) flips paths.
 
 // mptcpPair builds sender/receiver over two ECMP paths and returns the
-// harness pieces.
-func mptcpPair(seed int64, r1, r2 float64, d1, d2 time.Duration) (*sim.Engine, *baseline.MPTCP, *baseline.MPTCPReceiver, *simnet.Link, *simnet.Link) {
+// harness pieces. Coupling selects the window coupling (CouplingNone for
+// the uncoupled 2-subflow row, LIA/OLIA for the coupled row).
+func mptcpPair(seed int64, r1, r2 float64, d1, d2 time.Duration, coupling baseline.Coupling) (*sim.Engine, *baseline.MPTCP, *baseline.MPTCPReceiver, *simnet.Link, *simnet.Link) {
 	eng := sim.NewEngine(seed)
 	net := simnet.NewNetwork(eng)
 	snd := simnet.NewHost(net)
@@ -44,6 +45,7 @@ func mptcpPair(seed int64, r1, r2 float64, d1, d2 time.Duration) (*sim.Engine, *
 	m := baseline.NewMPTCP(eng, snd.Send, baseline.MPTCPConfig{
 		Conns: conns, Dst: rcv.ID(), RTO: 2 * time.Millisecond,
 		CCConfig: cc.Config{MaxWindow: 256 << 10},
+		Coupling: coupling,
 	})
 	r := baseline.NewMPTCPReceiver(eng, rcv.Send, snd.ID(), conns, 0)
 	snd.SetHandler(func(pkt *simnet.Packet) {
@@ -67,7 +69,7 @@ func probeMutationMPTCP() Table1Cell {
 func probeBufferingMPTCP() Table1Cell {
 	// Unequal path delays force the receiver to buffer the fast path's
 	// bytes until the slow path catches up — MPTCP's merge-buffer cost.
-	eng, m, r, _, _ := mptcpPair(1, 10e9, 10e9, time.Microsecond, 200*time.Microsecond)
+	eng, m, r, _, _ := mptcpPair(1, 10e9, 10e9, time.Microsecond, 200*time.Microsecond, baseline.CouplingNone)
 	m.Write(8 << 20)
 	eng.Run(20 * time.Millisecond)
 	return Table1Cell{
@@ -81,7 +83,7 @@ func probeIndependenceMPTCP() Table1Cell {
 	// Two subflows on two paths both make progress: sub-streams are
 	// independent units the network can route separately (the property the
 	// paper credits MPTCP with).
-	eng, m, r, l1, l2 := mptcpPair(2, 10e9, 10e9, time.Microsecond, time.Microsecond)
+	eng, m, r, l1, l2 := mptcpPair(2, 10e9, 10e9, time.Microsecond, time.Microsecond, baseline.CouplingNone)
 	m.Write(32 << 20)
 	dur := 8 * time.Millisecond
 	eng.Run(dur)
@@ -97,7 +99,7 @@ func probeIndependenceMPTCP() Table1Cell {
 
 func probeMultiResourceMPTCP() Table1Cell {
 	// Host-pinned paths: per-subflow windows size to each resource.
-	eng, m, _, _, _ := mptcpPair(3, 40e9, 5e9, time.Microsecond, time.Microsecond)
+	eng, m, _, _, _ := mptcpPair(3, 40e9, 5e9, time.Microsecond, time.Microsecond, baseline.CouplingNone)
 	m.Write(64 << 20)
 	eng.Run(15 * time.Millisecond)
 	s0, s1 := m.Subflows()[0], m.Subflows()[1]

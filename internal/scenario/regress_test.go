@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -51,5 +52,61 @@ func TestRegressions(t *testing.T) {
 				t.Errorf("regression reappeared:\n  %s\n%s", ReproLine(tc.seed, tc.ov), r)
 			}
 		})
+	}
+}
+
+// TestRivalRegressions pins one seed per rival baseline under -rival
+// sampling. These seeds were chosen because their last rng draw selects the
+// named rival and the fault sampler places link/switch outages in the
+// message window, so the pins exercise each rival's retransmission path
+// under the network invariant harness. The expectation is zero violations;
+// a failure here means a rival endpoint broke a network-level invariant
+// (packet conservation, queue bounds) or the seed mapping drifted —
+// Generate must only ever append rng draws after the rival dimension.
+func TestRivalRegressions(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  int64
+		rival string
+	}{
+		// mtpexp -exp scenario -seed=1 -rival  (15 msgs, 2 faults, 6 hosts)
+		{name: "rival-quic-1", seed: 1, rival: "quic"},
+		// mtpexp -exp scenario -seed=2 -rival  (11 msgs, 3 faults, 6 hosts)
+		{name: "rival-mptcp-lia-2", seed: 2, rival: "mptcp-lia"},
+		// mtpexp -exp scenario -seed=12 -rival  (5 msgs, 3 faults, 3 hosts)
+		{name: "rival-mptcp-olia-12", seed: 12, rival: "mptcp-olia"},
+	}
+	ov := Overrides{MaxFaults: -1, Rival: true}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if sp := Generate(tc.seed, ov); sp.Rival != tc.rival {
+				t.Fatalf("seed %d now samples rival %q, want %q: the rng draw order changed",
+					tc.seed, sp.Rival, tc.rival)
+			}
+			r := Run(tc.seed, ov)
+			if r.Count > 0 {
+				t.Errorf("rival regression:\n  %s\n%s", ReproLine(tc.seed, ov), r)
+			}
+		})
+	}
+}
+
+// TestRivalDrawIsLast locks the seed-stability contract: enabling -rival
+// must not perturb any previously sampled dimension, because the rival
+// draw is appended after every other dimension (including -offload's).
+// Old shrunken repro lines would silently replay different scenarios if
+// this ever regressed.
+func TestRivalDrawIsLast(t *testing.T) {
+	for seed := int64(1); seed <= 16; seed++ {
+		base := Generate(seed, Overrides{MaxFaults: -1})
+		rv := Generate(seed, Overrides{MaxFaults: -1, Rival: true})
+		if rv.Rival == "" {
+			t.Fatalf("seed %d: Rival override sampled no rival", seed)
+		}
+		rv.Rival = ""
+		if !reflect.DeepEqual(base, rv) {
+			t.Errorf("seed %d: enabling -rival changed the sampled scenario:\nbase: %+v\nrival: %+v",
+				seed, base, rv)
+		}
 	}
 }

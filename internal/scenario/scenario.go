@@ -49,6 +49,13 @@ type Overrides struct {
 	// its rng draws come after every other dimension's, so enabling it never
 	// perturbs the rest of the sampled scenario.
 	Offload bool
+	// Rival opts in to sampling the transport under test: instead of MTP
+	// endpoints, the sampled workload runs over one of the rival baselines
+	// (dctcp, mptcp-lia, mptcp-olia, quic) with the network-level invariants
+	// still checked. Its rng draw comes after every other dimension's
+	// (including Offload's), so enabling it never perturbs the rest of the
+	// sampled scenario and pre-existing repro seeds stay valid.
+	Rival bool
 }
 
 // NoOverrides returns the all-free override set.
@@ -105,6 +112,11 @@ type Spec struct {
 	// means none. OffloadTarget indexes the switch it lands on.
 	Offload       string
 	OffloadTarget int
+
+	// Rival names the sampled baseline transport running the workload in
+	// place of MTP ("dctcp", "mptcp-lia", "mptcp-olia", "quic"); empty runs
+	// MTP endpoints as usual.
+	Rival string
 }
 
 // msgSizes is the sampled message-size menu: sub-MSS, one MSS, small
@@ -231,6 +243,10 @@ func Generate(seed int64, ov Overrides) Spec {
 		sp.Offload = []string{"cache", "ids"}[rng.Intn(2)]
 		sp.OffloadTarget = rng.Intn(1 << 16)
 	}
+	// The rival draw comes last of all, for the same seed-stability reason.
+	if ov.Rival {
+		sp.Rival = []string{"dctcp", "mptcp-lia", "mptcp-olia", "quic"}[rng.Intn(4)]
+	}
 	return sp
 }
 
@@ -260,6 +276,9 @@ func RunSpec(sp Spec) Result {
 	fab := buildFabric(sp)
 	installOffload(sp, fab)
 	chk := check.New(fab.Eng, fab.Net)
+	if sp.Rival != "" {
+		return runRivalSpec(sp, fab, chk)
+	}
 	n := fab.NumHosts()
 
 	res := Result{Spec: sp, Expected: len(sp.Msgs)}
@@ -424,6 +443,7 @@ func Shrink(seed int64, ov Overrides) (Overrides, Result) {
 		Topo: sp.Topo, Leaves: sp.Leaves, Spines: sp.Spines,
 		HostsPerLeaf: sp.HostsPerLeaf, MaxFaults: len(sp.Faults),
 		Messages: maxPerHost(sp), Horizon: sp.Horizon, Offload: ov.Offload,
+		Rival: ov.Rival,
 	}
 	try := func(cand Overrides) bool {
 		if r := Run(seed, cand); r.Count > 0 {
@@ -474,6 +494,14 @@ func Shrink(seed int64, ov Overrides) (Overrides, Result) {
 		if cur.Offload {
 			c := cur
 			c.Offload = false
+			improved = try(c) || improved
+		}
+		// Likewise the rival draw is last: disabling it reruns the identical
+		// scenario with MTP endpoints, telling us whether the violation is
+		// the rival transport's or the network's.
+		if cur.Rival {
+			c := cur
+			c.Rival = false
 			improved = try(c) || improved
 		}
 	}
@@ -533,6 +561,9 @@ func ReproLine(seed int64, ov Overrides) string {
 	if ov.Offload {
 		b.WriteString(" -offload")
 	}
+	if ov.Rival {
+		b.WriteString(" -rival")
+	}
 	return b.String()
 }
 
@@ -548,6 +579,9 @@ func (r Result) String() string {
 	dev := ""
 	if sp.Offload != "" {
 		dev = fmt.Sprintf(", offload=%s", sp.Offload)
+	}
+	if sp.Rival != "" {
+		dev += fmt.Sprintf(", rival=%s", sp.Rival)
 	}
 	fmt.Fprintf(&b, "scenario seed=%d: %s (%d hosts), cc=%s lb=%s%s, %d msgs, %d faults, horizon %v\n",
 		sp.Seed, shape, sp.Hosts, sp.CC, sp.Policy, dev, len(sp.Msgs), len(sp.Faults), sp.Horizon)

@@ -66,6 +66,32 @@ func TestScenarioOffloadSweep(t *testing.T) {
 	}
 }
 
+// TestScenarioRivalSweep re-runs a batch with the rival baseline sampled per
+// seed: the same fabrics, workloads, and fault schedules run over DCTCP,
+// coupled MPTCP (LIA/OLIA), or the QUIC-like baseline instead of MTP
+// endpoints. The rivals promise nothing about delivery, but the network-level
+// invariants (conservation, queue bounds) must hold and no endpoint may
+// panic or wedge the engine.
+func TestScenarioRivalSweep(t *testing.T) {
+	n := seedCount(t, 30, 8)
+	ov := NoOverrides()
+	ov.Rival = true
+	sampled := map[string]int{}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		r := Run(seed, ov)
+		sampled[r.Spec.Rival]++
+		if r.Count > 0 {
+			min, res := Shrink(seed, ov)
+			t.Errorf("seed %d violated invariants under rival baseline; shrunk repro:\n  %s\n%s",
+				seed, ReproLine(seed, min), res)
+		}
+	}
+	if sampled[""] > 0 {
+		t.Fatalf("%d/%d runs sampled no rival", sampled[""], n)
+	}
+	t.Logf("rival mix: %v", sampled)
+}
+
 // TestOffloadDrawsAppendAfterExisting pins the rng discipline that keeps
 // recorded repro seeds (regress_test.go) valid: enabling Offload must not
 // change any other sampled dimension, because its draws come after all
