@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify exp bench shardbench netbench netbench-record cover scenario fuzz
+.PHONY: build test race vet verify exp bench shardbench netbench netbench-record chaos cover scenario fuzz
 
 build:
 	$(GO) build ./...
@@ -73,3 +73,11 @@ netbench: build
 netbench-record: build
 	$(GO) run ./cmd/mtploadgen -runfile ci/netbench.run | \
 		$(GO) run ./cmd/benchjson -merge -o BENCH_net.json
+
+# chaos is the crash-tolerance smoke: the launcher SIGKILLs one generator
+# mid-run. It must detect the death within a heartbeat interval, salvage the
+# surviving generator, and audit it exactly-once against the sink's per-port
+# counts — exiting non-zero if the survivors lost or duplicated anything, or
+# if the kill missed the run entirely (no point came back degraded).
+chaos: build
+	$(GO) run ./cmd/mtploadgen -runfile ci/chaos.run -chaos kill:2@150ms

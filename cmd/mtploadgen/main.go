@@ -14,6 +14,15 @@
 // — pipe through cmd/benchjson to record or gate BENCH_net.json:
 //
 //	mtploadgen -runfile ci/netbench.run | benchjson -o BENCH_net.json
+//
+// Launcher mode can inject process chaos to rehearse crash tolerance: -chaos
+// takes an explicit schedule spec ("kill:2@150ms"), or -chaos-seed derives a
+// reproducible random schedule (printed in spec form so a failing run can be
+// pinned). A run whose schedule kills a worker must come back degraded —
+// survivors salvaged and audited — or the launcher exits non-zero:
+//
+//	mtploadgen -runfile ci/chaos.run -chaos kill:2@150ms
+//	mtploadgen -runfile ci/chaos.run -chaos-seed 7 -chaos-events 2
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"mtp"
+	"mtp/internal/chaos"
 	"mtp/internal/platform"
 )
 
@@ -41,6 +51,12 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "concurrent outstanding messages")
 		port        = flag.Uint("port", 7, "MTP service port")
 		runfile     = flag.String("runfile", "", "run a multi-process experiment series from this runfile")
+
+		// Chaos injection (launcher mode only).
+		chaosSpec   = flag.String("chaos", "", "chaos schedule spec, e.g. kill:2@150ms,stop:1@1s+500ms")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "derive a reproducible chaos schedule from this seed")
+		chaosEvents = flag.Int("chaos-events", 1, "events in a seed-derived schedule")
+		chaosWindow = flag.Duration("chaos-window", 2*time.Second, "offset window for a seed-derived schedule")
 
 		// Internal: the launcher re-execs itself with these to become one
 		// worker of a point.
@@ -56,7 +72,7 @@ func main() {
 			log.Fatalf("worker %d: %v", *workerIndex, err)
 		}
 	case *runfile != "":
-		runRunfile(*runfile)
+		runRunfile(*runfile, *chaosSpec, *chaosSeed, *chaosEvents, *chaosWindow)
 	case *sink != "":
 		runSink(*sink, uint16(*port))
 	case *local:
@@ -81,7 +97,7 @@ func main() {
 // runRunfile is launcher mode: execute every point, bench lines on
 // stdout, progress on stderr. Any failed point — including the zero-loss
 // gate — exits non-zero after the remaining points have run.
-func runRunfile(path string) {
+func runRunfile(path, chaosSpec string, chaosSeed int64, chaosEvents int, chaosWindow time.Duration) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatalf("runfile: %v", err)
@@ -90,9 +106,11 @@ func runRunfile(path string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sched := chaosSchedule(points, chaosSpec, chaosSeed, chaosEvents, chaosWindow)
 	results, err := platform.Run(points, platform.Options{
 		Spawn: platform.ReexecSpawn("-platform-worker", "-control", "{control}", "-index", "{index}"),
 		Log:   log.Printf,
+		Chaos: sched,
 	})
 	for _, r := range results {
 		fmt.Println(r.BenchLine())
@@ -100,6 +118,47 @@ func runRunfile(path string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A schedule with kills must have landed: if every point still came back
+	// clean, the chaos missed the run window and the smoke proved nothing.
+	if len(sched.Victims()) > 0 {
+		degraded := false
+		for _, r := range results {
+			degraded = degraded || r.Degraded
+		}
+		if !degraded {
+			log.Fatalf("chaos schedule %q killed no run: every point completed clean", sched)
+		}
+	}
+}
+
+// chaosSchedule resolves the chaos flags into a schedule: an explicit spec
+// wins; otherwise a nonzero seed derives one over the generator indexes
+// shared by every point (index 0, the sink, is never a victim — killing it
+// fails the point by design).
+func chaosSchedule(points []platform.Point, spec string, seed int64, events int, window time.Duration) chaos.Schedule {
+	if spec != "" {
+		sched, err := chaos.Parse(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sched
+	}
+	if seed == 0 {
+		return nil
+	}
+	minProcs := points[0].Procs
+	for _, p := range points[1:] {
+		if p.Procs < minProcs {
+			minProcs = p.Procs
+		}
+	}
+	gens := make([]int, 0, minProcs-1)
+	for i := 1; i < minProcs; i++ {
+		gens = append(gens, i)
+	}
+	sched := chaos.Generate(seed, gens, events, window)
+	log.Printf("chaos schedule (seed %d): %s", seed, sched)
+	return sched
 }
 
 func runSink(addr string, port uint16) {

@@ -98,6 +98,12 @@ type pingSummary struct {
 	MaxRTTus  float64 `json:"max_rtt_us"`
 	TotalRetx uint64  `json:"total_retx"`
 	PktsSent  uint64  `json:"pkts_sent"`
+	// RingFullDrops separates local send-ring drops (NIC-style backpressure)
+	// from network loss; StaleEpochDrops and EpochBumps surface peer
+	// restarts observed during the run.
+	RingFullDrops   uint64 `json:"ring_full_drops"`
+	StaleEpochDrops uint64 `json:"stale_epoch_drops"`
+	EpochBumps      uint64 `json:"epoch_bumps"`
 }
 
 func runClient(addr string, port uint16, ccAlgo string, count, size int, doTrace bool, interval time.Duration, jsonOut bool) {
@@ -190,6 +196,7 @@ func runClient(addr string, port uint16, ccAlgo string, count, size int, doTrace
 			Count: len(rtts), Bytes: size,
 			MinRTTus: us(min), AvgRTTus: us(total / time.Duration(len(rtts))), MaxRTTus: us(max),
 			TotalRetx: st.PktsRetx, PktsSent: st.PktsSent,
+			RingFullDrops: st.RingFullDrops, StaleEpochDrops: st.StaleEpochDrops, EpochBumps: st.EpochBumps,
 		})
 	} else {
 		fmt.Printf("avg message RTT: %v over %d messages (min %v, max %v)\n",

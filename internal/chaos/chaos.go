@@ -1,0 +1,214 @@
+// Package chaos defines deterministic process-chaos schedules for the
+// deployment platform: which worker gets which signal at which offset into a
+// run. A schedule is pure data — parsed from a compact spec string or
+// generated from a seed — and the launcher (internal/platform) executes it.
+// Like internal/fault, all randomness comes from one seeded source, so the
+// same seed reproduces the same kill points run after run; Schedule.String
+// round-trips through Parse, making a generated schedule pinnable in a
+// runfile or bug report.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is what happens to the victim worker.
+type Action uint8
+
+const (
+	// Kill SIGKILLs the worker: an abrupt crash with no cleanup. The
+	// launcher salvages the survivors and reports a degraded run.
+	Kill Action = iota + 1
+	// Stop SIGSTOPs the worker for Event.Dur, then SIGCONTs it: a brownout
+	// (GC pause, CPU starvation, VM migration). The worker misses
+	// heartbeats but comes back; the run must still complete.
+	Stop
+	// Respawn SIGKILLs the worker and immediately relaunches it: a crash
+	// with supervision. The fresh process re-registers over the control
+	// channel and runs the workload from scratch under a new incarnation
+	// epoch.
+	Respawn
+)
+
+// String returns the action mnemonic used in spec strings.
+func (a Action) String() string {
+	switch a {
+	case Kill:
+		return "kill"
+	case Stop:
+		return "stop"
+	case Respawn:
+		return "respawn"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Event is one scheduled chaos action.
+type Event struct {
+	// At is the offset from the run's start phase at which the action fires.
+	At time.Duration
+	// Worker is the victim's worker index (the platform's runfile ordering).
+	Worker int
+	// Action is what happens to it.
+	Action Action
+	// Dur is the brownout length (Stop only).
+	Dur time.Duration
+}
+
+// String renders the event in spec form: "kill:2@800ms", "stop:1@1s+200ms".
+func (e Event) String() string {
+	s := fmt.Sprintf("%s:%d@%s", e.Action, e.Worker, e.At)
+	if e.Action == Stop {
+		s += "+" + e.Dur.String()
+	}
+	return s
+}
+
+// Schedule is a list of chaos events ordered by firing offset.
+type Schedule []Event
+
+// String renders the schedule as a comma-separated spec parseable by Parse.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse reads a comma-separated schedule spec. Each event is
+// "<action>:<worker>@<offset>" with action one of kill, stop, respawn;
+// stop takes a brownout duration suffix "+<dur>". Examples:
+//
+//	kill:2@800ms
+//	stop:1@1s+200ms,respawn:0@1.5s
+//
+// Events are returned sorted by offset. An empty spec yields a nil schedule.
+func Parse(spec string) (Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out Schedule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	out.sort()
+	return out, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	var e Event
+	action, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return e, fmt.Errorf("chaos: %q: want <action>:<worker>@<offset>", s)
+	}
+	switch action {
+	case "kill":
+		e.Action = Kill
+	case "stop":
+		e.Action = Stop
+	case "respawn":
+		e.Action = Respawn
+	default:
+		return e, fmt.Errorf("chaos: %q: unknown action %q", s, action)
+	}
+	workerStr, atStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return e, fmt.Errorf("chaos: %q: missing @<offset>", s)
+	}
+	w, err := strconv.Atoi(workerStr)
+	if err != nil || w < 0 {
+		return e, fmt.Errorf("chaos: %q: bad worker index %q", s, workerStr)
+	}
+	e.Worker = w
+	if e.Action == Stop {
+		offStr, durStr, ok := strings.Cut(atStr, "+")
+		if !ok {
+			return e, fmt.Errorf("chaos: %q: stop needs a +<dur> brownout length", s)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d <= 0 {
+			return e, fmt.Errorf("chaos: %q: bad brownout duration %q", s, durStr)
+		}
+		e.Dur = d
+		atStr = offStr
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil || at < 0 {
+		return e, fmt.Errorf("chaos: %q: bad offset %q", s, atStr)
+	}
+	e.At = at
+	return e, nil
+}
+
+// sort orders events by (At, Worker) — a stable, spec-independent order so
+// String output is canonical.
+func (s Schedule) sort() {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].At != s[j].At {
+			return s[i].At < s[j].At
+		}
+		return s[i].Worker < s[j].Worker
+	})
+}
+
+// Generate derives a schedule of n events from seed: victims drawn from
+// workers, actions drawn from {Kill, Stop, Respawn}, offsets uniform in
+// [window/10, window), brownouts 5–20% of the window. The same (seed,
+// workers, n, window) always yields the same schedule.
+func Generate(seed int64, workers []int, n int, window time.Duration) Schedule {
+	if n <= 0 || len(workers) == 0 || window <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		e := Event{
+			Worker: workers[rng.Intn(len(workers))],
+			At:     window/10 + time.Duration(rng.Int63n(int64(window-window/10))),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			e.Action = Kill
+		case 1:
+			e.Action = Stop
+			e.Dur = window/20 + time.Duration(rng.Int63n(int64(3*window/20)))
+		case 2:
+			e.Action = Respawn
+		}
+		out = append(out, e)
+	}
+	out.sort()
+	return out
+}
+
+// Victims returns the distinct worker indexes the schedule touches with a
+// terminal action (Kill — the workers that will not report results). Stopped
+// and respawned workers are expected to finish.
+func (s Schedule) Victims() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range s {
+		if e.Action == Kill && !seen[e.Worker] {
+			seen[e.Worker] = true
+			out = append(out, e.Worker)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "kill:2@800ms,stop:1@1s+200ms,respawn:0@1.5s"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := Schedule{
+		{At: 800 * time.Millisecond, Worker: 2, Action: Kill},
+		{At: time.Second, Worker: 1, Action: Stop, Dur: 200 * time.Millisecond},
+		{At: 1500 * time.Millisecond, Worker: 0, Action: Respawn},
+	}
+	if len(s) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, s[i], want[i])
+		}
+	}
+	// String is canonical and re-parses to the same schedule.
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-Parse %q: %v", s.String(), err)
+	}
+	if s2.String() != s.String() {
+		t.Fatalf("round trip %q != %q", s2.String(), s.String())
+	}
+}
+
+func TestParseSortsByOffset(t *testing.T) {
+	s, err := Parse("kill:1@2s,kill:0@1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Worker != 0 || s[1].Worker != 1 {
+		t.Fatalf("not sorted by offset: %v", s)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ","} {
+		s, err := Parse(spec)
+		if err != nil || s != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, s, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"kill", "boom:1@1s", "kill:x@1s", "kill:-1@1s", "kill:1",
+		"kill:1@nope", "kill:1@-2s", "stop:1@1s", "stop:1@1s+0s", "stop:1@1s+x",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	workers := []int{1, 2, 3}
+	a := Generate(7, workers, 5, 2*time.Second)
+	b := Generate(7, workers, 5, 2*time.Second)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a.String(), b.String())
+	}
+	c := Generate(8, workers, 5, 2*time.Second)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, e := range a {
+		if e.At < 200*time.Millisecond || e.At >= 2*time.Second {
+			t.Errorf("offset %v outside [window/10, window)", e.At)
+		}
+		if e.Worker < 1 || e.Worker > 3 {
+			t.Errorf("victim %d outside worker set", e.Worker)
+		}
+		if e.Action == Stop && e.Dur <= 0 {
+			t.Errorf("stop event with no brownout duration: %v", e)
+		}
+	}
+	// Generated schedules are pinnable: spec round-trips.
+	re, err := Parse(a.String())
+	if err != nil {
+		t.Fatalf("generated spec %q does not re-parse: %v", a.String(), err)
+	}
+	if re.String() != a.String() {
+		t.Fatalf("generated spec not canonical: %q vs %q", re.String(), a.String())
+	}
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	if Generate(1, nil, 3, time.Second) != nil {
+		t.Fatal("nil workers accepted")
+	}
+	if Generate(1, []int{1}, 0, time.Second) != nil {
+		t.Fatal("zero events accepted")
+	}
+	if Generate(1, []int{1}, 3, 0) != nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestVictims(t *testing.T) {
+	s, err := Parse("kill:2@1s,stop:1@2s+100ms,kill:2@3s,respawn:3@4s,kill:0@5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Victims()
+	if len(v) != 2 || v[0] != 0 || v[1] != 2 {
+		t.Fatalf("Victims = %v, want [0 2]", v)
+	}
+	if !strings.Contains(s.String(), "respawn:3@4s") {
+		t.Fatalf("schedule lost the respawn event: %s", s)
+	}
+}

@@ -222,6 +222,22 @@ func (r *MsgRegistry) Undelivered() int {
 	return n
 }
 
+// UndeliveredFor counts recorded sends from one node that have never been
+// delivered. Restart soaks use it to reconcile per incarnation: sends from a
+// crashed incarnation may legitimately stay undelivered, while every send
+// from a surviving incarnation must drain to zero.
+func (r *MsgRegistry) UndeliveredFor(node simnet.NodeID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for key, rec := range r.msgs {
+		if key.node == node && rec.deliveries == 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // putMsg records a queued message, reporting whether the key was already
 // taken (a reused message ID).
 func (c *Checker) putMsg(key msgKey, rec *msgRec) (dup bool) {

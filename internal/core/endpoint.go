@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"mtp/internal/cc"
@@ -14,6 +15,16 @@ import (
 type Config struct {
 	// LocalPort identifies the application on this endpoint.
 	LocalPort uint16
+
+	// Epoch is this endpoint's incarnation number, stamped on every outgoing
+	// packet. Nonzero epochs enable peer-restart detection: the endpoint
+	// tracks the last-seen epoch per peer, drops packets carrying an older
+	// one (stragglers from a dead incarnation), and on a newer one resets
+	// all per-peer protocol state — duplicate suppression, reassembly,
+	// in-flight acknowledgements, congestion estimates — before processing
+	// the packet. Zero (the default, and the simulator's setting) disables
+	// the machinery entirely: endpoints that never restart pay nothing.
+	Epoch uint32
 
 	// MSS is the maximum payload bytes per packet. Default 1460.
 	MSS int
@@ -245,11 +256,15 @@ type Endpoint struct {
 	// packet emission order is deterministic run to run.
 	inflows     map[inKey]*inMsg
 	inflowOrder []*inMsg
-	// doneRing remembers recently completed inbound messages to suppress
-	// duplicate delivery caused by retransmissions.
-	doneSet  map[inKey]struct{}
-	doneRing []inKey
-	donePos  int
+	// peerDones remembers completed inbound messages per sending endpoint to
+	// suppress duplicate delivery caused by retransmissions. Senders advertise
+	// their fully-acknowledged message floor in every data header, which lets
+	// the receiver keep EXACT dedup state bounded by each sender's in-flight
+	// window — a shared LRU cache is not safe here, because heavy cross
+	// traffic can evict a slow sender's entries before it processes its ACKs
+	// (e.g. a host frozen mid-run), turning its retransmissions into double
+	// deliveries. Allocated on first delivery: send-only endpoints never pay.
+	peerDones map[peerKey]*peerDone
 
 	// ack batching. ackOrder mirrors pendingAcks in creation order for the
 	// same reason inflowOrder exists: map iteration order is random.
@@ -263,6 +278,10 @@ type Endpoint struct {
 
 	excluder *autoExcluder
 	fo       *failoverState
+
+	// peerEpochs tracks the last-seen incarnation epoch per peer (Config.
+	// Epoch != 0 only). Allocated on first epoch-carrying packet.
+	peerEpochs map[Addr]uint32
 
 	// Hot-path scratch and pools. The engine drives the endpoint from a
 	// single goroutine (or under the owner's lock), so plain slices suffice.
@@ -329,6 +348,12 @@ type EndpointStats struct {
 	MsgsReleased uint64
 	// RTOBackoffs counts exponential RTO doublings (adaptive mode only).
 	RTOBackoffs uint64
+	// StaleEpochDrops counts packets discarded for carrying an incarnation
+	// epoch older than the peer's last-seen one.
+	StaleEpochDrops uint64
+	// EpochBumps counts peer restarts detected (a packet arrived with a
+	// newer incarnation epoch and the peer's state was reset).
+	EpochBumps uint64
 }
 
 type inKey struct {
@@ -373,7 +398,6 @@ func NewEndpoint(env Env, cfg Config) *Endpoint {
 		env:         env,
 		byID:        make(map[uint64]*OutMessage),
 		inflows:     make(map[inKey]*inMsg),
-		doneSet:     make(map[inKey]struct{}),
 		pendingAcks: make(map[Addr]*ackBatch),
 		nextID:      1,
 		curRTO:      cfg.RTO,
@@ -595,21 +619,103 @@ func (e *Endpoint) backoffRTO() {
 	e.Stats.RTOBackoffs++
 }
 
-// rememberDone records completed inbound message identity with bounded
-// memory. The ring is allocated on first completion: send-only endpoints —
-// the overwhelming majority in a large fabric — never pay for it, which
-// matters when a k=64 build instantiates 65k endpoints.
+// peerKey identifies one sending endpoint: peer address plus the source port
+// its messages carry. Duplicate-suppression state is kept at this granularity
+// because message IDs are only unique per sending endpoint.
+type peerKey struct {
+	from    Addr
+	srcPort uint16
+}
+
+// peerDone is one sender's duplicate-suppression state. Every delivered
+// message ID at or above floor is in done; every ID below floor was fully
+// acknowledged end to end (the sender said so in its data headers), so its
+// membership is implied and the entry can be discarded.
+type peerDone struct {
+	floor uint64
+	done  map[uint64]struct{}
+}
+
+// doneCap bounds the done set of a sender that never advertises a floor
+// (in-network devices, foreign stacks). Such peers get best-effort dedup:
+// when the set overflows, the oldest half of the IDs is evicted WITHOUT
+// advancing the floor — an evicted ID becomes deliverable again rather than
+// a false duplicate. Floor-advertising senders never hit this cap: their set
+// is bounded by their own in-flight window.
+const doneCap = 8192
+
+// peerDoneFor returns the dedup state for a sending endpoint, creating it on
+// first use. The map itself is also lazy: send-only endpoints — the
+// overwhelming majority in a large fabric — never allocate receiver dedup
+// state, which matters when a k=64 build instantiates 65k endpoints.
+func (e *Endpoint) peerDoneFor(from Addr, srcPort uint16) *peerDone {
+	pk := peerKey{from: from, srcPort: srcPort}
+	pd := e.peerDones[pk]
+	if pd == nil {
+		if e.peerDones == nil {
+			e.peerDones = make(map[peerKey]*peerDone)
+		}
+		pd = &peerDone{done: make(map[uint64]struct{})}
+		e.peerDones[pk] = pd
+	}
+	return pd
+}
+
+// advanceFloor raises the sender's acknowledged floor and drops the done
+// entries it makes redundant.
+func (pd *peerDone) advanceFloor(floor uint64) {
+	if floor <= pd.floor {
+		return
+	}
+	pd.floor = floor
+	for id := range pd.done {
+		if id < floor {
+			delete(pd.done, id)
+		}
+	}
+}
+
+// isDone reports whether the sender's message id was already delivered.
+func (pd *peerDone) isDone(id uint64) bool {
+	if id < pd.floor {
+		return true
+	}
+	_, ok := pd.done[id]
+	return ok
+}
+
+// rememberDone records a completed inbound message so retransmissions of it
+// are re-acked but not re-delivered.
 func (e *Endpoint) rememberDone(k inKey) {
-	if e.doneRing == nil {
-		e.doneRing = make([]inKey, 4096)
+	pd := e.peerDoneFor(k.from, k.srcPort)
+	if k.msgID < pd.floor {
+		return
 	}
-	old := e.doneRing[e.donePos]
-	if _, ok := e.doneSet[old]; ok {
-		delete(e.doneSet, old)
+	pd.done[k.msgID] = struct{}{}
+	if pd.floor == 0 && len(pd.done) > doneCap {
+		// Floorless sender overflow: sort the IDs and forget the oldest
+		// half. O(n log n) every doneCap/2 deliveries, amortized O(log n).
+		ids := make([]uint64, 0, len(pd.done))
+		for id := range pd.done {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		for _, id := range ids[:len(ids)/2] {
+			delete(pd.done, id)
+		}
 	}
-	e.doneRing[e.donePos] = k
-	e.donePos = (e.donePos + 1) % len(e.doneRing)
-	e.doneSet[k] = struct{}{}
+}
+
+// msgFloor returns the sender-side acknowledged-message floor advertised in
+// outgoing data headers: the smallest unfinished message ID, or the next ID
+// to be assigned when nothing is in flight. e.active is kept in Send order
+// and IDs are assigned monotonically, so the head of the slice is the
+// minimum and the computation is O(1) per packet.
+func (e *Endpoint) msgFloor() uint64 {
+	if len(e.active) > 0 {
+		return e.active[0].ID
+	}
+	return e.nextID
 }
 
 // trace records an event when tracing is enabled.

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"mtp/internal/trace"
+	"mtp/internal/wire"
+)
+
+// admitEpoch gates an arriving packet on its sender's incarnation epoch.
+// It returns false when the packet is a straggler from a dead incarnation
+// and must be dropped. The first epoch seen from a peer is recorded as-is;
+// a newer one (serial-number comparison, so a wrapping millisecond-derived
+// epoch space still orders) proves the peer restarted and triggers a full
+// per-peer state reset before the packet is processed.
+func (e *Endpoint) admitEpoch(from Addr, ep uint32) bool {
+	last, ok := e.peerEpochs[from]
+	if !ok {
+		if e.peerEpochs == nil {
+			e.peerEpochs = make(map[Addr]uint32)
+		}
+		e.peerEpochs[from] = ep
+		return true
+	}
+	if ep == last {
+		return true
+	}
+	if !wire.EpochNewer(ep, last) {
+		e.Stats.StaleEpochDrops++
+		return false
+	}
+	e.peerEpochs[from] = ep
+	e.Stats.EpochBumps++
+	e.trace(trace.KindEpochBump, 0, 0, uint64(ep), uint64(last))
+	e.resetPeer(from)
+	return true
+}
+
+// resetPeer discards every piece of protocol state learned against a peer's
+// previous incarnation. A restarted peer has lost its reassembly buffers and
+// its duplicate-suppression ring, so:
+//
+//   - Receiver side: partial inbound messages from the peer are dropped (the
+//     new incarnation will never finish them — message IDs restart), and the
+//     peer's entries leave the done-set so the new incarnation's reused IDs
+//     are not mistaken for duplicates. Pending ACKs toward it are discarded.
+//   - Sender side: every unfinished message toward the peer is rewound to
+//     fully unsent. Acknowledgements from the dead incarnation are worthless —
+//     the bytes they covered died with its reassembly state — so all packets
+//     are retransmitted from scratch. Messages that completed before the
+//     restart are NOT resent: their delivery happened in the old incarnation
+//     and replaying them into the new one would violate exactly-once.
+//   - Estimates: the RTT estimator and every pathlet's congestion algorithm
+//     restart (re-slow-start). This is deliberately conservative — pathlet
+//     state is not per-peer, so estimates learned against other peers are
+//     also discarded — but a host restart is rare and safety beats warmth.
+//     In-flight attribution is preserved except for the rewound packets,
+//     whose attribution is released here.
+func (e *Endpoint) resetPeer(from Addr) {
+	// Receiver state: partial reassembly and duplicate suppression.
+	for key, f := range e.inflows {
+		if key.from == from {
+			delete(e.inflows, key)
+			e.releaseInMsg(f)
+		}
+	}
+	for key := range e.peerDones {
+		if key.from == from {
+			delete(e.peerDones, key)
+		}
+	}
+	if b := e.pendingAcks[from]; b != nil {
+		e.dropBatch(from, b)
+	}
+
+	// Sender state: rewind every unfinished message toward the peer.
+	for _, m := range e.active {
+		if m.Dst != from {
+			continue
+		}
+		for i := range m.pkts {
+			p := &m.pkts[i]
+			if p.attributed {
+				e.table.RemoveInflight(p.path, int(p.length))
+				p.attributed = false
+			}
+			p.sent = false
+			p.acked = false
+			p.inRtx = false
+			p.delegated = false
+			// Karn's rule: the resend of a previously transmitted packet must
+			// not feed the RTT estimator.
+			if p.rtxs > 0 || p.sentAt != 0 {
+				p.retxPkt = true
+			}
+			p.sentAt = 0
+		}
+		m.nextNew = 0
+		m.ackedPkts = 0
+		m.rtxQueue = m.rtxQueue[:0]
+	}
+
+	// Estimates: back to initial RTO and slow start.
+	e.srtt, e.rttvar = 0, 0
+	e.curRTO = e.cfg.RTO
+	e.table.ResetAlgorithms()
+
+	e.trySend()
+}

@@ -13,6 +13,13 @@ func (e *Endpoint) OnPacket(in *Inbound) {
 	if in == nil || in.Hdr == nil {
 		return
 	}
+	// Incarnation gate: stragglers from a dead peer incarnation are dropped,
+	// and a newer epoch resets that peer's state before processing. Packets
+	// without an epoch (devices, legacy peers) always pass — the machinery
+	// only engages between epoch-aware endpoints.
+	if e.cfg.Epoch != 0 && in.Hdr.Epoch != 0 && !e.admitEpoch(in.From, in.Hdr.Epoch) {
+		return
+	}
 	switch in.Hdr.Type {
 	case wire.TypeData:
 		e.onDataPacket(in)
@@ -33,14 +40,20 @@ func (e *Endpoint) onDataPacket(in *Inbound) {
 	key := inKey{from: in.From, srcPort: hdr.SrcPort, msgID: hdr.MsgID}
 	batch := e.batchFor(in.From, hdr)
 
-	if _, done := e.doneSet[key]; done {
-		// Retransmission of an already-delivered message: re-ack so the
-		// sender can finish, but do not deliver twice.
-		e.Stats.PktsDuplicate++
-		batch.sack = append(batch.sack, wire.PacketRef{MsgID: hdr.MsgID, PktNum: hdr.PktNum})
-		e.mergeFeedback(batch, hdr.PathFeedback)
-		e.maybeFlush(in.From, batch)
-		return
+	pd := e.peerDones[peerKey{from: in.From, srcPort: hdr.SrcPort}]
+	if pd != nil {
+		if hdr.MsgFloor != 0 {
+			pd.advanceFloor(hdr.MsgFloor)
+		}
+		if pd.isDone(hdr.MsgID) {
+			// Retransmission of an already-delivered message: re-ack so the
+			// sender can finish, but do not deliver twice.
+			e.Stats.PktsDuplicate++
+			batch.sack = append(batch.sack, wire.PacketRef{MsgID: hdr.MsgID, PktNum: hdr.PktNum})
+			e.mergeFeedback(batch, hdr.PathFeedback)
+			e.maybeFlush(in.From, batch)
+			return
+		}
 	}
 
 	if in.Trimmed {
@@ -276,6 +289,7 @@ func (e *Endpoint) flush(to Addr, b *ackBatch) {
 		Type:            wire.TypeAck,
 		SrcPort:         b.dstPort,
 		DstPort:         b.srcPort,
+		Epoch:           e.cfg.Epoch,
 		AckPathFeedback: b.feedback,
 		SACK:            b.sack,
 		NACK:            b.nack,

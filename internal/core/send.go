@@ -90,6 +90,8 @@ func (e *Endpoint) transmit(m *OutMessage, idx int, isRtx bool, path wire.PathTC
 		Type:        wire.TypeData,
 		SrcPort:     e.cfg.LocalPort,
 		DstPort:     m.DstPort,
+		Epoch:       e.cfg.Epoch,
+		MsgFloor:    e.msgFloor(),
 		MsgID:       m.ID,
 		MsgPri:      m.Pri,
 		TC:          m.TC,

@@ -275,6 +275,20 @@ func (t *Table) RemoveInflight(p wire.PathTC, n int) {
 	}
 }
 
+// ResetAlgorithms replaces every pathlet's congestion-control instance with
+// a fresh one from the factory (back to slow start) and clears RTT estimates.
+// Inflight attribution is deliberately preserved: it tracks packets currently
+// attributed by the sender across all peers, and resetting it would corrupt
+// the add/remove pairing of packets still in flight. Used when a peer restart
+// invalidates the congestion estimates learned against its previous
+// incarnation.
+func (t *Table) ResetAlgorithms() {
+	for p, s := range t.states {
+		s.Algo = t.factory(p)
+		s.SRTT = 0
+	}
+}
+
 // SetExcluded marks or clears a pathlet exclusion request.
 func (t *Table) SetExcluded(p wire.PathTC, excluded bool) {
 	t.Get(p).Excluded = excluded

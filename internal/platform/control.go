@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -20,8 +21,11 @@ import (
 //	sink → launcher     done {result}
 //	launcher → all      stop                (release workers to exit)
 //
-// Every message shares one envelope; unused fields stay empty. A worker
-// that fails sends type "error" and exits non-zero.
+// From hello onward the worker also sends hb every hbInterval; the
+// launcher treats a quiet connection (no message of any type for its
+// heartbeat timeout) as a dead worker. Every message shares one
+// envelope; unused fields stay empty. A worker that fails sends type
+// "error" and exits non-zero.
 type ctrlMsg struct {
 	Type   string        `json:"type"`
 	Index  int           `json:"index,omitempty"`
@@ -36,10 +40,18 @@ type WorkerResult struct {
 	// Sink: messages and payload bytes received.
 	Received int    `json:"received,omitempty"`
 	Bytes    uint64 `json:"bytes,omitempty"`
+	// Sink: messages received per sender MTP source port. Generator i
+	// binds local port genBasePort+i, so the launcher can audit each
+	// surviving generator's deliveries even when another worker died
+	// mid-run and the aggregate count is meaningless.
+	PortCounts map[string]int `json:"port_counts,omitempty"`
 	// Generator: messages sent / end-to-end acknowledged / timed out.
 	Sent      int `json:"sent,omitempty"`
 	Completed int `json:"completed,omitempty"`
 	Timeouts  int `json:"timeouts,omitempty"`
+	// SendErrors counts node.Send calls that failed outright — these
+	// never became wire messages, and a nonzero count fails the point.
+	SendErrors int `json:"send_errors,omitempty"`
 	// Hist is the generator's message-RTT histogram (log buckets,
 	// trailing zeros trimmed; see hist.go).
 	Hist []uint64 `json:"hist,omitempty"`
@@ -48,12 +60,19 @@ type WorkerResult struct {
 	CPUSec     float64 `json:"cpu_sec,omitempty"`
 	Mallocs    uint64  `json:"mallocs,omitempty"`
 	Retx       uint64  `json:"retx,omitempty"`
+	// RingDrops is the node's receive-ring overflow count (packets the
+	// UDP backend shed under burst; the protocol recovers them by
+	// retransmission, but the count is a load-shedding signal).
+	RingDrops uint64 `json:"ring_drops,omitempty"`
 }
 
-// ctrlConn frames ctrlMsgs over one TCP connection.
+// ctrlConn frames ctrlMsgs over one TCP connection. Sends are
+// serialized: the heartbeat goroutine writes concurrently with the
+// worker's protocol messages.
 type ctrlConn struct {
 	c   net.Conn
 	r   *bufio.Reader
+	mu  sync.Mutex
 	enc *json.Encoder
 }
 
@@ -61,7 +80,11 @@ func newCtrlConn(c net.Conn) *ctrlConn {
 	return &ctrlConn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
 }
 
-func (cc *ctrlConn) send(m ctrlMsg) error { return cc.enc.Encode(m) }
+func (cc *ctrlConn) send(m ctrlMsg) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.enc.Encode(m)
+}
 
 // recv reads the next message, failing after the deadline.
 func (cc *ctrlConn) recv(timeout time.Duration) (ctrlMsg, error) {

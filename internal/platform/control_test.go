@@ -1,0 +1,168 @@
+package platform
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected ctrlConn and the raw peer end.
+func pipeConns() (*ctrlConn, net.Conn) {
+	a, b := net.Pipe()
+	return newCtrlConn(a), b
+}
+
+func TestRecvMalformedJSON(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	defer peer.Close()
+	go peer.Write([]byte("{{{ not json\n"))
+	if _, err := cc.recv(time.Second); err == nil || !strings.Contains(err.Error(), "bad message") {
+		t.Fatalf("malformed line accepted: %v", err)
+	}
+}
+
+func TestRecvTruncatedLine(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	go func() {
+		peer.Write([]byte(`{"type":"done","index":1`)) // no newline, then gone
+		peer.Close()
+	}()
+	if _, err := cc.recv(time.Second); err == nil {
+		t.Fatal("truncated line accepted")
+	}
+}
+
+func TestRecvWrongPayloadType(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	defer peer.Close()
+	// Valid JSON, wrong shape: index must be a number.
+	go peer.Write([]byte(`{"type":"hello","index":"zero"}` + "\n"))
+	if _, err := cc.recv(time.Second); err == nil || !strings.Contains(err.Error(), "bad message") {
+		t.Fatalf("mistyped field accepted: %v", err)
+	}
+}
+
+func TestRecvErrorEnvelope(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	defer peer.Close()
+	go peer.Write([]byte(`{"type":"error","index":7,"error":"disk on fire"}` + "\n"))
+	_, err := cc.recv(time.Second)
+	if err == nil || !strings.Contains(err.Error(), "worker 7 failed: disk on fire") {
+		t.Fatalf("error envelope not surfaced: %v", err)
+	}
+}
+
+func TestExpectTypeMismatch(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	defer peer.Close()
+	go peer.Write([]byte(`{"type":"ready"}` + "\n"))
+	_, err := cc.expect("done", time.Second)
+	if err == nil || !strings.Contains(err.Error(), `got "ready", want "done"`) {
+		t.Fatalf("type mismatch not surfaced: %v", err)
+	}
+}
+
+func TestRecvDeadlineExpiry(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	defer peer.Close()
+	start := time.Now()
+	_, err := cc.recv(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("recv returned without data")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("deadline expiry surfaced as %T %v, want a net timeout", err, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("deadline ignored: waited %v", time.Since(start))
+	}
+}
+
+// TestSendConcurrent hammers one ctrlConn from several goroutines — the
+// heartbeat sender races the protocol sender in real workers — and
+// checks that every line on the wire is intact JSON (run under -race).
+func TestSendConcurrent(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	defer peer.Close()
+	rcc := newCtrlConn(peer)
+
+	const senders, per = 4, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := cc.send(ctrlMsg{Type: "hb", Index: s}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; i < senders*per; i++ {
+		m, err := rcc.recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("message %d corrupted: %v", i, err)
+		}
+		if m.Type != "hb" {
+			t.Fatalf("message %d type %q", i, m.Type)
+		}
+	}
+	<-done
+}
+
+// TestReadWorkerStallAndResume drives the launcher-side reader directly:
+// silence becomes a stall event (not a death), a line split across the
+// stall still decodes, heartbeats are swallowed, and EOF is terminal.
+func TestReadWorkerStallAndResume(t *testing.T) {
+	cc, peer := pipeConns()
+	defer cc.Close()
+	events := make(chan wevent, 16)
+	stop := make(chan struct{})
+	defer close(stop)
+	go readWorker(3, cc, 150*time.Millisecond, events, stop)
+
+	next := func() wevent {
+		select {
+		case ev := <-events:
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatal("reader produced no event")
+			return wevent{}
+		}
+	}
+
+	// Write half a message, then fall silent past the heartbeat window.
+	peer.Write([]byte(`{"type":"done",`))
+	ev := next()
+	if !ev.stall || ev.index != 3 {
+		t.Fatalf("want stall, got %+v", ev)
+	}
+	// Finish the split line: it must decode as one intact message.
+	peer.Write([]byte(`"index":3}` + "\n"))
+	if ev = next(); ev.stall || ev.err != nil || ev.msg.Type != "done" {
+		t.Fatalf("split line mangled: %+v", ev)
+	}
+	// Heartbeats never surface as events.
+	peer.Write([]byte(`{"type":"hb"}` + "\n" + `{"type":"ready"}` + "\n"))
+	if ev = next(); ev.msg.Type != "ready" {
+		t.Fatalf("heartbeat leaked through: %+v", ev)
+	}
+	peer.Close()
+	if ev = next(); ev.err == nil {
+		t.Fatalf("EOF not terminal: %+v", ev)
+	}
+}

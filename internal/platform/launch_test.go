@@ -1,0 +1,217 @@
+package platform
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mtp/internal/chaos"
+)
+
+// chaosPoint is a workload big enough that a chaos event ~100ms into the
+// run reliably lands mid-load, yet small enough to finish in about a
+// second on loopback.
+func chaosPoint(name string) Point {
+	return Point{Name: name, Procs: 3, Messages: 60000, Size: 256, Concurrency: 8, Port: 7, RTOMillis: 20}
+}
+
+// reexecSpawn matches TestMain's worker sentinel in reexec_test.go.
+func reexecSpawn() SpawnFunc {
+	return ReexecSpawn("-platform-worker", "{control}", "{index}")
+}
+
+// TestChaosKillGeneratorDegraded is the headline crash-tolerance path: a
+// generator is SIGKILLed mid-run, the launcher notices within
+// milliseconds (EOF) rather than a multi-minute timeout, salvages the
+// surviving generator, and the survivor still audits exactly-once
+// against the sink's per-port counts.
+func TestChaosKillGeneratorDegraded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process fan-out in -short")
+	}
+	sched, err := chaos.Parse("kill:2@100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	results, err := Run([]Point{chaosPoint("chaoskill")}, Options{
+		Spawn:        reexecSpawn(),
+		PointTimeout: 2 * time.Minute,
+		Chaos:        sched,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e := time.Since(start); e > 30*time.Second {
+		t.Fatalf("degraded point took %v; the death was not detected promptly", e)
+	}
+	r := results[0]
+	if !r.Degraded {
+		t.Fatalf("point not marked degraded: %+v", r)
+	}
+	if len(r.Outcomes) != 3 || r.Outcomes[1].Status != "ok" || r.Outcomes[2].Status != "killed" {
+		t.Fatalf("outcomes wrong: %+v", r.Outcomes)
+	}
+	if r.Msgs != 60000 || r.Lost != 0 {
+		t.Fatalf("survivor accounting wrong: msgs=%d lost=%d, want 60000/0", r.Msgs, r.Lost)
+	}
+}
+
+// TestChaosBrownoutCompletes freezes a generator with SIGSTOP for well
+// past the heartbeat timeout; the launcher must credit the scheduled
+// brownout window instead of declaring the worker dead, and the run
+// must finish clean once the worker thaws.
+func TestChaosBrownoutCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process fan-out in -short")
+	}
+	sched, err := chaos.Parse("stop:1@100ms+2500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run([]Point{chaosPoint("chaosstop")}, Options{
+		Spawn:            reexecSpawn(),
+		PointTimeout:     2 * time.Minute,
+		HeartbeatTimeout: time.Second,
+		Chaos:            sched,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	r := results[0]
+	if r.Degraded {
+		t.Fatalf("brownout wrongly degraded the point: %+v", r.Outcomes)
+	}
+	if r.Msgs != 120000 || r.Lost != 0 {
+		t.Fatalf("msgs=%d lost=%d, want 120000/0", r.Msgs, r.Lost)
+	}
+	if r.Outcomes[1].Status != "ok" || r.Outcomes[2].Status != "ok" {
+		t.Fatalf("outcomes wrong after brownout: %+v", r.Outcomes)
+	}
+}
+
+// TestChaosRespawnGenerator kills a generator and relaunches it: the
+// fresh incarnation re-registers over the control channel, reruns its
+// workload under a new epoch, and the merged point is degraded but
+// complete — the sink's per-port floor absorbs the first incarnation's
+// extra deliveries.
+func TestChaosRespawnGenerator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process fan-out in -short")
+	}
+	sched, err := chaos.Parse("respawn:2@100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run([]Point{chaosPoint("chaosrespawn")}, Options{
+		Spawn:        reexecSpawn(),
+		PointTimeout: 2 * time.Minute,
+		Chaos:        sched,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	r := results[0]
+	if !r.Degraded {
+		t.Fatalf("respawn point not marked degraded: %+v", r)
+	}
+	if r.Outcomes[2].Status != "respawned" || r.Outcomes[1].Status != "ok" {
+		t.Fatalf("outcomes wrong: %+v", r.Outcomes)
+	}
+	if r.Msgs != 120000 || r.Lost != 0 {
+		t.Fatalf("msgs=%d lost=%d, want 120000/0 (survivor + rerun)", r.Msgs, r.Lost)
+	}
+}
+
+// TestHeartbeatDetectsWedgedWorker plants a worker that registers and
+// reports ready but then goes silent without ever crashing — the SIGSTOP
+// failure mode heartbeats exist for. The launcher must declare it dead
+// after HeartbeatTimeout and salvage the other generator.
+func TestHeartbeatDetectsWedgedWorker(t *testing.T) {
+	wedged := func(index int, controlAddr string) (Proc, error) {
+		if index != 2 {
+			return GoSpawn()(index, controlAddr)
+		}
+		p := &procGo{done: make(chan struct{})}
+		go func() {
+			defer close(p.done)
+			c, err := net.Dial("tcp", controlAddr)
+			if err != nil {
+				p.err = err
+				return
+			}
+			cc := newCtrlConn(c)
+			defer cc.Close()
+			_ = cc.send(ctrlMsg{Type: "hello", Index: 2})
+			if _, err := cc.expect("setup", 10*time.Second); err != nil {
+				p.err = err
+				return
+			}
+			_ = cc.send(ctrlMsg{Type: "ready", Index: 2})
+			// Wedge: never beat, never report. Drain launcher commands
+			// until it gives up on us and tears the connection down.
+			for {
+				if _, err := cc.recv(time.Minute); err != nil {
+					return
+				}
+			}
+		}()
+		return p, nil
+	}
+	start := time.Now()
+	results, err := Run(
+		[]Point{{Name: "wedge", Procs: 3, Messages: 200, Size: 512, Concurrency: 8, Port: 7}},
+		Options{Spawn: wedged, PointTimeout: time.Minute, HeartbeatTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("wedged worker took %v to detect, want seconds", e)
+	}
+	r := results[0]
+	if !r.Degraded || r.Outcomes[2].Status != "killed" {
+		t.Fatalf("wedged worker not declared dead: %+v", r.Outcomes)
+	}
+	if !strings.Contains(r.Outcomes[2].Err, "no heartbeat") {
+		t.Fatalf("death cause %q, want a heartbeat stall", r.Outcomes[2].Err)
+	}
+	if r.Msgs != 200 || r.Lost != 0 {
+		t.Fatalf("survivor accounting wrong: msgs=%d lost=%d", r.Msgs, r.Lost)
+	}
+}
+
+// TestDialControlRetry starts the listener after the worker begins
+// dialing: the backoff loop must ride out the gap that a single dial
+// attempt used to turn into a dead worker.
+func TestDialControlRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the address exists but nobody is listening yet
+
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; dialControl will fail and the test reports it
+		}
+		c, err := ln2.Accept()
+		if err == nil {
+			c.Close()
+		}
+		ln2.Close()
+	}()
+
+	start := time.Now()
+	c, err := dialControl(addr, 1)
+	if err != nil {
+		t.Fatalf("dialControl never recovered: %v", err)
+	}
+	c.Close()
+	if time.Since(start) < 200*time.Millisecond {
+		t.Fatal("dial succeeded before the listener existed")
+	}
+}

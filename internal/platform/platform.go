@@ -2,12 +2,14 @@ package platform
 
 import (
 	"fmt"
-	"net"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"mtp/internal/chaos"
 )
 
 // SpawnFunc starts worker number index for the current point, pointed at
@@ -15,10 +17,18 @@ import (
 type SpawnFunc func(index int, controlAddr string) (Proc, error)
 
 // Proc is a spawned worker: Wait blocks until it exits; Kill tears it
-// down early (cleanup after a failed point).
+// down early (cleanup after a failed point, or a scheduled chaos kill).
 type Proc interface {
 	Wait() error
 	Kill()
+}
+
+// Signaler is the optional Proc extension the chaos executor needs for
+// brownouts: SIGSTOP/SIGCONT to freeze and thaw a worker. Real process
+// spawns implement it; in-process GoSpawn workers cannot be signaled,
+// so chaos schedules require a process-based SpawnFunc.
+type Signaler interface {
+	Signal(sig os.Signal) error
 }
 
 // ReexecSpawn spawns workers by re-executing the current binary — the
@@ -43,23 +53,43 @@ func ReexecSpawn(args ...string) SpawnFunc {
 		if err := cmd.Start(); err != nil {
 			return nil, err
 		}
-		return (*procCmd)(cmd), nil
+		return &procCmd{cmd: cmd}, nil
 	}
 }
 
-type procCmd exec.Cmd
+// procCmd adapts exec.Cmd to Proc. Wait is single-flight: the chaos
+// executor reaps a killed worker from a background goroutine while point
+// teardown waits on every process, and exec.Cmd.Wait must only ever run
+// once per process.
+type procCmd struct {
+	cmd  *exec.Cmd
+	once sync.Once
+	err  error
+}
 
-func (p *procCmd) Wait() error { return (*exec.Cmd)(p).Wait() }
+func (p *procCmd) Wait() error {
+	p.once.Do(func() { p.err = p.cmd.Wait() })
+	return p.err
+}
+
 func (p *procCmd) Kill() {
-	if p.Process != nil {
-		_ = p.Process.Kill()
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
 	}
+}
+
+// Signal delivers sig to the worker process (chaos brownouts).
+func (p *procCmd) Signal(sig os.Signal) error {
+	if p.cmd.Process == nil {
+		return fmt.Errorf("platform: process not started")
+	}
+	return p.cmd.Process.Signal(sig)
 }
 
 // GoSpawn runs workers as goroutines of the launcher process — same
 // control protocol over real TCP, no fork. Tests (and -local mode) use
 // it; note msgs/sec/core degenerates because every "process" shares one
-// rusage domain.
+// rusage domain, and chaos schedules cannot touch goroutine workers.
 func GoSpawn() SpawnFunc {
 	return func(index int, controlAddr string) (Proc, error) {
 		p := &procGo{done: make(chan struct{})}
@@ -84,20 +114,61 @@ type Options struct {
 	// Spawn starts workers. Nil panics — commands pass ReexecSpawn with
 	// their worker flag spelling, tests pass GoSpawn.
 	Spawn SpawnFunc
-	// PointTimeout bounds one experiment point end to end. Default 5min.
+	// PointTimeout bounds one experiment point's load phase end to end.
+	// Default 5min.
 	PointTimeout time.Duration
+	// PhaseTimeout bounds each control-plane phase (worker registration,
+	// setup/ready, sink drain). Default 30s — a worker that cannot even
+	// register is detected in seconds, not PointTimeout.
+	PhaseTimeout time.Duration
+	// HeartbeatTimeout is how long a worker's control connection may stay
+	// silent before the launcher declares it dead. Workers beat every
+	// hbInterval; the default 4s rides out scheduler hiccups while still
+	// catching a wedged (not just crashed) worker fast.
+	HeartbeatTimeout time.Duration
+	// Chaos is an optional process-chaos schedule executed against each
+	// point, offsets relative to the start command. Requires a
+	// signal-capable Spawn (ReexecSpawn); killing the sink fails the
+	// point by design.
+	Chaos chaos.Schedule
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+}
+
+// WorkerOutcome is one worker's fate in a point, for degraded-run
+// forensics.
+type WorkerOutcome struct {
+	Index int `json:"index"`
+	// Status: "ok" (reported a result), "respawned" (crashed, relaunched,
+	// reported a result under a fresh incarnation), "killed" (died and
+	// never reported).
+	Status string `json:"status"`
+	// Completed is the worker's acknowledged-message count (generators).
+	Completed int `json:"completed,omitempty"`
+	// Err records why the worker died, when it did.
+	Err string `json:"error,omitempty"`
 }
 
 // PointResult is the merged outcome of one experiment point.
 type PointResult struct {
 	Point Point
 	// Msgs is the total end-to-end acknowledged message count across
-	// generators; Lost is acknowledged-but-not-delivered (exactly-once
-	// violations) plus never-acknowledged sends — zero on a clean run.
+	// reporting generators; Lost is acknowledged-but-not-delivered
+	// (exactly-once violations) plus never-acknowledged sends — zero on
+	// a clean run.
 	Msgs int
 	Lost int
+	// Degraded is set when a worker died mid-run (chaos or otherwise)
+	// and the result covers the surviving set only. The zero-loss gate
+	// still holds per survivor; aggregate throughput is not comparable
+	// to a clean run.
+	Degraded bool
+	// Outcomes records each worker's fate, index-aligned with the
+	// point's processes. Nil on a clean run with no chaos schedule.
+	Outcomes []WorkerOutcome
+	// SendErrors counts node.Send calls that failed at the API across
+	// all reporting generators; nonzero fails the point.
+	SendErrors int
 	// Elapsed is the slowest generator's send-loop wall time.
 	Elapsed time.Duration
 	// CPUSec sums user+system CPU over all workers including the sink.
@@ -108,6 +179,8 @@ type PointResult struct {
 	P50, P99       time.Duration
 	AllocsPerMsg   float64
 	Retx           uint64
+	// RingDrops sums receive-ring overflow across all reporting workers.
+	RingDrops uint64
 }
 
 // BenchLine renders the result as one `go test -bench`-style line, which
@@ -128,13 +201,21 @@ func (r PointResult) BenchLine() string {
 // point and merging their reports. It keeps going across points and
 // returns every completed result; the error covers the first failed
 // point (spawn failure, worker error, or lost messages — the zero-loss
-// gate is part of the contract, not an option).
+// gate is part of the contract, not an option). A point where chaos or
+// a crash took workers out mid-run but every survivor audits clean is a
+// degraded success, not a failure.
 func Run(points []Point, opts Options) ([]PointResult, error) {
 	if opts.Spawn == nil {
 		panic("platform.Run: nil Spawn")
 	}
 	if opts.PointTimeout <= 0 {
 		opts.PointTimeout = 5 * time.Minute
+	}
+	if opts.PhaseTimeout <= 0 {
+		opts.PhaseTimeout = 30 * time.Second
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 4 * time.Second
 	}
 	logf := opts.Log
 	if logf == nil {
@@ -145,7 +226,7 @@ func Run(points []Point, opts Options) ([]PointResult, error) {
 	for _, p := range points {
 		logf("point %s: %d procs, %d msgs/gen x %dB, concurrency %d",
 			p.label(), p.Procs, p.Messages, p.Size, p.Concurrency)
-		r, err := runPoint(p, opts)
+		r, err := runPoint(p, opts, logf)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("point %s: %w", p.label(), err)
@@ -154,153 +235,10 @@ func Run(points []Point, opts Options) ([]PointResult, error) {
 			continue
 		}
 		results = append(results, r)
+		if r.Degraded {
+			logf("point %s DEGRADED: survivors clean, outcomes %+v", p.label(), r.Outcomes)
+		}
 		logf("point %s: %.0f msgs/s, %.0f msgs/s/core, p99 %v", p.label(), r.MsgsPerSec, r.MsgsPerSecCore, r.P99)
 	}
 	return results, firstErr
-}
-
-// runPoint drives one point through the control-channel state machine.
-func runPoint(p Point, opts Options) (PointResult, error) {
-	var res PointResult
-	res.Point = p
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return res, err
-	}
-	defer ln.Close()
-	controlAddr := ln.Addr().String()
-
-	procs := make([]Proc, 0, p.Procs)
-	defer func() {
-		for _, pr := range procs {
-			pr.Kill()
-		}
-		for _, pr := range procs {
-			_ = pr.Wait()
-		}
-	}()
-	for i := 0; i < p.Procs; i++ {
-		pr, err := opts.Spawn(i, controlAddr)
-		if err != nil {
-			return res, fmt.Errorf("spawn worker %d: %w", i, err)
-		}
-		procs = append(procs, pr)
-	}
-
-	// Accept and identify every worker.
-	conns := make([]*ctrlConn, p.Procs)
-	defer func() {
-		for _, cc := range conns {
-			if cc != nil {
-				cc.Close()
-			}
-		}
-	}()
-	deadline := time.Now().Add(opts.PointTimeout)
-	if tl, ok := ln.(*net.TCPListener); ok {
-		_ = tl.SetDeadline(deadline)
-	}
-	for i := 0; i < p.Procs; i++ {
-		c, err := ln.Accept()
-		if err != nil {
-			return res, fmt.Errorf("accept: %w", err)
-		}
-		cc := newCtrlConn(c)
-		hello, err := cc.expect("hello", time.Until(deadline))
-		if err != nil {
-			cc.Close()
-			return res, err
-		}
-		if hello.Index < 0 || hello.Index >= p.Procs || conns[hello.Index] != nil {
-			cc.Close()
-			return res, fmt.Errorf("bad worker index %d", hello.Index)
-		}
-		conns[hello.Index] = cc
-	}
-
-	// Setup → ready (the sink reports its data-plane address) → start.
-	for _, cc := range conns {
-		if err := cc.send(ctrlMsg{Type: "setup", Point: &p}); err != nil {
-			return res, err
-		}
-	}
-	var sinkAddr string
-	for i, cc := range conns {
-		ready, err := cc.expect("ready", time.Until(deadline))
-		if err != nil {
-			return res, fmt.Errorf("worker %d ready: %w", i, err)
-		}
-		if i == 0 {
-			sinkAddr = ready.Addr
-		}
-	}
-	if sinkAddr == "" {
-		return res, fmt.Errorf("sink reported no address")
-	}
-	for _, cc := range conns {
-		if err := cc.send(ctrlMsg{Type: "start", Addr: sinkAddr}); err != nil {
-			return res, err
-		}
-	}
-
-	// Collect generator results, then drain the sink.
-	var h hist
-	var sent, completed, timeouts int
-	var mallocs uint64
-	for i := 1; i < p.Procs; i++ {
-		done, err := conns[i].expect("done", time.Until(deadline))
-		if err != nil || done.Result == nil {
-			return res, fmt.Errorf("worker %d done: %v", i, err)
-		}
-		wr := done.Result
-		sent += wr.Sent
-		completed += wr.Completed
-		timeouts += wr.Timeouts
-		mallocs += wr.Mallocs
-		res.Retx += wr.Retx
-		res.CPUSec += wr.CPUSec
-		h.merge(wr.Hist)
-		if e := time.Duration(wr.ElapsedSec * float64(time.Second)); e > res.Elapsed {
-			res.Elapsed = e
-		}
-	}
-	if err := conns[0].send(ctrlMsg{Type: "stop"}); err != nil {
-		return res, err
-	}
-	sinkDone, err := conns[0].expect("done", time.Until(deadline))
-	if err != nil || sinkDone.Result == nil {
-		return res, fmt.Errorf("sink done: %v", err)
-	}
-	res.CPUSec += sinkDone.Result.CPUSec
-	for i := 1; i < p.Procs; i++ {
-		_ = conns[i].send(ctrlMsg{Type: "stop"})
-	}
-
-	res.Msgs = completed
-	// Exactly-once audit: every acknowledged message must have been
-	// delivered exactly once. Fewer receipts is loss past the ACK
-	// (impossible unless the protocol lies); more is duplicate delivery.
-	res.Lost = timeouts + (sent - completed)
-	if d := sinkDone.Result.Received - completed; d != 0 {
-		if d < 0 {
-			res.Lost += -d
-		}
-		return res, fmt.Errorf("sink received %d messages, generators confirmed %d", sinkDone.Result.Received, completed)
-	}
-	if res.Lost > 0 {
-		return res, fmt.Errorf("%d messages lost (%d timeouts, %d failed sends)", res.Lost, timeouts, sent-completed)
-	}
-	if res.Elapsed > 0 {
-		res.MsgsPerSec = float64(res.Msgs) / res.Elapsed.Seconds()
-	}
-	if res.CPUSec > 0 {
-		res.MsgsPerSecCore = float64(res.Msgs) / res.CPUSec
-	}
-	if res.Msgs > 0 {
-		res.AllocsPerMsg = float64(mallocs) / float64(res.Msgs)
-	}
-	res.P50 = h.percentile(0.50)
-	res.P99 = h.percentile(0.99)
-	return res, nil
 }

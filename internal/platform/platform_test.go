@@ -256,6 +256,10 @@ func TestHistEmptyAndTail(t *testing.T) {
 }
 
 func TestGoSpawnKill(t *testing.T) {
+	// Shrink the dial-retry budget so the unreachable address fails fast.
+	old := dialControlBudget
+	dialControlBudget = 200 * time.Millisecond
+	defer func() { dialControlBudget = old }()
 	p, err := GoSpawn()(1, "127.0.0.1:1") // unreachable control address
 	if err != nil {
 		t.Fatal(err)

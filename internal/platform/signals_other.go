@@ -1,0 +1,9 @@
+//go:build !unix
+
+package platform
+
+import "os"
+
+// Off unix there is no SIGSTOP/SIGCONT; brownout events degrade to
+// no-ops (nil signals are rejected by Signal implementations).
+var sigStop, sigCont os.Signal = nil, nil

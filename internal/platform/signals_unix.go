@@ -1,0 +1,11 @@
+//go:build unix
+
+package platform
+
+import (
+	"os"
+	"syscall"
+)
+
+// Brownout signals for the chaos executor: freeze and thaw a worker.
+var sigStop, sigCont os.Signal = syscall.SIGSTOP, syscall.SIGCONT

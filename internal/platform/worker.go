@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,23 +13,79 @@ import (
 )
 
 // workerTimeout bounds every control-channel wait inside a worker; a dead
-// launcher must not leave orphan processes behind.
+// launcher must not leave orphan processes behind. Launcher-side death
+// detection is much faster (heartbeats); this is only the worker's own
+// backstop.
 const workerTimeout = 5 * time.Minute
+
+// hbInterval is how often a worker proves liveness on the control
+// channel. It must be well under the launcher's HeartbeatTimeout.
+const hbInterval = 500 * time.Millisecond
+
+// genBasePort is the MTP source port of generator index 1; generator i
+// binds genBasePort+i-1 so the sink's per-port receive counts identify
+// each generator even across a respawn (a fresh process keeps the port).
+const genBasePort = 100
+
+// dialControlBudget bounds the total time a worker spends trying to
+// reach the launcher. A var so tests can shrink it.
+var dialControlBudget = 15 * time.Second
+
+// dialControl connects to the launcher with capped exponential backoff:
+// a respawned worker may race the launcher's accept loop, and a single
+// long attempt used to turn that race into a lost worker.
+func dialControl(addr string, index int) (net.Conn, error) {
+	deadline := time.Now().Add(dialControlBudget)
+	backoff := 100 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("worker %d: dial control %s: %w", index, addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
 
 // RunWorker executes one node of an experiment point, driven entirely by
 // the launcher over the control channel at controlAddr. Index 0 is the
 // sink; every other index is a closed-loop generator. Commands embed this
 // behind a hidden flag and re-exec themselves as workers.
 func RunWorker(controlAddr string, index int) error {
-	conn, err := net.DialTimeout("tcp", controlAddr, 10*time.Second)
+	conn, err := dialControl(controlAddr, index)
 	if err != nil {
-		return fmt.Errorf("worker %d: dial control: %w", index, err)
+		return err
 	}
 	cc := newCtrlConn(conn)
 	defer cc.Close()
 	if err := cc.send(ctrlMsg{Type: "hello", Index: index}); err != nil {
 		return err
 	}
+
+	// Heartbeat until this worker exits; the launcher detects a crashed
+	// or wedged worker by the silence, not by a five-minute timeout.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(hbInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if cc.send(ctrlMsg{Type: "hb", Index: index}) != nil {
+					return
+				}
+			case <-hbStop:
+				return
+			}
+		}
+	}()
+
 	setup, err := cc.expect("setup", workerTimeout)
 	if err != nil || setup.Point == nil {
 		return fmt.Errorf("worker %d: setup: %v", index, err)
@@ -36,7 +93,7 @@ func RunWorker(controlAddr string, index int) error {
 	if index == 0 {
 		err = runSink(cc, *setup.Point)
 	} else {
-		err = runGenerator(cc, *setup.Point)
+		err = runGenerator(cc, *setup.Point, index)
 	}
 	if err != nil {
 		_ = cc.send(ctrlMsg{Type: "error", Index: index, Err: err.Error()})
@@ -50,7 +107,8 @@ func nodeConfig(p Point, port uint16, onMsg func(mtp.Message)) mtp.Config {
 }
 
 // runSink receives until the launcher says every generator is done, then
-// reports totals.
+// reports totals, including per-source-port counts so the launcher can
+// audit survivors individually after a chaos kill.
 func runSink(cc *ctrlConn, p Point) error {
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -58,9 +116,14 @@ func runSink(cc *ctrlConn, p Point) error {
 	}
 	var received atomic.Int64
 	var bytes atomic.Uint64
+	var portMu sync.Mutex
+	ports := make(map[string]int)
 	node, err := mtp.NewNode(pc, nodeConfig(p, p.Port, func(m mtp.Message) {
 		received.Add(1)
 		bytes.Add(uint64(len(m.Data)))
+		portMu.Lock()
+		ports[strconv.Itoa(int(m.SrcPort))]++
+		portMu.Unlock()
 	}))
 	if err != nil {
 		return err
@@ -84,29 +147,33 @@ func runSink(cc *ctrlConn, p Point) error {
 		return err
 	}
 	runtime.ReadMemStats(&ms1)
+	portMu.Lock()
 	res := WorkerResult{
 		Received:   int(received.Load()),
 		Bytes:      bytes.Load(),
+		PortCounts: ports,
 		ElapsedSec: time.Since(t0).Seconds(),
 		CPUSec:     cpuSeconds() - cpu0,
 		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+		RingDrops:  node.Stats().RingFullDrops,
 	}
+	portMu.Unlock()
 	return cc.send(ctrlMsg{Type: "done", Index: 0, Result: &res})
 }
 
 // runGenerator sends the point's closed-loop workload at the sink and
 // reports per-message RTTs plus resource use.
-func runGenerator(cc *ctrlConn, p Point) error {
+func runGenerator(cc *ctrlConn, p Point, index int) error {
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	node, err := mtp.NewNode(pc, nodeConfig(p, 100, nil))
+	node, err := mtp.NewNode(pc, nodeConfig(p, uint16(genBasePort+index-1), nil))
 	if err != nil {
 		return err
 	}
 	defer node.Close()
-	if err := cc.send(ctrlMsg{Type: "ready"}); err != nil {
+	if err := cc.send(ctrlMsg{Type: "ready", Index: index}); err != nil {
 		return err
 	}
 	start, err := cc.expect("start", workerTimeout)
@@ -121,7 +188,7 @@ func runGenerator(cc *ctrlConn, p Point) error {
 	}
 	var mu sync.Mutex
 	var h hist
-	var sent, completed, timeouts int
+	var sent, completed, timeouts, sendErrors int
 	sem := make(chan struct{}, p.Concurrency)
 	var wg sync.WaitGroup
 
@@ -138,7 +205,10 @@ func runGenerator(cc *ctrlConn, p Point) error {
 			s0 := time.Now()
 			out, err := node.Send(target, p.Port, payload)
 			if err != nil {
-				return // counted as lost via sent == completed mismatch
+				mu.Lock()
+				sendErrors++
+				mu.Unlock()
+				return
 			}
 			mu.Lock()
 			sent++
@@ -163,13 +233,15 @@ func runGenerator(cc *ctrlConn, p Point) error {
 		Sent:       sent,
 		Completed:  completed,
 		Timeouts:   timeouts,
+		SendErrors: sendErrors,
 		Hist:       h.slice(),
 		ElapsedSec: elapsed.Seconds(),
 		CPUSec:     cpuSeconds() - cpu0,
 		Mallocs:    ms1.Mallocs - ms0.Mallocs,
 		Retx:       node.Stats().PktsRetx,
+		RingDrops:  node.Stats().RingFullDrops,
 	}
-	if err := cc.send(ctrlMsg{Type: "done", Result: &res}); err != nil {
+	if err := cc.send(ctrlMsg{Type: "done", Index: index, Result: &res}); err != nil {
 		return err
 	}
 	// Stay alive (still ACK-reachable) until the sink has been drained.

@@ -31,6 +31,9 @@ const (
 	KindReadmit
 	KindFailover
 	KindProbe
+	// KindEpochBump records a detected peer restart: A is the new
+	// incarnation epoch, B the previous one.
+	KindEpochBump
 )
 
 // String returns the kind mnemonic.
@@ -66,6 +69,8 @@ func (k Kind) String() string {
 		return "FAIL"
 	case KindProbe:
 		return "PROBE"
+	case KindEpochBump:
+		return "EPOCH"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -227,6 +227,26 @@ type Header struct {
 	SrcPort uint16
 	DstPort uint16
 
+	// Epoch is the sender's incarnation number, seeded once per process
+	// boot. Receivers track the last-seen epoch per peer: a packet carrying
+	// an older epoch is a straggler from a previous incarnation and is
+	// dropped; a newer epoch proves the peer restarted, so all per-peer
+	// protocol state (duplicate suppression, reassembly, congestion
+	// estimates) is reset before the packet is processed. Zero means the
+	// sender does not participate in epoch tracking (the simulator, where
+	// endpoints never restart).
+	Epoch uint32
+
+	// MsgFloor is the sender's fully-acknowledged message floor: every one
+	// of this sender's messages with an ID below it has been delivered and
+	// acknowledged end to end. Receivers keep exact per-peer duplicate
+	// suppression for IDs at or above the floor and may discard all state
+	// below it, so dedup memory is bounded by the sender's in-flight window
+	// rather than by a global cache that cross-traffic can thrash. Zero
+	// means the sender does not advertise a floor (legacy or in-network
+	// devices); receivers then fall back to capped best-effort dedup.
+	MsgFloor uint64
+
 	// Message-level information, present in every packet of the message so
 	// that any device can parse the message from any packet.
 	MsgID    uint64
@@ -254,13 +274,15 @@ type Header struct {
 // Wire format constants.
 const (
 	// Version is the wire format version byte leading every packet.
-	Version = 1
+	// Version 2 added the 4-byte incarnation epoch and the 8-byte
+	// acknowledged-message floor to the fixed header.
+	Version = 2
 
 	// fixedLen is the byte length of the fixed portion of the header:
-	// version(1) type(1) checksum(4) srcPort(2) dstPort(2) msgID(8)
-	// msgPri(1) tc(1) flags(1) msgBytes(4) msgPkts(4) pktNum(4)
-	// pktOffset(4) pktLen(2) + 5 list-count fields (2 bytes each).
-	fixedLen = 1 + 1 + 4 + 2 + 2 + 8 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 2*5
+	// version(1) type(1) checksum(4) srcPort(2) dstPort(2) epoch(4)
+	// msgFloor(8) msgID(8) msgPri(1) tc(1) flags(1) msgBytes(4) msgPkts(4)
+	// pktNum(4) pktOffset(4) pktLen(2) + 5 list-count fields (2 bytes each).
+	fixedLen = 1 + 1 + 4 + 2 + 2 + 4 + 8 + 8 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 2*5
 
 	// checksumOff is the byte offset of the header checksum within an
 	// encoded header (right after version and type).
@@ -351,6 +373,8 @@ func (h *Header) Encode(dst []byte) ([]byte, error) {
 	dst = append(dst, 0, 0, 0, 0) // checksum placeholder, filled below
 	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
 	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
+	dst = binary.BigEndian.AppendUint32(dst, h.Epoch)
+	dst = binary.BigEndian.AppendUint64(dst, h.MsgFloor)
 	dst = binary.BigEndian.AppendUint64(dst, h.MsgID)
 	dst = append(dst, h.MsgPri, h.TC, h.Flags)
 	dst = binary.BigEndian.AppendUint32(dst, h.MsgBytes)
@@ -445,6 +469,8 @@ func DecodeInto(h *Header, b []byte) (int, error) {
 	wantSum := d.u32()
 	h.SrcPort = d.u16()
 	h.DstPort = d.u16()
+	h.Epoch = d.u32()
+	h.MsgFloor = d.u64()
 	h.MsgID = d.u64()
 	h.MsgPri = d.u8()
 	h.TC = d.u8()
@@ -599,7 +625,21 @@ func (h *Header) String() string {
 	if flags != "" {
 		flags = " flags=" + flags
 	}
-	return fmt.Sprintf("%s %d->%d msg=%d pri=%d tc=%d%s len=%dB/%dp pkt=%d off=%d plen=%d fb=%d ackfb=%d sack=%d nack=%d",
-		h.Type, h.SrcPort, h.DstPort, h.MsgID, h.MsgPri, h.TC, flags, h.MsgBytes, h.MsgPkts,
+	epoch := ""
+	if h.Epoch != 0 {
+		epoch = fmt.Sprintf(" ep=%d", h.Epoch)
+	}
+	if h.MsgFloor != 0 {
+		epoch += fmt.Sprintf(" fl=%d", h.MsgFloor)
+	}
+	return fmt.Sprintf("%s %d->%d%s msg=%d pri=%d tc=%d%s len=%dB/%dp pkt=%d off=%d plen=%d fb=%d ackfb=%d sack=%d nack=%d",
+		h.Type, h.SrcPort, h.DstPort, epoch, h.MsgID, h.MsgPri, h.TC, flags, h.MsgBytes, h.MsgPkts,
 		h.PktNum, h.PktOffset, h.PktLen, len(h.PathFeedback), len(h.AckPathFeedback), len(h.SACK), len(h.NACK))
 }
+
+// EpochNewer reports whether incarnation epoch a is strictly newer than b,
+// using serial-number arithmetic (RFC 1982 style): the comparison is taken
+// modulo 2^32, so epochs derived from a wrapping millisecond clock still
+// order correctly as long as two compared incarnations are less than 2^31
+// apart. Zero epochs never participate (callers gate on Epoch != 0).
+func EpochNewer(a, b uint32) bool { return int32(a-b) > 0 }

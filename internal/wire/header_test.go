@@ -15,6 +15,8 @@ func sampleHeader() *Header {
 		Type:      TypeData,
 		SrcPort:   4242,
 		DstPort:   80,
+		Epoch:     0xdeadbeef,
+		MsgFloor:  1234567890100,
 		MsgID:     1234567890123,
 		MsgPri:    7,
 		TC:        2,
@@ -253,6 +255,54 @@ func TestFeedbackAccessors(t *testing.T) {
 	// Cross-type accessors must return zero values, not garbage.
 	if f := RateFeedback(p, 1); f.ECNMarked() || f.DelayNanos() != 0 || f.QueueLen() != 0 {
 		t.Fatal("cross-type accessor leaked a value")
+	}
+}
+
+func TestEpochNewer(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{2, 1, true},
+		{1, 2, false},
+		{1, 1, false},
+		// Serial-number arithmetic: comparisons survive wraparound of the
+		// millisecond-derived epoch space.
+		{0, 0xffffffff, true},
+		{0xffffffff, 0, false},
+		{0x80000001, 1, false}, // exactly 2^31 apart: not "newer"
+		{1, 0x80000002, true},
+	}
+	for _, c := range cases {
+		if got := EpochNewer(c.a, c.b); got != c.want {
+			t.Errorf("EpochNewer(%#x, %#x) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	h := &Header{Type: TypeData, SrcPort: 1, DstPort: 2, Epoch: 0x01020304, MsgFloor: 7, MsgID: 9}
+	b, err := h.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFull(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != h.Epoch {
+		t.Fatalf("Epoch = %#x, want %#x", got.Epoch, h.Epoch)
+	}
+	if got.MsgFloor != h.MsgFloor {
+		t.Fatalf("MsgFloor = %d, want %d", got.MsgFloor, h.MsgFloor)
+	}
+	if s := h.String(); !strings.Contains(s, "ep=16909060") {
+		t.Fatalf("Header.String() = %q missing epoch", s)
+	}
+	// A zero epoch (the simulator) stays out of the trace line.
+	h.Epoch = 0
+	if s := h.String(); strings.Contains(s, "ep=") {
+		t.Fatalf("Header.String() = %q shows zero epoch", s)
 	}
 }
 

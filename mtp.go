@@ -37,6 +37,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mtp/internal/cc"
@@ -51,6 +52,15 @@ type Config struct {
 	// Port identifies the application on this node (like a UDP port, but
 	// inside MTP's own header).
 	Port uint16
+
+	// Epoch is the node's incarnation number, stamped on every outgoing
+	// packet so peers detect a restart: packets from a dead incarnation are
+	// dropped and per-peer protocol state (duplicate suppression,
+	// reassembly, congestion estimates) is reset when a new incarnation
+	// appears. Zero (the default) auto-seeds a per-boot epoch from the
+	// millisecond clock, monotonic within the process; set it explicitly
+	// only to pin incarnations in tests.
+	Epoch uint32
 
 	// MSS is the maximum message payload bytes per packet. The default of
 	// 1200 leaves room for the MTP header inside a 1500-byte MTU datagram.
@@ -204,6 +214,9 @@ func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
 	if _, err := cc.New(kind, cc.Config{MSS: cfg.MSS}); err != nil {
 		return nil, fmt.Errorf("mtp: %w", err)
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = newEpoch()
+	}
 
 	n := &Node{
 		pc:       pc,
@@ -244,6 +257,7 @@ func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
 	}
 	coreCfg := core.Config{
 		LocalPort:      cfg.Port,
+		Epoch:          cfg.Epoch,
 		MSS:            cfg.MSS,
 		TC:             cfg.TC,
 		CC:             kind,
@@ -272,6 +286,36 @@ func NewNode(pc net.PacketConn, cfg Config) (*Node, error) {
 		go n.readLoop()
 	}
 	return n, nil
+}
+
+// epochLast remembers the most recent incarnation epoch handed out in this
+// process, so same-process restarts (a Node closed and reopened within one
+// millisecond, common in tests and respawned workers) still get strictly
+// increasing epochs.
+var epochLast atomic.Uint32
+
+// newEpoch derives a per-boot incarnation epoch from the millisecond clock.
+// The value lives in a wrapping uint32 space compared with serial-number
+// arithmetic (wire.EpochNewer), so successive boots order correctly as long
+// as they are less than ~24.8 days apart — far beyond any straggler packet's
+// lifetime.
+func newEpoch() uint32 {
+	for {
+		last := epochLast.Load()
+		cand := uint32(time.Now().UnixMilli())
+		if cand == 0 {
+			cand = 1
+		}
+		if last != 0 && !wire.EpochNewer(cand, last) {
+			cand = last + 1
+			if cand == 0 {
+				cand = 1
+			}
+		}
+		if epochLast.CompareAndSwap(last, cand) {
+			return cand
+		}
+	}
 }
 
 // nodeWheel returns the process-wide timer wheel shared by every
@@ -306,12 +350,31 @@ func (n *Node) onTransportPacket(from netip.AddrPort, hdr *wire.Header, data []b
 // Addr returns the node's network address.
 func (n *Node) Addr() net.Addr { return n.pc.LocalAddr() }
 
-// Stats returns a snapshot of protocol counters.
-func (n *Node) Stats() core.EndpointStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.ep.Stats
+// Stats is a snapshot of a Node's protocol and transport counters.
+type Stats struct {
+	core.EndpointStats
+	// RingFullDrops counts outgoing packets dropped because the transport's
+	// send ring was full — NIC-style local drops, recovered by
+	// retransmission but distinct from network loss. Zero for non-UDP
+	// (in-memory) nodes, which have no ring.
+	RingFullDrops uint64
 }
+
+// Stats returns a snapshot of protocol counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	es := n.ep.Stats
+	n.mu.Unlock()
+	s := Stats{EndpointStats: es}
+	if n.tr != nil {
+		s.RingFullDrops = n.tr.Stats().RingFullDrops
+	}
+	return s
+}
+
+// Epoch returns the node's incarnation epoch (auto-seeded unless pinned via
+// Config.Epoch).
+func (n *Node) Epoch() uint32 { return n.cfg.Epoch }
 
 // TraceDump renders the retained protocol event trace (empty unless
 // Config.TraceEvents was set).
